@@ -1,0 +1,176 @@
+//! Disaggregated OS Services (Lee): region-based core specialization.
+//!
+//! System-call handlers are grouped into programmer-defined *regions*
+//! keyed by the kernel data they access — all filesystem calls form one
+//! region, all networking calls another, and so on (Section 2.1). Each
+//! application is its own region. Regions receive cores in proportion to
+//! their execution, and a zero-cost micro-scheduler (Table 3) migrates
+//! threads to their region's cores. Like FlexSC, the technique ignores
+//! the i-cache pollution of interrupts and bottom halves, and it has no
+//! idle-core work stealing — its idle fraction is high at 1X and shrinks
+//! as the workload scales (Table 4).
+
+use crate::common::CoreQueues;
+use schedtask_kernel::{CoreId, EngineCore, SchedEvent, Scheduler, SfId, SwitchReason};
+use schedtask_workload::{SfCategory, SuperFuncType};
+use std::collections::HashMap;
+
+/// The programmer-defined syscall regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Region {
+    Filesystem,
+    Network,
+    Memory,
+    OtherOs,
+    /// One region per application superFuncType.
+    App(u64),
+}
+
+/// Maps a Linux syscall id to its data region — the static table "the OS
+/// programmer" writes (Section 2.1).
+fn syscall_region(id: u64) -> Region {
+    match id {
+        // read, write, open, close, creat, unlink, stat, fsync, getdents,
+        // pread, epoll_wait
+        3 | 4 | 5 | 6 | 8 | 10 | 106 | 118 | 141 | 180 | 256 => Region::Filesystem,
+        // socket family + the crypto-read used by scp
+        359 | 364 | 369 | 371 | 397 => Region::Network,
+        // brk, mmap, fork
+        45 | 90 | 2 => Region::Memory,
+        _ => Region::OtherOs,
+    }
+}
+
+fn region_of(ty: SuperFuncType) -> Option<Region> {
+    match ty.category() {
+        SfCategory::SystemCall => Some(syscall_region(ty.subcategory())),
+        SfCategory::Application => Some(Region::App(ty.subcategory())),
+        // Interrupts and bottom halves are not managed by the technique.
+        SfCategory::Interrupt | SfCategory::BottomHalf => None,
+    }
+}
+
+/// The Disaggregated OS Services scheduler.
+#[derive(Debug)]
+pub struct DisAggregateOsScheduler {
+    queues: CoreQueues,
+    /// Region → allocated cores (rebuilt each epoch).
+    allocation: HashMap<Region, Vec<usize>>,
+    /// Cycles observed per region this epoch.
+    region_cycles: HashMap<Region, u64>,
+    dispatch_cycles: HashMap<SfId, u64>,
+    spread: usize,
+}
+
+impl DisAggregateOsScheduler {
+    /// Creates the scheduler for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        DisAggregateOsScheduler {
+            queues: CoreQueues::new(num_cores),
+            allocation: HashMap::new(),
+            region_cycles: HashMap::new(),
+            dispatch_cycles: HashMap::new(),
+            spread: 0,
+        }
+    }
+}
+
+impl Scheduler for DisAggregateOsScheduler {
+    fn name(&self) -> &'static str {
+        "DisAggregateOS"
+    }
+
+    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+        let region = region_of(ctx.sf_type(sf));
+        let core = match region.and_then(|r| self.allocation.get(&r)) {
+            Some(cores) if !cores.is_empty() => {
+                self.queues.least_loaded(cores.iter().copied())
+            }
+            _ => match origin {
+                Some(c) => c.0,
+                None => {
+                    self.spread = (self.spread + 1) % self.queues.num_cores();
+                    self.spread
+                }
+            },
+        };
+        self.queues.push(ctx, core, sf);
+    }
+
+    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+        // No idle-core stealing.
+        self.queues.pop(ctx, core.0)
+    }
+
+    fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {
+        self.dispatch_cycles.insert(sf, ctx.sf_cycles(sf));
+    }
+
+    fn on_switch_out(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId, _r: SwitchReason) {
+        let start = self.dispatch_cycles.remove(&sf).unwrap_or(0);
+        let seg = ctx.sf_cycles(sf).saturating_sub(start);
+        let ty = ctx.sf_type(sf);
+        self.queues.record_exec(ty, seg);
+        if let Some(r) = region_of(ty) {
+            *self.region_cycles.entry(r).or_insert(0) += seg;
+        }
+    }
+
+    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+        // Proportional core allocation per region (largest remainder).
+        let total: u64 = self.region_cycles.values().sum();
+        if total == 0 {
+            return;
+        }
+        let n = ctx.num_cores();
+        let mut regions: Vec<(Region, u64)> = self.region_cycles.drain().collect();
+        regions.sort();
+        let mut shares: Vec<(Region, usize, f64)> = regions
+            .iter()
+            .map(|&(r, c)| {
+                let quota = c as f64 / total as f64 * n as f64;
+                (r, quota.floor() as usize, quota - quota.floor())
+            })
+            .collect();
+        let assigned: usize = shares.iter().map(|s| s.1).sum();
+        let mut leftover = n.saturating_sub(assigned);
+        let mut order: Vec<usize> = (0..shares.len()).collect();
+        order.sort_by(|&a, &b| {
+            shares[b]
+                .2
+                .partial_cmp(&shares[a].2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            shares[i].1 += 1;
+            leftover -= 1;
+        }
+        self.allocation.clear();
+        let mut next = 0;
+        for (r, count, _) in shares {
+            if count == 0 {
+                continue;
+            }
+            self.allocation
+                .insert(r, (next..next + count).map(|c| c % n).collect());
+            next += count;
+        }
+    }
+
+    fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {
+        CoreId((irq as usize) % ctx.num_cores())
+    }
+
+    fn overhead_instructions(&self, event: SchedEvent) -> u64 {
+        match event {
+            // Zero-cycle micro-scheduling (Table 3).
+            SchedEvent::SfStart | SchedEvent::SfStop => 0,
+            SchedEvent::SfPause | SchedEvent::SfWakeup => 0,
+            SchedEvent::EpochAlloc => 2_000,
+            SchedEvent::FullReschedule => 1_800,
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Behavioural signatures of each baseline, matching the claims the
+//! paper makes about them in Sections 2.1 and 6.1.
+
+use schedtask_baselines::{
+    DisAggregateOsScheduler, FlexScScheduler, LinuxScheduler, SelectiveOffloadScheduler,
+    SliccScheduler,
+};
+use schedtask_kernel::{Engine, EngineConfig, Scheduler, SimStats, WorkloadSpec};
+use schedtask_sim::SystemConfig;
+use schedtask_workload::BenchmarkKind;
+
+const CORES: usize = 8;
+
+fn run(sched: Box<dyn Scheduler>, kind: BenchmarkKind, scale: f64, instr: u64) -> SimStats {
+    let mut cfg = EngineConfig::fast()
+        .with_system(SystemConfig::table2().with_cores(CORES))
+        .with_max_instructions(instr);
+    cfg.epoch_cycles = 50_000;
+    let mut e = Engine::new(cfg, &WorkloadSpec::single(kind, scale), sched);
+    e.run().clone()
+}
+
+#[test]
+fn selective_offload_has_the_best_application_icache() {
+    // Section 6.1: "the i-cache hit rate of the application code is the
+    // highest for the SelectiveOffload technique" — one thread per app
+    // core means zero application-side pollution.
+    let kind = BenchmarkKind::MailSrvIo;
+    let mut cfg = EngineConfig::fast()
+        .with_system(SystemConfig::table2().with_cores(CORES * 2))
+        .with_max_instructions(1_000_000);
+    cfg.workload_reference_cores = CORES;
+    cfg.epoch_cycles = 50_000;
+    let mut e = Engine::new(
+        cfg,
+        &WorkloadSpec::single(kind, 2.0),
+        Box::new(SelectiveOffloadScheduler::new(CORES * 2)),
+    );
+    let so = e.run().clone();
+    let linux = run(Box::new(LinuxScheduler::new(CORES)), kind, 2.0, 1_000_000);
+    let slicc = run(Box::new(SliccScheduler::new(CORES)), kind, 2.0, 1_000_000);
+    let so_app = so.mem.icache_app.hit_rate();
+    assert!(
+        so_app >= linux.mem.icache_app.hit_rate(),
+        "SelectiveOffload app i-hit {so_app:.3} vs linux {:.3}",
+        linux.mem.icache_app.hit_rate()
+    );
+    assert!(
+        so_app >= slicc.mem.icache_app.hit_rate(),
+        "SelectiveOffload app i-hit {so_app:.3} vs SLICC {:.3}",
+        slicc.mem.icache_app.hit_rate()
+    );
+}
+
+#[test]
+fn disaggregate_improves_os_icache_over_linux() {
+    // Section 2.1/6.1: region-based grouping raises the OS-side i-cache
+    // hit rate (its strength; idleness is its weakness).
+    let kind = BenchmarkKind::MailSrvIo;
+    let linux = run(Box::new(LinuxScheduler::new(CORES)), kind, 2.0, 1_000_000);
+    let dis = run(
+        Box::new(DisAggregateOsScheduler::new(CORES)),
+        kind,
+        2.0,
+        1_000_000,
+    );
+    assert!(
+        dis.mem.icache_os.hit_rate() > linux.mem.icache_os.hit_rate(),
+        "DisAggregateOS OS i-hit {:.3} vs linux {:.3}",
+        dis.mem.icache_os.hit_rate(),
+        linux.mem.icache_os.hit_rate()
+    );
+}
+
+#[test]
+fn flexsc_penalizes_only_single_threaded_apps() {
+    // The per-syscall Linux reschedule is charged for Find (single
+    // threaded) but not for Apache (multi-threaded): FlexSC's scheduler
+    // instruction share must be much higher on Find.
+    let find = run(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Find, 1.0, 600_000);
+    let apache = run(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Apache,
+        1.0,
+        600_000,
+    );
+    let share = |s: &SimStats| s.instructions.scheduler as f64 / s.total_instructions() as f64;
+    assert!(
+        share(&find) > 2.0 * share(&apache),
+        "FlexSC sched share: Find {:.3} vs Apache {:.3}",
+        share(&find),
+        share(&apache)
+    );
+}
+
+#[test]
+fn linux_keeps_threads_home_under_balanced_load() {
+    // Section 6.2: with uniformly stressed threads, the baseline barely
+    // migrates.
+    let stats = run(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Oltp, 2.0, 800_000);
+    assert!(
+        stats.migrations_per_billion_instructions() < 20_000.0,
+        "baseline migrations/Binstr = {:.0}",
+        stats.migrations_per_billion_instructions()
+    );
+}
+
+#[test]
+fn slicc_converges_same_code_to_same_cores() {
+    // SLICC's collective assembly must raise the OS i-cache hit rate
+    // over the Linux baseline on a syscall-heavy workload.
+    let kind = BenchmarkKind::MailSrvIo;
+    let linux = run(Box::new(LinuxScheduler::new(CORES)), kind, 2.0, 1_000_000);
+    let slicc = run(Box::new(SliccScheduler::new(CORES)), kind, 2.0, 1_000_000);
+    assert!(
+        slicc.mem.icache_os.hit_rate() > linux.mem.icache_os.hit_rate(),
+        "SLICC OS i-hit {:.3} vs linux {:.3}",
+        slicc.mem.icache_os.hit_rate(),
+        linux.mem.icache_os.hit_rate()
+    );
+}
+
+#[test]
+fn slicc_loses_its_edge_on_multiprogrammed_mixes() {
+    // The appendix's headline: per-application collectives cannot share
+    // OS code across applications, so SLICC's OS i-cache advantage over
+    // Linux shrinks (or inverts) when two applications run together.
+    use schedtask_workload::MultiProgrammedWorkload;
+    let bag = MultiProgrammedWorkload::by_name("MPW-A").expect("exists");
+    let w = WorkloadSpec::from(&bag);
+    let mut cfg = EngineConfig::fast()
+        .with_system(SystemConfig::table2().with_cores(CORES))
+        .with_max_instructions(1_000_000);
+    cfg.epoch_cycles = 50_000;
+    let linux = {
+        let mut e = Engine::new(cfg.clone(), &w, Box::new(LinuxScheduler::new(CORES)));
+        e.run().clone()
+    };
+    let slicc = {
+        let mut e = Engine::new(cfg, &w, Box::new(SliccScheduler::new(CORES)));
+        e.run().clone()
+    };
+    let single_edge = {
+        let l = run(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Dss, 1.0, 1_000_000);
+        let s = run(Box::new(SliccScheduler::new(CORES)), BenchmarkKind::Dss, 1.0, 1_000_000);
+        s.mem.icache_os.hit_rate() - l.mem.icache_os.hit_rate()
+    };
+    let mpw_edge = slicc.mem.icache_os.hit_rate() - linux.mem.icache_os.hit_rate();
+    assert!(
+        mpw_edge < single_edge + 0.02,
+        "SLICC OS i-hit edge should not grow under multiprogramming: single {single_edge:.3} vs MPW {mpw_edge:.3}"
+    );
+}

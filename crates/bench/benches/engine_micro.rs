@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the substrate itself: cache lookups, heatmap
+//! operations, walker throughput, and raw engine speed. These track the
+//! simulator's own performance rather than a paper artefact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use schedtask_kernel::{Engine, EngineConfig, GlobalFifoScheduler, WorkloadSpec};
+use schedtask_sim::{CacheParams, PageHeatmap, SetAssocCache, SystemConfig};
+use schedtask_workload::{BenchmarkKind, Footprint, FootprintWalker, PageAllocator, WalkParams};
+use std::sync::Arc;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.bench_function("l1_lookup_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheParams::new(32 * 1024, 4, 64, 3));
+        for line in 0..512 {
+            cache.access(line);
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 512;
+            black_box(cache.access(line))
+        });
+    });
+    g.bench_function("heatmap_insert_and_overlap", |b| {
+        let mut a = PageHeatmap::new(512);
+        let other = {
+            let mut h = PageHeatmap::new(512);
+            for p in 0..64 {
+                h.insert_pfn(p);
+            }
+            h
+        };
+        let mut pfn = 0u64;
+        b.iter(|| {
+            pfn += 1;
+            a.insert_pfn(pfn % 1024);
+            black_box(a.overlap(&other))
+        });
+    });
+    g.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    let mut alloc = PageAllocator::new();
+    let code = Arc::new(Footprint::from_regions([&alloc.anonymous("code", 32)]));
+    let data = Arc::new(Footprint::from_regions([&alloc.anonymous("data", 8)]));
+    let mut w = FootprintWalker::new(code, data.clone(), data, WalkParams::default(), 7);
+    g.bench_function("walker_next_block", |b| b.iter(|| black_box(w.next_block())));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(10);
+    g.bench_function("engine_500k_instructions", |b| {
+        b.iter(|| {
+            let cfg = EngineConfig::fast()
+                .with_system(SystemConfig::table2().with_cores(4))
+                .with_max_instructions(500_000);
+            let mut engine = Engine::new(
+                cfg,
+                &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
+                Box::new(GlobalFifoScheduler::new()),
+            );
+            black_box(engine.run().total_instructions())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(micro, bench_cache, bench_walker, bench_engine);
+criterion_main!(micro);

@@ -1,0 +1,193 @@
+//! Criterion benches: one group per paper table/figure. Each bench runs
+//! a reduced-size version of the experiment that regenerates the
+//! artefact, so `cargo bench` both times the simulator and re-derives
+//! every result's shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
+use schedtask_bench::{bench_kinds, bench_params};
+use schedtask_experiments::{appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload};
+use schedtask_experiments::{runner, Comparison, Technique};
+use schedtask_kernel::WorkloadSpec;
+use schedtask_sim::HierarchyConfig;
+use schedtask_workload::BenchmarkKind;
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g
+}
+
+/// Figure 4: instruction breakup characterization.
+fn bench_fig04(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 600_000;
+    g.bench_function("fig04_breakup", |b| {
+        b.iter(|| fig04_breakup::run(&p));
+    });
+    g.finish();
+}
+
+/// Figures 7 / 8 / 10 share the main comparison harness.
+fn bench_fig07_08_10(c: &mut Criterion) {
+    let mut g = small(c);
+    let p = bench_params();
+    let kinds = bench_kinds();
+    g.bench_function("fig07_08_10_comparison", |b| {
+        b.iter(|| {
+            let cmp = Comparison::run_subset(&p, 2.0, &kinds);
+            (
+                cmp.fig07_performance(),
+                cmp.fig08_all(),
+                cmp.fig10_migrations(),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Figure 9: work-stealing strategies.
+fn bench_fig09(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 600_000;
+    g.bench_function("fig09_stealing", |b| {
+        b.iter(|| fig09_stealing::run(&p, &[StealPolicy::Nothing, StealPolicy::SimilarWorkAlso]));
+    });
+    g.finish();
+}
+
+/// Figure 11: heatmap register width sweep (reduced to 2 widths).
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 500_000;
+    g.bench_function("fig11_heatmap_single_width", |b| {
+        b.iter(|| {
+            let (sched, _inspector) = SchedTaskScheduler::with_ranking_inspector(
+                p.cores,
+                SchedTaskConfig::default(),
+            );
+            runner::run_with_scheduler(
+                Box::new(sched),
+                &p,
+                &WorkloadSpec::single(BenchmarkKind::Find, 2.0),
+            )
+        });
+    });
+    g.bench_function("fig11_heatmap_sweep", |b| {
+        b.iter(|| fig11_heatmap::run(&p, &[BenchmarkKind::Find]));
+    });
+    g.finish();
+}
+
+/// Section 6.1 overheads.
+fn bench_overheads(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 400_000;
+    g.bench_function("sec61_overheads", |b| {
+        b.iter(|| overheads::run(&p));
+    });
+    g.finish();
+}
+
+/// Table 4: workload scaling (reduced to two scales).
+fn bench_table4(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 400_000;
+    g.bench_function("table4_workload_scaling", |b| {
+        b.iter(|| table4_workload::run(&p, &[1.0, 4.0]));
+    });
+    g.finish();
+}
+
+/// Appendix Figure 1: one multi-programmed bag across techniques.
+fn bench_appendix_mpw(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 600_000;
+    let bag = schedtask_workload::MultiProgrammedWorkload::by_name("MPW-A").expect("exists");
+    let w = WorkloadSpec::from(&bag);
+    g.bench_function("appendix_fig1_mpw_a", |b| {
+        b.iter(|| {
+            let base = runner::run(Technique::Linux, &p, &w);
+            let st = runner::run(Technique::SchedTask, &p, &w);
+            runner::throughput_change(&base, &st)
+        });
+    });
+    g.finish();
+}
+
+/// Appendix Table 2: i-cache size (one size, one benchmark per iter).
+fn bench_appendix_icache(c: &mut Criterion) {
+    let mut g = small(c);
+    let p = bench_params();
+    g.bench_function("appendix_table2_icache_16k", |b| {
+        let system = p
+            .system
+            .clone()
+            .with_hierarchy(p.system.hierarchy.clone().with_icache_size(16 * 1024));
+        let pp = p.clone().with_system(system);
+        b.iter(|| Comparison::run_subset(&pp, 2.0, &[BenchmarkKind::Find]));
+    });
+    g.finish();
+}
+
+/// Appendix Table 3: cache configurations.
+fn bench_appendix_cacheconfig(c: &mut Criterion) {
+    let mut g = small(c);
+    let p = bench_params();
+    g.bench_function("appendix_table3_config1", |b| {
+        let system = p.system.clone().with_hierarchy(HierarchyConfig::config1());
+        let pp = p.clone().with_system(system);
+        b.iter(|| Comparison::run_subset(&pp, 2.0, &[BenchmarkKind::MailSrvIo]));
+    });
+    g.finish();
+}
+
+/// Appendix Table 4: core counts.
+fn bench_appendix_cores(c: &mut Criterion) {
+    let mut g = small(c);
+    let mut p = bench_params();
+    p.max_instructions = 400_000;
+    g.bench_function("appendix_table4_core_sweep", |b| {
+        b.iter(|| appendix::core_count_sweep(&p, &[4, 8]));
+    });
+    g.finish();
+}
+
+/// Appendix Figures 2-3: prefetcher and trace cache.
+fn bench_appendix_frontend(c: &mut Criterion) {
+    let mut g = small(c);
+    let p = bench_params();
+    g.bench_function("appendix_fig2_prefetcher", |b| {
+        let system = p.system.clone().with_call_graph_prefetcher();
+        let pp = p.clone().with_system(system);
+        b.iter(|| Comparison::run_subset(&pp, 2.0, &[BenchmarkKind::Find]));
+    });
+    g.bench_function("appendix_fig3_trace_cache", |b| {
+        let system = p.system.clone().with_trace_cache();
+        let pp = p.clone().with_system(system);
+        b.iter(|| Comparison::run_subset(&pp, 2.0, &[BenchmarkKind::Find]));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig04,
+    bench_fig07_08_10,
+    bench_fig09,
+    bench_fig11,
+    bench_overheads,
+    bench_table4,
+    bench_appendix_mpw,
+    bench_appendix_icache,
+    bench_appendix_cacheconfig,
+    bench_appendix_cores,
+    bench_appendix_frontend,
+);
+criterion_main!(benches);

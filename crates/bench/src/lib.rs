@@ -1,0 +1,41 @@
+//! Criterion benchmark harness for the SchedTask reproduction.
+//!
+//! One bench target per paper table/figure lives in `benches/`; this
+//! library provides the shared reduced-size parameters so a full
+//! `cargo bench` stays in the minutes range. Use the `repro` binary from
+//! `schedtask-experiments` for full-size regeneration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use schedtask_experiments::ExpParams;
+
+/// Reduced parameters shared by all Criterion benches: 8 cores, a small
+/// instruction budget, short epochs.
+pub fn bench_params() -> ExpParams {
+    let mut p = ExpParams::quick();
+    p.cores = 8;
+    p.max_instructions = 1_200_000;
+    p.warmup_instructions = 300_000;
+    p
+}
+
+/// The benchmark subset used by per-figure benches (one IO-heavy, one
+/// syscall-heavy, one app-heavy).
+pub fn bench_kinds() -> Vec<schedtask_workload::BenchmarkKind> {
+    use schedtask_workload::BenchmarkKind::*;
+    vec![Find, MailSrvIo, Dss]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_reduced() {
+        let p = bench_params();
+        assert!(p.max_instructions <= 2_000_000);
+        assert_eq!(p.cores, 8);
+        assert_eq!(bench_kinds().len(), 3);
+    }
+}

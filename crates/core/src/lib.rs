@@ -1,0 +1,63 @@
+//! SchedTask (MICRO 2017): a hardware-assisted fine-grained task
+//! scheduler for OS-intensive workloads.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`StatsTable`] — per-core tables of (frequency, execution time,
+//!   Page-heatmap) per superFuncType and the Figure 6 aggregation;
+//! * [`AllocationTable`] — TAlloc's proportional core allocation
+//!   (Section 5.2);
+//! * [`OverlapTable`] — pairwise Page-heatmap overlaps in decreasing
+//!   order, never comparing OS types with application types;
+//! * [`StealPolicy`] — the two-level work-stealing scheme of Section 5.3
+//!   plus the evaluated alternatives (Figure 9);
+//! * [`SchedTaskScheduler`] — the complete technique, plugged into
+//!   `schedtask-kernel`'s engine. On dispatch it arms the hardware
+//!   Page-heatmap register ([`schedtask_sim::PageHeatmap`]); on switch-out
+//!   it ORs the register into the core's stats table; each epoch TAlloc
+//!   aggregates, re-allocates cores when the instruction breakup drifts
+//!   (cosine similarity < 0.98), routes interrupts, and rebuilds the
+//!   overlap table.
+//!
+//! # Examples
+//!
+//! ```
+//! use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
+//! use schedtask_kernel::{Engine, EngineConfig, WorkloadSpec};
+//! use schedtask_sim::SystemConfig;
+//! use schedtask_workload::BenchmarkKind;
+//!
+//! let cores = 4;
+//! let engine_cfg = EngineConfig::fast()
+//!     .with_system(SystemConfig::table2().with_cores(cores))
+//!     .with_max_instructions(100_000);
+//! let sched = SchedTaskScheduler::new(
+//!     cores,
+//!     SchedTaskConfig {
+//!         steal_policy: StealPolicy::SimilarWorkAlso,
+//!         ..SchedTaskConfig::default()
+//!     },
+//! );
+//! let mut engine = Engine::new(
+//!     engine_cfg,
+//!     &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
+//!     Box::new(sched),
+//! );
+//! let stats = engine.run();
+//! assert!(stats.total_instructions() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_table;
+pub mod overlap;
+pub mod scheduler;
+pub mod stats_table;
+pub mod stealing;
+
+pub use alloc_table::AllocationTable;
+pub use overlap::OverlapTable;
+pub use scheduler::{EpochRankings, RankingInspector, SchedTaskConfig, SchedTaskScheduler};
+pub use stats_table::{StatsTable, TypeStats};
+pub use stealing::StealPolicy;

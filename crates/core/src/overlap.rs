@@ -1,0 +1,191 @@
+//! The overlap table (Section 5.2): for each superFuncType, a list of
+//! other types sorted by decreasing Page-heatmap overlap, used by the
+//! *steal similar work also* strategy.
+//!
+//! Per the paper, overlaps are **not** computed between OS-specific and
+//! application superFuncTypes.
+
+use crate::stats_table::StatsTable;
+use schedtask_workload::SuperFuncType;
+use std::collections::BTreeMap;
+
+/// superFuncType → `[(other type, page overlap)]` in decreasing overlap
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapTable {
+    entries: BTreeMap<SuperFuncType, Vec<(SuperFuncType, u32)>>,
+}
+
+impl OverlapTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        OverlapTable::default()
+    }
+
+    /// Builds the table from a system-wide stats table using the
+    /// Bloom-filter heatmaps (the hardware path). When `use_exact` is
+    /// true, the exact page sets are used instead (Figure 11's ideal
+    /// ranking).
+    pub fn from_stats(stats: &StatsTable, use_exact: bool) -> Self {
+        let types: Vec<&SuperFuncType> = stats.iter().map(|(t, _)| t).collect();
+        let mut entries = BTreeMap::new();
+        for &a in &types {
+            let sa = stats.get(*a).expect("type present");
+            let mut list: Vec<(SuperFuncType, u32)> = Vec::new();
+            for &b in &types {
+                if a == b {
+                    continue;
+                }
+                // Skip OS ↔ application pairs (Section 5.2).
+                if a.is_os() != b.is_os() {
+                    continue;
+                }
+                let sb = stats.get(*b).expect("type present");
+                let overlap = if use_exact {
+                    sa.exact_pages.intersection(&sb.exact_pages).count() as u32
+                } else {
+                    sa.heatmap.overlap(&sb.heatmap)
+                };
+                list.push((*b, overlap));
+            }
+            // Decreasing overlap; ties broken by type for determinism.
+            list.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            entries.insert(*a, list);
+        }
+        OverlapTable { entries }
+    }
+
+    /// The overlap list for `sf_type` (empty if unknown).
+    pub fn overlaps_of(&self, sf_type: SuperFuncType) -> &[(SuperFuncType, u32)] {
+        self.entries
+            .get(&sf_type)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Merges the overlap lists of several types into one list in
+    /// decreasing overlap order, keeping each candidate type's best
+    /// overlap (TMigrate's *steal similar work also* combines the lists
+    /// of every type mapped to the local core).
+    pub fn combined_ranking(&self, types: &[SuperFuncType]) -> Vec<(SuperFuncType, u32)> {
+        let mut best: BTreeMap<SuperFuncType, u32> = BTreeMap::new();
+        for ty in types {
+            for &(other, ov) in self.overlaps_of(*ty) {
+                // Don't steal a type already local.
+                if types.contains(&other) {
+                    continue;
+                }
+                let e = best.entry(other).or_insert(0);
+                *e = (*e).max(ov);
+            }
+        }
+        let mut list: Vec<(SuperFuncType, u32)> = best.into_iter().collect();
+        list.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        list
+    }
+
+    /// Number of types with overlap lists.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedtask_sim::PageHeatmap;
+    use schedtask_workload::SfCategory;
+    use std::collections::HashSet;
+
+    fn ty(cat: SfCategory, sub: u64) -> SuperFuncType {
+        SuperFuncType::new(cat, sub)
+    }
+
+    fn stats_with_pages(entries: &[(SuperFuncType, &[u64])]) -> StatsTable {
+        let mut t = StatsTable::new(512);
+        for (sft, pages) in entries {
+            let mut hm = PageHeatmap::new(512);
+            for &p in *pages {
+                hm.insert_pfn(p);
+            }
+            let exact: HashSet<u64> = pages.iter().copied().collect();
+            t.record_execution(*sft, 10, Some(&hm), Some(&exact));
+        }
+        t
+    }
+
+    #[test]
+    fn similar_types_rank_first() {
+        let read = ty(SfCategory::SystemCall, 3);
+        let pread = ty(SfCategory::SystemCall, 180);
+        let fork = ty(SfCategory::SystemCall, 2);
+        let stats = stats_with_pages(&[
+            (read, &[1, 2, 3, 4, 5, 6]),
+            (pread, &[1, 2, 3, 4, 5, 7]),
+            (fork, &[100, 101, 102]),
+        ]);
+        let table = OverlapTable::from_stats(&stats, false);
+        let list = table.overlaps_of(read);
+        assert_eq!(list[0].0, pread, "pread should be read's best match");
+        assert!(list[0].1 > list[1].1);
+    }
+
+    #[test]
+    fn os_and_application_types_are_not_compared() {
+        let read = ty(SfCategory::SystemCall, 3);
+        let app = ty(SfCategory::Application, 42);
+        let stats = stats_with_pages(&[(read, &[1, 2, 3]), (app, &[1, 2, 3])]);
+        let table = OverlapTable::from_stats(&stats, false);
+        assert!(table.overlaps_of(read).is_empty());
+        assert!(table.overlaps_of(app).is_empty());
+    }
+
+    #[test]
+    fn exact_mode_counts_real_pages() {
+        let a = ty(SfCategory::SystemCall, 1);
+        let b = ty(SfCategory::SystemCall, 2);
+        let stats = stats_with_pages(&[(a, &[1, 2, 3, 4]), (b, &[3, 4, 5])]);
+        let table = OverlapTable::from_stats(&stats, true);
+        assert_eq!(table.overlaps_of(a)[0], (b, 2));
+    }
+
+    #[test]
+    fn combined_ranking_merges_and_excludes_local() {
+        let a = ty(SfCategory::SystemCall, 1);
+        let b = ty(SfCategory::SystemCall, 2);
+        let c = ty(SfCategory::SystemCall, 3);
+        let stats = stats_with_pages(&[
+            (a, &[1, 2, 3]),
+            (b, &[1, 2, 9]),
+            (c, &[3, 9, 10]),
+        ]);
+        let table = OverlapTable::from_stats(&stats, true);
+        let ranking = table.combined_ranking(&[a, b]);
+        // Only c is a candidate (a and b are local).
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, c);
+    }
+
+    #[test]
+    fn empty_stats_give_empty_table() {
+        let table = OverlapTable::from_stats(&StatsTable::new(512), false);
+        assert!(table.is_empty());
+        assert!(table
+            .combined_ranking(&[ty(SfCategory::SystemCall, 1)])
+            .is_empty());
+    }
+
+    #[test]
+    fn application_types_compare_with_each_other() {
+        let app1 = ty(SfCategory::Application, 1);
+        let app2 = ty(SfCategory::Application, 2);
+        let stats = stats_with_pages(&[(app1, &[1, 2]), (app2, &[1, 2])]);
+        let table = OverlapTable::from_stats(&stats, true);
+        assert_eq!(table.overlaps_of(app1)[0].0, app2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Reproduces Figure 6's worked example end-to-end: four cores, four
+//! superFuncTypes (two application, two system-call), per-core stats
+//! tables aggregated by TAlloc into the system-wide table, a one-core-
+//! per-type allocation, and an overlap table that respects the OS ↔
+//! application divide.
+
+use schedtask::{AllocationTable, OverlapTable, StatsTable};
+use schedtask_sim::PageHeatmap;
+use schedtask_workload::{SfCategory, SuperFuncType};
+use std::collections::HashSet;
+
+fn ty(cat: SfCategory, sub: u64) -> SuperFuncType {
+    SuperFuncType::new(cat, sub)
+}
+
+fn heat(pages: &[u64]) -> PageHeatmap {
+    let mut h = PageHeatmap::new(512);
+    for &p in pages {
+        h.insert_pfn(p);
+    }
+    h
+}
+
+#[test]
+fn figure6_worked_example() {
+    // SF-A and SF-D are application superFuncTypes; SF-B and SF-C are
+    // system-call superFuncTypes (the figure's stated assumption).
+    let sf_a = ty(SfCategory::Application, 1);
+    let sf_b = ty(SfCategory::SystemCall, 2);
+    let sf_c = ty(SfCategory::SystemCall, 3);
+    let sf_d = ty(SfCategory::Application, 4);
+
+    // Page sets: B and C overlap heavily (the figure gives them the
+    // largest mutual overlap, 6); A and D overlap somewhat (3-4).
+    let pages_a: Vec<u64> = vec![10, 11, 12, 13, 14];
+    let pages_b: Vec<u64> = vec![20, 21, 22, 23, 24, 25, 26];
+    let pages_c: Vec<u64> = vec![20, 21, 22, 23, 24, 25, 30];
+    let pages_d: Vec<u64> = vec![10, 11, 12, 40, 41];
+
+    // Per-core stats tables as drawn in Epoch 0: cores 0 and 1 ran
+    // A/B/C, cores 2 and 3 ran D/B/C; every entry has freq 1 and the
+    // figure's exec times (A and D run 10, B and C run 5).
+    let exact = |pages: &[u64]| -> HashSet<u64> { pages.iter().copied().collect() };
+    let mut cores: Vec<StatsTable> = (0..4).map(|_| StatsTable::new(512)).collect();
+    for c in 0..2 {
+        cores[c].record_execution(sf_a, 10, Some(&heat(&pages_a)), Some(&exact(&pages_a)));
+        cores[c].record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
+        cores[c].record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
+    }
+    for c in 2..4 {
+        cores[c].record_execution(sf_d, 10, Some(&heat(&pages_d)), Some(&exact(&pages_d)));
+        cores[c].record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
+        cores[c].record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
+    }
+
+    // TAlloc's aggregation (Figure 6's "aggregation operation").
+    let mut system = StatsTable::new(512);
+    for t in &cores {
+        system.merge(t);
+    }
+    // Global frequency = summation of per-core frequencies.
+    assert_eq!(system.get(sf_b).unwrap().frequency, 4);
+    assert_eq!(system.get(sf_a).unwrap().frequency, 2);
+    // Global execution time = summation of per-core execution times.
+    assert_eq!(system.get(sf_a).unwrap().exec_cycles, 20);
+    assert_eq!(system.get(sf_b).unwrap().exec_cycles, 20);
+    assert_eq!(system.get(sf_c).unwrap().exec_cycles, 20);
+    assert_eq!(system.get(sf_d).unwrap().exec_cycles, 20);
+
+    // Each superFuncType has a 25 % execution fraction on a 4-core
+    // system, so the allocation table gives one core to each.
+    let alloc = AllocationTable::from_stats(&system, 4);
+    let mut used: Vec<usize> = Vec::new();
+    for t in [sf_a, sf_b, sf_c, sf_d] {
+        let cores = alloc.cores_for(t);
+        assert_eq!(cores.len(), 1, "{t} should get exactly one core");
+        used.push(cores[0].0);
+    }
+    used.sort_unstable();
+    assert_eq!(used, vec![0, 1, 2, 3], "all four cores allocated");
+
+    // The overlap table: B's best match is C (and vice versa), A's best
+    // match is D — and OS ↔ application pairs are never compared.
+    let overlap = OverlapTable::from_stats(&system, true);
+    assert_eq!(overlap.overlaps_of(sf_b)[0].0, sf_c);
+    assert_eq!(overlap.overlaps_of(sf_b)[0].1, 6);
+    assert_eq!(overlap.overlaps_of(sf_c)[0].0, sf_b);
+    assert_eq!(overlap.overlaps_of(sf_a)[0].0, sf_d);
+    assert_eq!(overlap.overlaps_of(sf_a)[0].1, 3);
+    for (other, _) in overlap.overlaps_of(sf_b) {
+        assert!(other.is_os(), "OS type compared against application type");
+    }
+    for (other, _) in overlap.overlaps_of(sf_a) {
+        assert!(!other.is_os(), "application type compared against OS type");
+    }
+
+    // The Bloom path agrees with the exact path on this example.
+    let bloom = OverlapTable::from_stats(&system, false);
+    assert_eq!(bloom.overlaps_of(sf_b)[0].0, sf_c);
+    assert_eq!(bloom.overlaps_of(sf_a)[0].0, sf_d);
+}

@@ -1,0 +1,28 @@
+//! Dev utility: absolute cache rates per technique for calibration.
+use schedtask_experiments::{runner, ExpParams, Technique};
+use schedtask_kernel::WorkloadSpec;
+use schedtask_workload::BenchmarkKind;
+
+fn main() {
+    let mut p = ExpParams::standard();
+    p.cores = 32;
+    p.max_instructions = 16_000_000;
+    p.warmup_instructions = 4_000_000;
+    p.epoch_cycles = 60_000;
+    for kind in [BenchmarkKind::Oltp, BenchmarkKind::Dss] {
+        println!("--- {} ---", kind.name());
+        for t in [Technique::Linux, Technique::Slicc, Technique::SchedTask] {
+            let s = runner::run(t, &p, &WorkloadSpec::single(kind, 2.0));
+            println!(
+                "{:<18} iApp {:.3} iOS {:.3} dApp {:.3} dOS {:.3} idle {:.3} ipc {:.3} mig/Binstr {:.0} ops/s {:.0} sched% {:.2}",
+                t.name(),
+                s.mem.icache_app.hit_rate(), s.mem.icache_os.hit_rate(),
+                s.mem.dcache_app.hit_rate(), s.mem.dcache_os.hit_rate(),
+                s.mean_idle_fraction(), s.instruction_throughput() / 32.0,
+                s.migrations_per_billion_instructions(),
+                s.app_performance(2_000_000_000),
+                s.instructions.scheduler as f64 / s.total_instructions() as f64 * 100.0,
+            );
+        }
+    }
+}

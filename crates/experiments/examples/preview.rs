@@ -1,0 +1,18 @@
+//! Dev utility: Figure 7/8 preview for shape validation.
+use schedtask_experiments::{Comparison, ExpParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let mut p = ExpParams::standard();
+    p.cores = cores;
+    p.max_instructions = (cores as u64) * 500_000;
+    p.warmup_instructions = (cores as u64) * 125_000;
+    let t0 = std::time::Instant::now();
+    let c = Comparison::run(&p, 2.0);
+    println!("{}", c.fig07_performance());
+    println!("{}", c.fig08a_throughput());
+    println!("{}", c.fig08b_idleness());
+    println!("{}", c.fig08d_icache_os());
+    println!("({:.1}s)", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,358 @@
+//! Ablations of SchedTask's design choices — experiments beyond the
+//! paper's figures that probe decisions the paper makes by fiat:
+//!
+//! * the **software rendition** of the Page-heatmap (Section 3.2
+//!   discusses and rejects it because of per-instruction VA→PFN
+//!   translation costs);
+//! * the **epoch length** (the paper fixes 3 ms);
+//! * the **re-allocation trigger** (cosine similarity < 0.98);
+//! * **"steal half of them"** versus stealing a single SuperFunction;
+//! * the **thread-migration cost** assumption.
+
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::{f1, Table};
+use schedtask::{SchedTaskConfig, SchedTaskScheduler};
+use schedtask_kernel::{Engine, SimStats, WorkloadSpec};
+use schedtask_metrics::geometric_mean_pct;
+use schedtask_sim::ReplacementPolicy;
+use schedtask_workload::BenchmarkKind;
+
+/// The benchmarks ablations run on (one from each regime: syscall-heavy,
+/// interrupt-heavy, app-heavy).
+pub fn ablation_benchmarks() -> [BenchmarkKind; 3] {
+    [
+        BenchmarkKind::MailSrvIo,
+        BenchmarkKind::FileSrv,
+        BenchmarkKind::Dss,
+    ]
+}
+
+fn run_schedtask(params: &ExpParams, cfg: SchedTaskConfig, kind: BenchmarkKind) -> SimStats {
+    let sched = SchedTaskScheduler::new(params.cores, cfg);
+    runner::run_with_scheduler(Box::new(sched), params, &WorkloadSpec::single(kind, 2.0))
+}
+
+fn baselines(params: &ExpParams) -> Vec<(BenchmarkKind, SimStats)> {
+    ablation_benchmarks()
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0)),
+            )
+        })
+        .collect()
+}
+
+fn gmean_against(
+    baselines: &[(BenchmarkKind, SimStats)],
+    mut run_one: impl FnMut(BenchmarkKind) -> SimStats,
+) -> f64 {
+    let vals: Vec<f64> = baselines
+        .iter()
+        .map(|(k, base)| {
+            let s = run_one(*k);
+            runner::throughput_change(base, &s)
+        })
+        .collect();
+    geometric_mean_pct(&vals)
+}
+
+/// Like [`gmean_against`] but on application performance (ops/s) — the
+/// right metric when a configuration *adds* kernel instructions, which
+/// inflate raw instruction throughput without doing application work
+/// (the paper makes the same point about FlexSC in Section 6.1).
+fn gmean_perf_against(
+    clock_hz: u64,
+    baselines: &[(BenchmarkKind, SimStats)],
+    mut run_one: impl FnMut(BenchmarkKind) -> SimStats,
+) -> f64 {
+    let vals: Vec<f64> = baselines
+        .iter()
+        .map(|(k, base)| {
+            let s = run_one(*k);
+            runner::performance_change(base, &s, clock_hz)
+        })
+        .collect();
+    geometric_mean_pct(&vals)
+}
+
+/// Hardware Page-heatmap versus the rejected software rendition.
+pub fn software_rendition_table(params: &ExpParams) -> Table {
+    let base = baselines(params);
+    let clock = params.clock_hz();
+    // Application performance, not raw throughput: the rendition's extra
+    // mapping instructions retire (and inflate throughput) without doing
+    // application work.
+    let hw = gmean_perf_against(clock, &base, |k| {
+        run_schedtask(params, SchedTaskConfig::default(), k)
+    });
+    let sw = gmean_perf_against(clock, &base, |k| {
+        run_schedtask(
+            params,
+            SchedTaskConfig {
+                software_rendition: true,
+                ..SchedTaskConfig::default()
+            },
+            k,
+        )
+    });
+    let mut t = Table::new("Ablation: hardware Page-heatmap vs. software rendition (Section 3.2)")
+        .with_note("The software approach must map each instruction's virtual address to its PFN at run time; the paper rejects it for exactly this overhead (and for Rowhammer-style security concerns). Measured on application performance — the mapping instructions inflate raw throughput.")
+        .with_headers(["configuration", "gmean Δ app performance vs. Linux (%)"]);
+    t.push_row(["hardware register".to_string(), f1(hw)]);
+    t.push_row(["software rendition".to_string(), f1(sw)]);
+    t
+}
+
+/// Sensitivity to the scheduling-epoch length.
+pub fn epoch_length_table(params: &ExpParams, epochs: &[u64]) -> Table {
+    let mut t = Table::new("Ablation: scheduling-epoch length")
+        .with_note("The paper fixes 3 ms epochs; too-short epochs give TAlloc noisy profiles, too-long epochs adapt slowly.")
+        .with_headers(["epoch (cycles)", "gmean Δ throughput vs. Linux (%)"]);
+    for &epoch in epochs {
+        let mut p = params.clone();
+        p.epoch_cycles = epoch;
+        let base = baselines(&p);
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        t.push_row([format!("{epoch}"), f1(g)]);
+    }
+    t
+}
+
+/// Sensitivity to the TAlloc re-allocation threshold.
+pub fn realloc_threshold_table(params: &ExpParams, thresholds: &[f64]) -> Table {
+    let base = baselines(params);
+    let mut t = Table::new("Ablation: TAlloc re-allocation trigger (cosine-similarity threshold)")
+        .with_note("0.0 allocates once and never adapts; 1.01 re-allocates every epoch; the paper picks 0.98.")
+        .with_headers(["threshold", "gmean Δ throughput vs. Linux (%)"]);
+    for &th in thresholds {
+        let g = gmean_against(&base, |k| {
+            run_schedtask(
+                params,
+                SchedTaskConfig {
+                    realloc_threshold: th,
+                    ..SchedTaskConfig::default()
+                },
+                k,
+            )
+        });
+        t.push_row([format!("{th:.2}"), f1(g)]);
+    }
+    t
+}
+
+/// "Steal half of them" versus stealing one SuperFunction per steal.
+pub fn steal_amount_table(params: &ExpParams) -> Table {
+    let base = baselines(params);
+    let half = gmean_against(&base, |k| {
+        run_schedtask(params, SchedTaskConfig::default(), k)
+    });
+    let one = gmean_against(&base, |k| {
+        run_schedtask(
+            params,
+            SchedTaskConfig {
+                steal_one_only: true,
+                ..SchedTaskConfig::default()
+            },
+            k,
+        )
+    });
+    let mut t = Table::new("Ablation: similar-work steal amount")
+        .with_note("TMigrate steals half of the matching SuperFunctions to amortize the stolen type's cold i-cache misses (Section 5.3).")
+        .with_headers(["steal amount", "gmean Δ throughput vs. Linux (%)"]);
+    t.push_row(["half of the matching SFs (paper)".to_string(), f1(half)]);
+    t.push_row(["one SF per steal".to_string(), f1(one)]);
+    t
+}
+
+/// Sensitivity to the per-migration context-transfer cost.
+pub fn migration_cost_table(params: &ExpParams, costs: &[u64]) -> Table {
+    let mut t = Table::new("Ablation: thread-migration context-transfer cost")
+        .with_note("Cache-affinity losses are modelled by the memory system; this sweeps only the fixed per-migration cycles.")
+        .with_headers(["cycles/migration", "gmean Δ throughput vs. Linux (%)"]);
+    for &cost in costs {
+        let base: Vec<(BenchmarkKind, SimStats)> = ablation_benchmarks()
+            .into_iter()
+            .map(|k| {
+                let mut cfg = params.engine_config(Technique::Linux);
+                cfg.migration_cost_cycles = cost;
+                let mut e = Engine::new(
+                    cfg,
+                    &WorkloadSpec::single(k, 2.0),
+                    Technique::Linux.scheduler(params.cores),
+                );
+                (k, e.run().clone())
+            })
+            .collect();
+        let vals: Vec<f64> = base
+            .iter()
+            .map(|(k, b)| {
+                let mut cfg = params.engine_config(Technique::SchedTask);
+                cfg.migration_cost_cycles = cost;
+                let mut e = Engine::new(
+                    cfg,
+                    &WorkloadSpec::single(*k, 2.0),
+                    Box::new(SchedTaskScheduler::new(
+                        params.cores,
+                        SchedTaskConfig::default(),
+                    )),
+                );
+                runner::throughput_change(b, e.run())
+            })
+            .collect();
+        t.push_row([format!("{cost}"), f1(geometric_mean_pct(&vals))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpParams {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 300_000;
+        p.warmup_instructions = 60_000;
+        p
+    }
+
+    #[test]
+    fn software_rendition_charges_mapping_instructions() {
+        // The mechanism check (robust at tiny scale): the rendition must
+        // execute clearly more scheduler/mapping instructions for the
+        // same workload. The performance delta is asserted at full scale
+        // by `repro ablations`.
+        let p = tiny();
+        let hw = run_schedtask(&p, SchedTaskConfig::default(), BenchmarkKind::MailSrvIo);
+        let sw = run_schedtask(
+            &p,
+            SchedTaskConfig {
+                software_rendition: true,
+                ..SchedTaskConfig::default()
+            },
+            BenchmarkKind::MailSrvIo,
+        );
+        assert!(
+            sw.instructions.scheduler as f64 > hw.instructions.scheduler as f64 * 1.5,
+            "software rendition scheduler instr {} vs hardware {}",
+            sw.instructions.scheduler,
+            hw.instructions.scheduler
+        );
+        // And the table renders.
+        assert_eq!(software_rendition_table(&p).rows.len(), 2);
+    }
+
+    #[test]
+    fn ablation_tables_render() {
+        let p = tiny();
+        assert_eq!(epoch_length_table(&p, &[40_000]).rows.len(), 1);
+        assert_eq!(realloc_threshold_table(&p, &[0.98]).rows.len(), 1);
+        assert_eq!(steal_amount_table(&p).rows.len(), 2);
+        assert_eq!(migration_cost_table(&p, &[0, 400]).rows.len(), 2);
+    }
+}
+
+/// L1 replacement-policy ablation: how much of the specialization
+/// benefit survives weaker replacement?
+pub fn replacement_policy_table(params: &ExpParams) -> Table {
+    let mut t = Table::new("Ablation: L1 replacement policy")
+        .with_note("SchedTask's benefit comes from keeping a type's hot lines resident between invocations; weaker replacement erodes exactly that retention.")
+        .with_headers(["policy", "gmean Δ throughput vs. Linux (%)"]);
+    for (name, policy) in [
+        ("LRU (paper)", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        let mut p = params.clone();
+        p.system.l1_replacement = policy;
+        let base = baselines(&p);
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        t.push_row([name.to_string(), f1(g)]);
+    }
+    t
+}
+
+/// Data-prefetcher ablation: with stride prefetching hiding d-side
+/// misses, how does the benefit shift?
+pub fn data_prefetcher_table(params: &ExpParams) -> Table {
+    let mut t = Table::new("Ablation: stride data prefetcher")
+        .with_note("Section 2.2's design argument: d-cache latencies are already largely hidden by modern cores, so i-cache locality is the right scheduling target. A d-side prefetcher strengthens that premise.")
+        .with_headers(["machine", "gmean Δ throughput vs. Linux (%)"]);
+    for (name, dp) in [("no data prefetcher (paper)", false), ("with stride data prefetcher", true)] {
+        let mut p = params.clone();
+        p.system.data_prefetcher = dp;
+        let base = baselines(&p);
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        t.push_row([name.to_string(), f1(g)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn new_ablations_render() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 200_000;
+        p.warmup_instructions = 40_000;
+        assert_eq!(replacement_policy_table(&p).rows.len(), 3);
+        assert_eq!(data_prefetcher_table(&p).rows.len(), 2);
+    }
+}
+
+/// Branch-modelling ablation: flat base-CPI folding (the default, like
+/// Table 2's "Avg." LLC latency) versus explicit gshare prediction with
+/// per-mispredict penalties.
+pub fn branch_model_table(params: &ExpParams) -> Table {
+    let mut t = Table::new("Ablation: explicit branch modelling (Table 2's TAGE, modelled as gshare)")
+        .with_note("Branch penalties hit all techniques roughly equally, so the specialization benefit should survive explicit modelling.")
+        .with_headers(["machine", "gmean Δ throughput vs. Linux (%)"]);
+    for (name, on) in [("folded into base CPI (default)", false), ("explicit gshare predictor", true)] {
+        let mut p = params.clone();
+        if on {
+            p.system = p.system.clone().with_branch_predictor();
+        }
+        let base = baselines(&p);
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        t.push_row([name.to_string(), f1(g)]);
+    }
+    t
+}
+
+/// NUCA ablation: flat average LLC latency (Table 2's quoted 18-cycle
+/// mean) versus the explicit banked mesh model.
+pub fn nuca_table(params: &ExpParams) -> Table {
+    let mut t = Table::new("Ablation: banked NUCA LLC vs. flat average latency")
+        .with_note("Table 2 quotes the L3's *average* latency; the banked model distributes it over a mesh. Distance effects touch all techniques similarly.")
+        .with_headers(["LLC model", "gmean Δ throughput vs. Linux (%)"]);
+    for (name, on) in [("flat 18-cycle average (default)", false), ("banked mesh NUCA", true)] {
+        let mut p = params.clone();
+        if on {
+            p.system = p.system.clone().with_nuca();
+        }
+        let base = baselines(&p);
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        t.push_row([name.to_string(), f1(g)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod machine_ablation_tests {
+    use super::*;
+
+    #[test]
+    fn branch_and_nuca_ablations_render_and_run() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 150_000;
+        p.warmup_instructions = 30_000;
+        assert_eq!(branch_model_table(&p).rows.len(), 2);
+        assert_eq!(nuca_table(&p).rows.len(), 2);
+    }
+}

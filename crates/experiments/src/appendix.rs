@@ -1,0 +1,195 @@
+//! The arXiv appendix experiments ("Sensitivity Analysis of Core
+//! Specialization Techniques"): multi-programmed workloads, i-cache
+//! sizes, cache configurations, core counts, an instruction prefetcher,
+//! and a trace cache.
+//!
+//! All of these reuse the main [`crate::Comparison`] harness with a
+//! different machine template, exactly as the appendix reruns the main
+//! methodology per configuration.
+
+use crate::comparison::Comparison;
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::{f1, Table};
+use schedtask_kernel::WorkloadSpec;
+use schedtask_metrics::geometric_mean_pct;
+use schedtask_sim::{HierarchyConfig, SystemConfig};
+use schedtask_workload::MultiProgrammedWorkload;
+
+/// Appendix Figure 1: multi-programmed workloads MPW-A .. MPW-F.
+pub fn multiprog_table(params: &ExpParams) -> Table {
+    let bags = MultiProgrammedWorkload::all();
+    let mut headers = vec!["technique".to_string()];
+    headers.extend(bags.iter().map(|b| b.name.to_string()));
+    headers.push("gmean".to_string());
+    let mut t = Table::new(
+        "Appendix Figure 1: multi-programmed workloads — change in instruction throughput (%)",
+    )
+    .with_note("The paper reports SLICC collapsing here (its per-application collectives cannot share common OS execution across applications).")
+    .with_headers(headers);
+
+    let baselines: Vec<_> = bags
+        .iter()
+        .map(|b| runner::run(Technique::Linux, params, &WorkloadSpec::from(b)))
+        .collect();
+    for tech in Technique::compared() {
+        let vals: Vec<f64> = bags
+            .iter()
+            .zip(baselines.iter())
+            .map(|(b, base)| {
+                let stats = runner::run(tech, params, &WorkloadSpec::from(b));
+                runner::throughput_change(base, &stats)
+            })
+            .collect();
+        let mut row = vec![tech.name().to_string()];
+        row.extend(vals.iter().map(|&v| f1(v)));
+        row.push(f1(geometric_mean_pct(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Appendix Table 2: i-cache size sweep (16 / 32 / 64 KB). Returns one
+/// comparison per size.
+pub fn icache_size_sweep(params: &ExpParams) -> Vec<(u64, Comparison)> {
+    [16u64, 32, 64]
+        .into_iter()
+        .map(|kb| {
+            let system = params
+                .system
+                .clone()
+                .with_hierarchy(params.system.hierarchy.clone().with_icache_size(kb * 1024));
+            let p = params.clone().with_system(system);
+            (kb, Comparison::run(&p, 2.0))
+        })
+        .collect()
+}
+
+/// Formats the i-cache sweep as throughput-change tables.
+pub fn icache_size_tables(sweep: &[(u64, Comparison)]) -> Vec<Table> {
+    sweep
+        .iter()
+        .map(|(kb, c)| {
+            let mut t = c.fig08a_throughput();
+            t.title = format!(
+                "Appendix Table 2 ({kb} KB i-cache): change in instruction throughput (%)"
+            );
+            t
+        })
+        .collect()
+}
+
+/// Appendix Table 3: cache configurations Config1 / Config2 / Config3.
+pub fn cache_config_sweep(params: &ExpParams) -> Vec<(&'static str, Comparison)> {
+    [
+        ("Config1", HierarchyConfig::config1()),
+        ("Config2", HierarchyConfig::config2()),
+        ("Config3", HierarchyConfig::config3()),
+    ]
+    .into_iter()
+    .map(|(name, h)| {
+        let system = params.system.clone().with_hierarchy(h);
+        let p = params.clone().with_system(system);
+        (name, Comparison::run(&p, 2.0))
+    })
+    .collect()
+}
+
+/// Formats the cache-configuration sweep.
+pub fn cache_config_tables(sweep: &[(&'static str, Comparison)]) -> Vec<Table> {
+    sweep
+        .iter()
+        .map(|(name, c)| {
+            let mut t = c.fig08a_throughput();
+            t.title =
+                format!("Appendix Table 3 ({name}): change in instruction throughput (%)");
+            t
+        })
+        .collect()
+}
+
+/// Appendix Table 4: core-count sweep (8 / 16 / 24 / 32).
+pub fn core_count_sweep(params: &ExpParams, counts: &[usize]) -> Vec<(usize, Comparison)> {
+    counts
+        .iter()
+        .map(|&cores| {
+            let mut p = params.clone().with_cores(cores);
+            // Keep the per-core instruction budget constant across sizes.
+            p.max_instructions = params.max_instructions * cores as u64 / params.cores as u64;
+            p.warmup_instructions =
+                params.warmup_instructions * cores as u64 / params.cores as u64;
+            (cores, Comparison::run(&p, 2.0))
+        })
+        .collect()
+}
+
+/// Formats the core-count sweep.
+pub fn core_count_tables(sweep: &[(usize, Comparison)]) -> Vec<Table> {
+    sweep
+        .iter()
+        .map(|(cores, c)| {
+            let mut t = c.fig08a_throughput();
+            t.title =
+                format!("Appendix Table 4 ({cores} cores): change in instruction throughput (%)");
+            t
+        })
+        .collect()
+}
+
+/// Appendix Figure 2: rerun with a CGP-like instruction prefetcher in the
+/// baseline machine.
+pub fn prefetcher_comparison(params: &ExpParams) -> Comparison {
+    let system: SystemConfig = params.system.clone().with_call_graph_prefetcher();
+    let p = params.clone().with_system(system);
+    Comparison::run(&p, 2.0)
+}
+
+/// Appendix Figure 3: rerun with a trace cache.
+pub fn trace_cache_comparison(params: &ExpParams) -> Comparison {
+    let system: SystemConfig = params.system.clone().with_trace_cache();
+    let p = params.clone().with_system(system);
+    Comparison::run(&p, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedtask_workload::BenchmarkKind;
+
+    fn tiny() -> ExpParams {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 250_000;
+        p.warmup_instructions = 50_000;
+        p
+    }
+
+    #[test]
+    fn icache_sweep_builds_three_machines() {
+        let p = tiny();
+        // Use a subset comparison to keep the test fast.
+        let sweep: Vec<(u64, Comparison)> = [16u64, 64]
+            .into_iter()
+            .map(|kb| {
+                let system = p
+                    .system
+                    .clone()
+                    .with_hierarchy(p.system.hierarchy.clone().with_icache_size(kb * 1024));
+                let pp = p.clone().with_system(system);
+                (
+                    kb,
+                    Comparison::run_subset(&pp, 1.0, &[BenchmarkKind::Find]),
+                )
+            })
+            .collect();
+        let tables = icache_size_tables(&sweep);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title.contains("16 KB"));
+    }
+
+    #[test]
+    fn multiprog_table_renders() {
+        let t = multiprog_table(&tiny());
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.headers.len(), 8); // technique + 6 bags + gmean
+    }
+}

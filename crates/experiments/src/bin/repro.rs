@@ -1,0 +1,261 @@
+//! `repro` — regenerate the SchedTask paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]
+//!
+//! experiments:
+//!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
+//!   fig7        Figure 7 application performance
+//!   fig8        Figures 8a-8f microarchitectural parameters
+//!   fig9        Figure 9 work-stealing strategies
+//!   fig10       Figure 10 thread migrations
+//!   fig11       Figure 11 Page-heatmap register size
+//!   overheads   Section 6.1 overheads / TLB / fairness / interrupt latency
+//!   table4      Table 4 workload scaling (1X/2X/4X/8X)
+//!   mpw         Appendix Figure 1 multi-programmed workloads
+//!   icache      Appendix Table 2 i-cache size sweep
+//!   cacheconfig Appendix Table 3 cache configurations
+//!   cores       Appendix Table 4 core-count sweep
+//!   prefetch    Appendix Figure 2 instruction prefetcher
+//!   tracecache  Appendix Figure 3 trace cache
+//!   all         everything above, in order
+//! ```
+
+use schedtask::StealPolicy;
+use schedtask_experiments::{ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload};
+use schedtask_experiments::{Comparison, ExpParams, Table};
+use schedtask_workload::BenchmarkKind;
+use std::time::Instant;
+
+struct Opts {
+    experiment: String,
+    quick: bool,
+    markdown: bool,
+    cores: Option<usize>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        experiment: String::new(),
+        quick: false,
+        markdown: false,
+        cores: None,
+        seed: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--markdown" => opts.markdown = true,
+            "--cores" => {
+                opts.cores = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| die("--cores needs a number"))
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| die("--seed needs a number"))
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other if opts.experiment.is_empty() && !other.starts_with('-') => {
+                opts.experiment = other.to_string();
+            }
+            other => {
+                die::<()>(&format!("unknown argument {other:?}"));
+            }
+        }
+    }
+    if opts.experiment.is_empty() {
+        print_help();
+        std::process::exit(1);
+    }
+    opts
+}
+
+fn die<T>(msg: &str) -> Option<T> {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the SchedTask paper's tables and figures\n\n\
+         usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\n\
+         experiments: fig4 fig7 fig8 fig9 fig10 fig11 overheads table4 mpw\n\
+                      icache cacheconfig cores prefetch tracecache ablations all"
+    );
+}
+
+fn params(opts: &Opts) -> ExpParams {
+    let mut p = if opts.quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::standard()
+    };
+    if let Some(c) = opts.cores {
+        p = p.with_cores(c);
+        p.max_instructions = 500_000 * c as u64;
+        p.warmup_instructions = 125_000 * c as u64;
+    }
+    if let Some(s) = opts.seed {
+        p.seed = s;
+    }
+    p
+}
+
+fn emit(t: &Table, markdown: bool) {
+    if markdown {
+        println!("{}", t.to_markdown());
+    } else {
+        println!("{t}");
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let p = params(&opts);
+    let started = Instant::now();
+    let md = opts.markdown;
+
+    let run_experiment = |name: &str| match name {
+        "fig4" => {
+            let results = fig04_breakup::run(&p);
+            emit(&fig04_breakup::breakup_table(&results), md);
+            emit(&fig04_breakup::epoch_similarity_table(&results), md);
+        }
+        "fig7" => {
+            let c = Comparison::run(&p, 2.0);
+            emit(&c.fig07_performance(), md);
+        }
+        "fig8" => {
+            let c = Comparison::run(&p, 2.0);
+            for t in c.fig08_all() {
+                emit(&t, md);
+            }
+            emit(&c.baseline_absolute_table(), md);
+        }
+        "fig9" => {
+            let runs = fig09_stealing::run(&p, &StealPolicy::all());
+            emit(&fig09_stealing::throughput_table(&runs), md);
+            emit(&fig09_stealing::idleness_table(&runs), md);
+            emit(&fig09_stealing::icache_table(&runs), md);
+        }
+        "fig10" => {
+            let c = Comparison::run(&p, 2.0);
+            emit(&c.fig10_migrations(), md);
+        }
+        "fig11" => {
+            let benches = if opts.quick {
+                vec![BenchmarkKind::Find, BenchmarkKind::MailSrvIo]
+            } else {
+                BenchmarkKind::all().to_vec()
+            };
+            let sweep = fig11_heatmap::run(&p, &benches);
+            emit(&fig11_heatmap::tau_table(&sweep), md);
+            emit(&fig11_heatmap::perf_table(&sweep), md);
+            // The width gradient needs large application footprints in
+            // the ranking: rerun tau over multi-programmed bags.
+            let bags: Vec<(String, schedtask_kernel::WorkloadSpec)> =
+                schedtask_workload::MultiProgrammedWorkload::all()
+                    .iter()
+                    .take(if opts.quick { 2 } else { 6 })
+                    .map(|b| (b.name.to_string(), schedtask_kernel::WorkloadSpec::from(b)))
+                    .collect();
+            let mpw = fig11_heatmap::run_tau_on_workloads(&p, &bags);
+            emit(&fig11_heatmap::mpw_tau_table(&mpw), md);
+        }
+        "overheads" => {
+            let r = overheads::run(&p);
+            emit(&overheads::report_table(&r), md);
+        }
+        "table4" => {
+            let scales: &[f64] = if opts.quick {
+                &[1.0, 4.0]
+            } else {
+                &table4_workload::SCALES
+            };
+            for block in table4_workload::run(&p, scales) {
+                emit(&table4_workload::block_table(&block), md);
+            }
+        }
+        "mpw" => {
+            emit(&appendix::multiprog_table(&p), md);
+        }
+        "icache" => {
+            for t in appendix::icache_size_tables(&appendix::icache_size_sweep(&p)) {
+                emit(&t, md);
+            }
+        }
+        "cacheconfig" => {
+            for t in appendix::cache_config_tables(&appendix::cache_config_sweep(&p)) {
+                emit(&t, md);
+            }
+        }
+        "cores" => {
+            let counts: &[usize] = if opts.quick { &[4, 8] } else { &[8, 16, 24, 32] };
+            for t in appendix::core_count_tables(&appendix::core_count_sweep(&p, counts)) {
+                emit(&t, md);
+            }
+        }
+        "prefetch" => {
+            let mut t = appendix::prefetcher_comparison(&p).fig08a_throughput();
+            t.title =
+                "Appendix Figure 2 (with instruction prefetcher): change in instruction throughput (%)"
+                    .to_string();
+            emit(&t, md);
+        }
+        "ablations" => {
+            emit(&ablations::software_rendition_table(&p), md);
+            let epochs: &[u64] = if opts.quick {
+                &[30_000, 120_000]
+            } else {
+                &[15_000, 30_000, 60_000, 120_000, 240_000]
+            };
+            emit(&ablations::epoch_length_table(&p, epochs), md);
+            emit(
+                &ablations::realloc_threshold_table(&p, &[0.0, 0.9, 0.98, 1.01]),
+                md,
+            );
+            emit(&ablations::steal_amount_table(&p), md);
+            emit(&ablations::migration_cost_table(&p, &[0, 100, 400, 1_600]), md);
+            emit(&ablations::replacement_policy_table(&p), md);
+            emit(&ablations::data_prefetcher_table(&p), md);
+            let scales: &[f64] = if opts.quick { &[2.0, 12.0] } else { &[2.0, 8.0, 12.0, 16.0] };
+            emit(&table4_workload::beyond_8x_table(&p, scales), md);
+            emit(&ablations::branch_model_table(&p), md);
+            emit(&ablations::nuca_table(&p), md);
+        }
+        "tracecache" => {
+            let mut t = appendix::trace_cache_comparison(&p).fig08a_throughput();
+            t.title =
+                "Appendix Figure 3 (with trace cache): change in instruction throughput (%)"
+                    .to_string();
+            emit(&t, md);
+        }
+        other => {
+            die::<()>(&format!("unknown experiment {other:?}"));
+        }
+    };
+
+    if opts.experiment == "all" {
+        for name in [
+            "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "overheads", "table4", "mpw",
+            "icache", "cacheconfig", "cores", "prefetch", "tracecache", "ablations",
+        ] {
+            eprintln!("[repro] running {name} ({:.0?} elapsed)", started.elapsed());
+            run_experiment(name);
+        }
+    } else {
+        run_experiment(&opts.experiment);
+    }
+    eprintln!("[repro] done in {:.1?}", started.elapsed());
+}

@@ -1,0 +1,298 @@
+//! The main comparison harness: every technique over every benchmark on
+//! one machine configuration. Figures 7, 8 and 10 read directly from it;
+//! the appendix experiments (i-cache size, cache configs, core counts,
+//! prefetcher, trace cache) rerun it with different machine templates.
+
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::{f1, Table};
+use schedtask_kernel::{SimStats, WorkloadSpec};
+use schedtask_metrics::geometric_mean_pct;
+use schedtask_workload::BenchmarkKind;
+
+/// All runs for one benchmark.
+#[derive(Debug, Clone)]
+pub struct ComparisonRun {
+    /// The benchmark.
+    pub kind: BenchmarkKind,
+    /// The Linux-baseline statistics.
+    pub baseline: SimStats,
+    /// Per-technique statistics, in [`Technique::compared`] order.
+    pub techniques: Vec<(Technique, SimStats)>,
+}
+
+/// The full comparison: 8 benchmarks × (baseline + 5 techniques).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Parameters used.
+    pub params: ExpParams,
+    /// Workload scale (the paper's main evaluation doubles the baseline
+    /// ensemble: 2X).
+    pub scale: f64,
+    /// One entry per benchmark.
+    pub runs: Vec<ComparisonRun>,
+}
+
+impl Comparison {
+    /// Runs the comparison over all 8 benchmarks.
+    pub fn run(params: &ExpParams, scale: f64) -> Self {
+        Self::run_subset(params, scale, &BenchmarkKind::all())
+    }
+
+    /// Runs the comparison over a subset of benchmarks (used by quick
+    /// benches).
+    pub fn run_subset(params: &ExpParams, scale: f64, kinds: &[BenchmarkKind]) -> Self {
+        let runs = kinds
+            .iter()
+            .map(|&kind| {
+                let w = WorkloadSpec::single(kind, scale);
+                let baseline = runner::run(Technique::Linux, params, &w);
+                let techniques = Technique::compared()
+                    .into_iter()
+                    .map(|t| (t, runner::run(t, params, &w)))
+                    .collect();
+                ComparisonRun {
+                    kind,
+                    baseline,
+                    techniques,
+                }
+            })
+            .collect();
+        Comparison {
+            params: params.clone(),
+            scale,
+            runs,
+        }
+    }
+
+    fn technique_column<F>(&self, technique: Technique, f: F) -> Vec<f64>
+    where
+        F: Fn(&SimStats, &SimStats) -> f64,
+    {
+        self.runs
+            .iter()
+            .map(|r| {
+                let stats = &r
+                    .techniques
+                    .iter()
+                    .find(|(t, _)| *t == technique)
+                    .expect("technique present")
+                    .1;
+                f(&r.baseline, stats)
+            })
+            .collect()
+    }
+
+    fn benchmark_headers(&self) -> Vec<String> {
+        let mut h = vec!["technique".to_string()];
+        h.extend(self.runs.iter().map(|r| r.kind.name().to_string()));
+        h.push("gmean".to_string());
+        h
+    }
+
+    fn change_table<F>(&self, title: &str, note: &str, f: F) -> Table
+    where
+        F: Fn(&SimStats, &SimStats) -> f64,
+    {
+        let mut t = Table::new(title)
+            .with_note(note)
+            .with_headers(self.benchmark_headers());
+        for technique in Technique::compared() {
+            let vals = self.technique_column(technique, &f);
+            let mut row = vec![technique.name().to_string()];
+            row.extend(vals.iter().map(|&v| f1(v)));
+            row.push(f1(geometric_mean_pct(&vals)));
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Figure 7: change in application's performance (%) relative to the
+    /// Linux baseline.
+    pub fn fig07_performance(&self) -> Table {
+        let clock = self.params.clock_hz();
+        self.change_table(
+            "Figure 7: change in application's performance (%)",
+            "Application-specific operations per second vs. the Linux baseline.",
+            |base, s| runner::performance_change(base, s, clock),
+        )
+    }
+
+    /// Figure 8a: change in instruction throughput (%).
+    pub fn fig08a_throughput(&self) -> Table {
+        self.change_table(
+            "Figure 8a: change in instruction throughput (%)",
+            "",
+            runner::throughput_change,
+        )
+    }
+
+    /// Figure 8b: fraction of idle time (%), absolute per technique.
+    pub fn fig08b_idleness(&self) -> Table {
+        let mut t = Table::new("Figure 8b: fraction of idle time (%)")
+            .with_headers(self.benchmark_headers());
+        for technique in Technique::compared() {
+            let vals = self.technique_column(technique, |_b, s| s.mean_idle_fraction() * 100.0);
+            let mean = schedtask_metrics::mean(&vals);
+            let mut row = vec![technique.name().to_string()];
+            row.extend(vals.iter().map(|&v| f1(v)));
+            row.push(f1(mean));
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Figure 8c: change in i-cache hit rate, application code
+    /// (percentage points).
+    pub fn fig08c_icache_app(&self) -> Table {
+        self.change_table(
+            "Figure 8c: change in i-cache hit rate, application (pp)",
+            "",
+            |b, s| runner::hit_rate_delta_pp(b.mem.icache_app.hit_rate(), s.mem.icache_app.hit_rate()),
+        )
+    }
+
+    /// Figure 8d: change in i-cache hit rate, OS code (percentage
+    /// points).
+    pub fn fig08d_icache_os(&self) -> Table {
+        self.change_table(
+            "Figure 8d: change in i-cache hit rate, OS (pp)",
+            "",
+            |b, s| runner::hit_rate_delta_pp(b.mem.icache_os.hit_rate(), s.mem.icache_os.hit_rate()),
+        )
+    }
+
+    /// Figure 8e: change in d-cache hit rate, application code
+    /// (percentage points).
+    pub fn fig08e_dcache_app(&self) -> Table {
+        self.change_table(
+            "Figure 8e: change in d-cache hit rate, application (pp)",
+            "",
+            |b, s| runner::hit_rate_delta_pp(b.mem.dcache_app.hit_rate(), s.mem.dcache_app.hit_rate()),
+        )
+    }
+
+    /// Figure 8f: change in d-cache hit rate, OS code (percentage
+    /// points).
+    pub fn fig08f_dcache_os(&self) -> Table {
+        self.change_table(
+            "Figure 8f: change in d-cache hit rate, OS (pp)",
+            "",
+            |b, s| runner::hit_rate_delta_pp(b.mem.dcache_os.hit_rate(), s.mem.dcache_os.hit_rate()),
+        )
+    }
+
+    /// Figure 10: inter-core thread migrations per billion instructions
+    /// (including the baseline row).
+    pub fn fig10_migrations(&self) -> Table {
+        let mut headers = vec!["technique".to_string()];
+        headers.extend(self.runs.iter().map(|r| r.kind.name().to_string()));
+        headers.push("gmean".to_string());
+        let mut t = Table::new("Figure 10: inter-core thread migrations per billion instructions")
+            .with_headers(headers);
+
+        let base_vals: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| r.baseline.migrations_per_billion_instructions())
+            .collect();
+        let mut row = vec!["Baseline".to_string()];
+        row.extend(base_vals.iter().map(|&v| format!("{v:.0}")));
+        let gmean = geo_mean_abs(&base_vals);
+        row.push(format!("{gmean:.0}"));
+        t.push_row(row);
+
+        for technique in Technique::compared() {
+            let vals =
+                self.technique_column(technique, |_b, s| s.migrations_per_billion_instructions());
+            let mut row = vec![technique.name().to_string()];
+            row.extend(vals.iter().map(|&v| format!("{v:.0}")));
+            row.push(format!("{:.0}", geo_mean_abs(&vals)));
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// All Figure 8 sub-tables in order.
+    pub fn fig08_all(&self) -> Vec<Table> {
+        vec![
+            self.fig08a_throughput(),
+            self.fig08b_idleness(),
+            self.fig08c_icache_app(),
+            self.fig08d_icache_os(),
+            self.fig08e_dcache_app(),
+            self.fig08f_dcache_os(),
+        ]
+    }
+
+    /// Absolute baseline context: per-benchmark Linux IPC-per-core,
+    /// operations per second, and overall i-cache hit rate. Useful when
+    /// interpreting the relative tables.
+    pub fn baseline_absolute_table(&self) -> Table {
+        let cores = self.params.cores as f64;
+        let clock = self.params.clock_hz();
+        let mut t = Table::new("Baseline absolutes (Linux scheduler)")
+            .with_headers(["benchmark", "IPC/core", "ops/s", "i-hit (%)", "d-hit (%)"]);
+        for r in &self.runs {
+            t.push_row([
+                r.kind.name().to_string(),
+                format!("{:.3}", r.baseline.instruction_throughput() / cores),
+                format!("{:.0}", r.baseline.app_performance(clock)),
+                format!("{:.1}", r.baseline.mem.icache_overall_hit_rate() * 100.0),
+                format!("{:.1}", r.baseline.mem.dcache_overall_hit_rate() * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// The geometric-mean performance change (%) of one technique
+    /// across benchmarks — the paper's headline numbers.
+    pub fn gmean_performance(&self, technique: Technique) -> f64 {
+        let clock = self.params.clock_hz();
+        let vals = self.technique_column(technique, |b, s| {
+            runner::performance_change(b, s, clock)
+        });
+        geometric_mean_pct(&vals)
+    }
+}
+
+/// Geometric mean of non-negative magnitudes (for migration counts).
+fn geo_mean_abs(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = vals.iter().map(|&v| v.max(1.0).ln()).sum();
+    (log_sum / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Comparison {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 200_000;
+        p.warmup_instructions = 50_000;
+        Comparison::run_subset(&p, 1.0, &[BenchmarkKind::Find, BenchmarkKind::MailSrvIo])
+    }
+
+    #[test]
+    fn comparison_produces_all_tables() {
+        let c = tiny();
+        assert_eq!(c.runs.len(), 2);
+        let t7 = c.fig07_performance();
+        assert_eq!(t7.rows.len(), 5);
+        assert_eq!(t7.headers.len(), 4); // technique, 2 benches, gmean
+        assert_eq!(c.fig08_all().len(), 6);
+        let t10 = c.fig10_migrations();
+        assert_eq!(t10.rows.len(), 6); // baseline + 5
+    }
+
+    #[test]
+    fn gmean_is_finite() {
+        let c = tiny();
+        for t in Technique::compared() {
+            assert!(c.gmean_performance(t).is_finite());
+        }
+    }
+}

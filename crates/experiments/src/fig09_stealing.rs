@@ -1,0 +1,161 @@
+//! Figure 9: impact of the work-stealing strategies on instruction
+//! throughput, core idleness, and overall i-cache hit rate — plus the
+//! Section 6.4 "alternate strategy" (always steal from the max-waiting
+//! core).
+
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::{f1, Table};
+use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
+use schedtask_kernel::{SimStats, WorkloadSpec};
+use schedtask_metrics::geometric_mean_pct;
+use schedtask_workload::BenchmarkKind;
+
+/// Results for one stealing strategy across all benchmarks.
+#[derive(Debug, Clone)]
+pub struct StealingRun {
+    /// The strategy.
+    pub policy: StealPolicy,
+    /// (benchmark, baseline stats, SchedTask-with-policy stats).
+    pub per_benchmark: Vec<(BenchmarkKind, SimStats, SimStats)>,
+}
+
+/// Runs Figure 9 for the given strategies.
+pub fn run(params: &ExpParams, policies: &[StealPolicy]) -> Vec<StealingRun> {
+    let baselines: Vec<(BenchmarkKind, SimStats)> = BenchmarkKind::all()
+        .into_iter()
+        .map(|kind| {
+            (
+                kind,
+                runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, 2.0)),
+            )
+        })
+        .collect();
+
+    policies
+        .iter()
+        .map(|&policy| {
+            let per_benchmark = baselines
+                .iter()
+                .map(|(kind, base)| {
+                    let sched = SchedTaskScheduler::new(
+                        params.cores,
+                        SchedTaskConfig {
+                            steal_policy: policy,
+                            ..SchedTaskConfig::default()
+                        },
+                    );
+                    let stats = runner::run_with_scheduler(
+                        Box::new(sched),
+                        params,
+                        &WorkloadSpec::single(*kind, 2.0),
+                    );
+                    (*kind, base.clone(), stats)
+                })
+                .collect();
+            StealingRun {
+                policy,
+                per_benchmark,
+            }
+        })
+        .collect()
+}
+
+fn headers(runs: &[StealingRun]) -> Vec<String> {
+    let mut h = vec!["strategy".to_string()];
+    h.extend(
+        runs[0]
+            .per_benchmark
+            .iter()
+            .map(|(k, _, _)| k.name().to_string()),
+    );
+    h.push("gmean".to_string());
+    h
+}
+
+/// Figure 9a: change in instruction throughput (%).
+pub fn throughput_table(runs: &[StealingRun]) -> Table {
+    let mut t = Table::new("Figure 9a: work stealing — change in instruction throughput (%)")
+        .with_headers(headers(runs));
+    for r in runs {
+        let vals: Vec<f64> = r
+            .per_benchmark
+            .iter()
+            .map(|(_, b, s)| runner::throughput_change(b, s))
+            .collect();
+        let mut row = vec![r.policy.to_string()];
+        row.extend(vals.iter().map(|&v| f1(v)));
+        row.push(f1(geometric_mean_pct(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 9b: fraction of idle time (%).
+pub fn idleness_table(runs: &[StealingRun]) -> Table {
+    let mut t = Table::new("Figure 9b: work stealing — fraction of idle time (%)")
+        .with_headers(headers(runs));
+    for r in runs {
+        let vals: Vec<f64> = r
+            .per_benchmark
+            .iter()
+            .map(|(_, _, s)| s.mean_idle_fraction() * 100.0)
+            .collect();
+        let mut row = vec![r.policy.to_string()];
+        row.extend(vals.iter().map(|&v| f1(v)));
+        row.push(f1(schedtask_metrics::mean(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 9c: change in overall i-cache hit rate (percentage points).
+pub fn icache_table(runs: &[StealingRun]) -> Table {
+    let mut t = Table::new("Figure 9c: work stealing — change in overall i-cache hit rate (pp)")
+        .with_headers(headers(runs));
+    for r in runs {
+        let vals: Vec<f64> = r
+            .per_benchmark
+            .iter()
+            .map(|(_, b, s)| {
+                runner::hit_rate_delta_pp(
+                    b.mem.icache_overall_hit_rate(),
+                    s.mem.icache_overall_hit_rate(),
+                )
+            })
+            .collect();
+        let mut row = vec![r.policy.to_string()];
+        row.extend(vals.iter().map(|&v| f1(v)));
+        row.push(f1(schedtask_metrics::mean(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stealing_strategies_order_idleness() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 500_000;
+        p.warmup_instructions = 100_000;
+        let runs = run(&p, &[StealPolicy::Nothing, StealPolicy::SimilarWorkAlso]);
+        assert_eq!(runs.len(), 2);
+        let idle_of = |r: &StealingRun| -> f64 {
+            r.per_benchmark
+                .iter()
+                .map(|(_, _, s)| s.mean_idle_fraction())
+                .sum::<f64>()
+                / r.per_benchmark.len() as f64
+        };
+        // Never stealing must idle at least as much as the default
+        // strategy (Figure 9b).
+        assert!(idle_of(&runs[0]) + 1e-9 >= idle_of(&runs[1]));
+        // Tables render with one row per strategy.
+        assert_eq!(throughput_table(&runs).rows.len(), 2);
+        assert_eq!(idleness_table(&runs).rows.len(), 2);
+        assert_eq!(icache_table(&runs).rows.len(), 2);
+    }
+}

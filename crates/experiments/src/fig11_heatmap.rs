@@ -1,0 +1,258 @@
+//! Figure 11: impact of the Page-heatmap register size.
+//!
+//! Two measurements, both from Section 6.5:
+//!
+//! * the quality of the Bloom-filter overlap ranking versus the exact
+//!   (ideal) ranking, measured as Kendall's τ_B per register width;
+//! * the mean performance benefit per register width, plus the ideal
+//!   (exact-ranking) configuration.
+
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::{f1, f3, Table};
+use schedtask::{SchedTaskConfig, SchedTaskScheduler};
+use schedtask_kernel::WorkloadSpec;
+use schedtask_metrics::{geometric_mean_pct, kendall_tau_b, mean};
+use schedtask_workload::BenchmarkKind;
+
+/// The register widths swept in Figure 11.
+pub const WIDTHS: [u32; 5] = [128, 256, 512, 1024, 2048];
+
+/// Results for one register width.
+#[derive(Debug, Clone)]
+pub struct WidthResult {
+    /// Register width in bits.
+    pub bits: u32,
+    /// Mean Kendall τ_B of the Bloom ranking vs. the exact ranking, per
+    /// benchmark.
+    pub tau_per_benchmark: Vec<(BenchmarkKind, f64)>,
+    /// Performance change (%) vs. the Linux baseline, per benchmark.
+    pub perf_per_benchmark: Vec<(BenchmarkKind, f64)>,
+}
+
+/// Full Figure 11 output.
+#[derive(Debug, Clone)]
+pub struct HeatmapSweep {
+    /// One entry per width.
+    pub widths: Vec<WidthResult>,
+    /// Performance change (%) per benchmark with the ideal (exact)
+    /// ranking.
+    pub ideal_perf: Vec<(BenchmarkKind, f64)>,
+}
+
+/// Runs the sweep.
+pub fn run(params: &ExpParams, benchmarks: &[BenchmarkKind]) -> HeatmapSweep {
+    let clock = params.clock_hz();
+    let baselines: Vec<_> = benchmarks
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0)),
+            )
+        })
+        .collect();
+
+    let widths = WIDTHS
+        .iter()
+        .map(|&bits| {
+            let mut tau_per_benchmark = Vec::new();
+            let mut perf_per_benchmark = Vec::new();
+            for (kind, base) in &baselines {
+                let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
+                    params.cores,
+                    SchedTaskConfig {
+                        heatmap_bits: bits,
+                        ..SchedTaskConfig::default()
+                    },
+                );
+                let stats = runner::run_with_scheduler(
+                    Box::new(sched),
+                    params,
+                    &WorkloadSpec::single(*kind, 2.0),
+                );
+                // τ_B: for every TAlloc snapshot and every type with ≥2
+                // candidates, compare the Bloom scores against the exact
+                // scores over the same candidate list.
+                let mut taus = Vec::new();
+                for epoch in inspector.borrow().iter() {
+                    for (_ty, row) in epoch {
+                        if row.len() < 2 {
+                            continue;
+                        }
+                        let bloom: Vec<f64> = row.iter().map(|&(_, b, _)| b as f64).collect();
+                        let exact: Vec<f64> = row.iter().map(|&(_, _, e)| e as f64).collect();
+                        if exact.iter().any(|&e| e > 0.0) {
+                            taus.push(kendall_tau_b(&bloom, &exact));
+                        }
+                    }
+                }
+                tau_per_benchmark.push((*kind, mean(&taus)));
+                perf_per_benchmark
+                    .push((*kind, runner::performance_change(base, &stats, clock)));
+            }
+            WidthResult {
+                bits,
+                tau_per_benchmark,
+                perf_per_benchmark,
+            }
+        })
+        .collect();
+
+    let ideal_perf = baselines
+        .iter()
+        .map(|(kind, base)| {
+            let sched = SchedTaskScheduler::new(
+                params.cores,
+                SchedTaskConfig {
+                    use_exact_overlap: true,
+                    ..SchedTaskConfig::default()
+                },
+            );
+            let stats = runner::run_with_scheduler(
+                Box::new(sched),
+                params,
+                &WorkloadSpec::single(*kind, 2.0),
+            );
+            (*kind, runner::performance_change(base, &stats, clock))
+        })
+        .collect();
+
+    HeatmapSweep { widths, ideal_perf }
+}
+
+/// τ_B per register width for arbitrary named workloads. The
+/// single-benchmark sweep of [`run`] barely stresses narrow filters
+/// because one OS handler only touches ~a dozen pages per epoch; the
+/// multi-programmed bags bring 100-page *application* footprints into
+/// the ranking (DSS/OLTP share `mysqld`, Iscp/Oscp share `scp`), which
+/// is where the narrow registers saturate and the Figure 11 gradient
+/// emerges.
+pub fn run_tau_on_workloads(
+    params: &ExpParams,
+    workloads: &[(String, schedtask_kernel::WorkloadSpec)],
+) -> Vec<(u32, Vec<(String, f64)>)> {
+    WIDTHS
+        .iter()
+        .map(|&bits| {
+            let taus = workloads
+                .iter()
+                .map(|(name, w)| {
+                    let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
+                        params.cores,
+                        SchedTaskConfig {
+                            heatmap_bits: bits,
+                            ..SchedTaskConfig::default()
+                        },
+                    );
+                    let _stats = runner::run_with_scheduler(Box::new(sched), params, w);
+                    let mut taus = Vec::new();
+                    for epoch in inspector.borrow().iter() {
+                        for (_ty, row) in epoch {
+                            if row.len() < 2 {
+                                continue;
+                            }
+                            let bloom: Vec<f64> =
+                                row.iter().map(|&(_, b, _)| b as f64).collect();
+                            let exact: Vec<f64> =
+                                row.iter().map(|&(_, _, e)| e as f64).collect();
+                            if exact.iter().any(|&e| e > 0.0) {
+                                taus.push(kendall_tau_b(&bloom, &exact));
+                            }
+                        }
+                    }
+                    (name.clone(), mean(&taus))
+                })
+                .collect();
+            (bits, taus)
+        })
+        .collect()
+}
+
+/// Formats the multi-programmed τ_B sweep.
+pub fn mpw_tau_table(sweep: &[(u32, Vec<(String, f64)>)]) -> Table {
+    let mut headers = vec!["bits".to_string()];
+    headers.extend(sweep[0].1.iter().map(|(n, _)| n.clone()));
+    headers.push("mean".to_string());
+    let mut t = Table::new(
+        "Figure 11 (multi-programmed): tau_B of the Bloom ranking vs. the ideal ranking",
+    )
+    .with_note("Large shared application footprints (mysqld, scp) saturate narrow registers — this is where the paper's width gradient lives.")
+    .with_headers(headers);
+    for (bits, taus) in sweep {
+        let vals: Vec<f64> = taus.iter().map(|&(_, v)| v).collect();
+        let mut row = vec![format!("{bits} bits")];
+        row.extend(vals.iter().map(|&v| f3(v)));
+        row.push(f3(mean(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 11 proper: τ_B per benchmark per register width.
+pub fn tau_table(sweep: &HeatmapSweep) -> Table {
+    let mut headers = vec!["bits".to_string()];
+    headers.extend(
+        sweep.widths[0]
+            .tau_per_benchmark
+            .iter()
+            .map(|(k, _)| k.name().to_string()),
+    );
+    headers.push("mean".to_string());
+    let mut t = Table::new("Figure 11: Kendall's tau_B of the Bloom ranking vs. the ideal ranking")
+        .with_headers(headers);
+    for w in &sweep.widths {
+        let vals: Vec<f64> = w.tau_per_benchmark.iter().map(|&(_, v)| v).collect();
+        let mut row = vec![format!("{} bits", w.bits)];
+        row.extend(vals.iter().map(|&v| f3(v)));
+        row.push(f3(mean(&vals)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Section 6.5's performance-per-width summary (including ideal).
+pub fn perf_table(sweep: &HeatmapSweep) -> Table {
+    let mut t = Table::new("Section 6.5: mean SchedTask benefit per Page-heatmap register width")
+        .with_note("The paper reports 15.87 / 19.37 / 22.79 / 22.63 / 22.71 % for 128-2048 bits and 24.99 % for the ideal ranking; 512 bits is the chosen configuration.")
+        .with_headers(["configuration", "mean performance change (%)"]);
+    for w in &sweep.widths {
+        let vals: Vec<f64> = w.perf_per_benchmark.iter().map(|&(_, v)| v).collect();
+        t.push_row([format!("{} bits", w.bits), f1(geometric_mean_pct(&vals))]);
+    }
+    let ideal: Vec<f64> = sweep.ideal_perf.iter().map(|&(_, v)| v).collect();
+    t.push_row(["ideal ranking".to_string(), f1(geometric_mean_pct(&ideal))]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotonic_ish_tau() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 600_000;
+        p.warmup_instructions = 150_000;
+        let sweep = run(&p, &[BenchmarkKind::Find, BenchmarkKind::MailSrvIo]);
+        assert_eq!(sweep.widths.len(), 5);
+        // τ at 2048 bits should beat τ at 128 bits on average (an
+        // exponential width increase raises ranking quality, Fig 11).
+        let tau_mean = |w: &WidthResult| {
+            mean(&w.tau_per_benchmark.iter().map(|&(_, v)| v).collect::<Vec<_>>())
+        };
+        let t128 = tau_mean(&sweep.widths[0]);
+        let t2048 = tau_mean(&sweep.widths[4]);
+        // At tiny scales the 128-bit filter may already be collision
+        // free, so only require non-degradation here; the full-size run
+        // shows the Figure 11 gradient.
+        assert!(
+            t2048 + 1e-9 >= t128,
+            "tau(2048)={t2048:.3} should not trail tau(128)={t128:.3}"
+        );
+        assert!(t2048 > 0.5, "wide registers should rank well: {t2048:.3}");
+        // Tables render.
+        assert_eq!(tau_table(&sweep).rows.len(), 5);
+        assert_eq!(perf_table(&sweep).rows.len(), 6);
+    }
+}

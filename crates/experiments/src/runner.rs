@@ -1,0 +1,259 @@
+//! Shared experiment infrastructure: technique construction, run
+//! execution, and derived metrics.
+
+use schedtask::{SchedTaskConfig, SchedTaskScheduler};
+use schedtask_baselines::{
+    DisAggregateOsScheduler, FlexScScheduler, LinuxScheduler, SelectiveOffloadScheduler,
+    SliccScheduler,
+};
+use schedtask_kernel::{Engine, EngineConfig, Scheduler, SimStats, WorkloadSpec};
+use schedtask_sim::SystemConfig;
+use schedtask_workload::BenchmarkKind;
+
+/// The scheduling techniques of the paper's evaluation, in Figure 7
+/// order (the Linux baseline is the reference everything is measured
+/// against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Stock Linux scheduler (the baseline).
+    Linux,
+    /// SelectiveOffload — runs on 2× the cores (Table 3).
+    SelectiveOffload,
+    /// FlexSC.
+    FlexSc,
+    /// Disaggregated OS Services.
+    DisAggregateOs,
+    /// SLICC (the state of the art the paper compares against).
+    Slicc,
+    /// SchedTask (the paper's contribution).
+    SchedTask,
+}
+
+impl Technique {
+    /// The five core-specialization techniques compared in Figure 7
+    /// (excludes the Linux baseline).
+    pub fn compared() -> [Technique; 5] {
+        [
+            Technique::SelectiveOffload,
+            Technique::FlexSc,
+            Technique::DisAggregateOs,
+            Technique::Slicc,
+            Technique::SchedTask,
+        ]
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Linux => "Baseline",
+            Technique::SelectiveOffload => "SelectiveOffload",
+            Technique::FlexSc => "FlexSC",
+            Technique::DisAggregateOs => "DisAggregateOS",
+            Technique::Slicc => "SLICC",
+            Technique::SchedTask => "SchedTask",
+        }
+    }
+
+    /// True for techniques that double the core count (Table 3).
+    pub fn doubles_cores(self) -> bool {
+        self == Technique::SelectiveOffload
+    }
+
+    /// Builds the scheduler for a machine with `engine_cores` cores.
+    pub fn scheduler(self, engine_cores: usize) -> Box<dyn Scheduler> {
+        match self {
+            Technique::Linux => Box::new(LinuxScheduler::new(engine_cores)),
+            Technique::SelectiveOffload => {
+                Box::new(SelectiveOffloadScheduler::new(engine_cores))
+            }
+            Technique::FlexSc => Box::new(FlexScScheduler::new(engine_cores)),
+            Technique::DisAggregateOs => Box::new(DisAggregateOsScheduler::new(engine_cores)),
+            Technique::Slicc => Box::new(SliccScheduler::new(engine_cores)),
+            Technique::SchedTask => Box::new(SchedTaskScheduler::new(
+                engine_cores,
+                SchedTaskConfig::default(),
+            )),
+        }
+    }
+}
+
+/// Common knobs of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpParams {
+    /// Baseline core count (SelectiveOffload doubles it internally).
+    pub cores: usize,
+    /// Post-warm-up instruction budget.
+    pub max_instructions: u64,
+    /// Warm-up instruction budget.
+    pub warmup_instructions: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Machine template (hierarchy, prefetcher, trace cache, ...); the
+    /// core count is overridden per technique.
+    pub system: SystemConfig,
+    /// Scheduling-epoch length in cycles.
+    pub epoch_cycles: u64,
+}
+
+impl ExpParams {
+    /// The standard evaluation setup: the paper's Table 2 machine
+    /// (32 cores) with a budget that keeps a full figure under a minute.
+    pub fn standard() -> Self {
+        ExpParams {
+            cores: 32,
+            max_instructions: 16_000_000,
+            warmup_instructions: 4_000_000,
+            seed: 0x5EED_5EED,
+            system: SystemConfig::table2(),
+            epoch_cycles: 60_000,
+        }
+    }
+
+    /// A reduced setup for Criterion benches and smoke tests.
+    pub fn quick() -> Self {
+        ExpParams {
+            cores: 8,
+            max_instructions: 1_600_000,
+            warmup_instructions: 400_000,
+            seed: 0x5EED_5EED,
+            system: SystemConfig::table2(),
+            epoch_cycles: 50_000,
+        }
+    }
+
+    /// Same params with a different baseline core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Same params with a different machine template.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// The engine configuration for `technique`.
+    pub fn engine_config(&self, technique: Technique) -> EngineConfig {
+        let engine_cores = if technique.doubles_cores() {
+            self.cores * 2
+        } else {
+            self.cores
+        };
+        let mut cfg = EngineConfig::fast()
+            .with_system(self.system.clone().with_cores(engine_cores))
+            .with_max_instructions(self.max_instructions)
+            .with_seed(self.seed);
+        cfg.workload_reference_cores = self.cores;
+        cfg.warmup_instructions = self.warmup_instructions;
+        cfg.epoch_cycles = self.epoch_cycles;
+        cfg
+    }
+
+    /// Engine core count for `technique`.
+    pub fn engine_cores(&self, technique: Technique) -> usize {
+        if technique.doubles_cores() {
+            self.cores * 2
+        } else {
+            self.cores
+        }
+    }
+
+    /// Core clock of the configured machine.
+    pub fn clock_hz(&self) -> u64 {
+        self.system.clock_hz
+    }
+}
+
+/// Runs `technique` on `workload` and returns the statistics.
+pub fn run(technique: Technique, params: &ExpParams, workload: &WorkloadSpec) -> SimStats {
+    let cfg = params.engine_config(technique);
+    let sched = technique.scheduler(params.engine_cores(technique));
+    let mut engine = Engine::new(cfg, workload, sched);
+    engine.run().clone()
+}
+
+/// Runs a custom scheduler (e.g. a SchedTask variant) on `workload`.
+pub fn run_with_scheduler(
+    sched: Box<dyn Scheduler>,
+    params: &ExpParams,
+    workload: &WorkloadSpec,
+) -> SimStats {
+    let cfg = params.engine_config(Technique::SchedTask);
+    let mut engine = Engine::new(cfg, workload, sched);
+    engine.run().clone()
+}
+
+/// Runs `technique` on one benchmark at `scale`.
+pub fn run_benchmark(
+    technique: Technique,
+    params: &ExpParams,
+    kind: BenchmarkKind,
+    scale: f64,
+) -> SimStats {
+    run(technique, params, &WorkloadSpec::single(kind, scale))
+}
+
+/// Percentage change of instruction throughput relative to `base`.
+pub fn throughput_change(base: &SimStats, other: &SimStats) -> f64 {
+    schedtask_metrics::pct_change(base.instruction_throughput(), other.instruction_throughput())
+}
+
+/// Percentage change of application performance (ops/s) relative to
+/// `base`.
+pub fn performance_change(base: &SimStats, other: &SimStats, clock_hz: u64) -> f64 {
+    schedtask_metrics::pct_change(
+        base.app_performance(clock_hz),
+        other.app_performance(clock_hz),
+    )
+}
+
+/// Percentage-point change in a hit rate (paper figures report absolute
+/// percentage-point deltas for cache hit rates).
+pub fn hit_rate_delta_pp(base: f64, other: f64) -> f64 {
+    (other - base) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_names_and_roster() {
+        assert_eq!(Technique::compared().len(), 5);
+        assert_eq!(Technique::SchedTask.name(), "SchedTask");
+        assert!(Technique::SelectiveOffload.doubles_cores());
+        assert!(!Technique::SchedTask.doubles_cores());
+    }
+
+    #[test]
+    fn engine_config_doubles_cores_for_selective_offload() {
+        let p = ExpParams::quick();
+        let cfg = p.engine_config(Technique::SelectiveOffload);
+        assert_eq!(cfg.system.num_cores, p.cores * 2);
+        assert_eq!(cfg.workload_reference_cores, p.cores);
+        let cfg = p.engine_config(Technique::Slicc);
+        assert_eq!(cfg.system.num_cores, p.cores);
+    }
+
+    #[test]
+    fn smoke_run_every_technique() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 150_000;
+        p.warmup_instructions = 50_000;
+        let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
+        for t in [Technique::Linux]
+            .into_iter()
+            .chain(Technique::compared())
+        {
+            let stats = run(t, &p, &w);
+            assert!(stats.total_instructions() > 0, "{} did not run", t.name());
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        assert!((hit_rate_delta_pp(0.80, 0.85) - 5.0).abs() < 1e-9);
+    }
+}

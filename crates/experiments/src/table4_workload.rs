@@ -1,0 +1,165 @@
+//! Table 4: impact of the workload (1X / 2X / 4X / 8X) on instruction
+//! throughput and idle-time fractions.
+
+use crate::runner::{self, ExpParams, Technique};
+use crate::table::Table;
+use schedtask_kernel::{SimStats, WorkloadSpec};
+use schedtask_metrics::geometric_mean_pct;
+use schedtask_workload::BenchmarkKind;
+
+/// The workload scales of Table 4.
+pub const SCALES: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// One (scale, technique, benchmark) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Idle-time fraction (%).
+    pub idle_pct: f64,
+    /// Change in instruction throughput (%) vs. the baseline at the same
+    /// scale.
+    pub perf_pct: f64,
+}
+
+/// One scale's block of Table 4.
+#[derive(Debug, Clone)]
+pub struct ScaleBlock {
+    /// The workload scale.
+    pub scale: f64,
+    /// Rows per technique: (technique, per-benchmark cells).
+    pub rows: Vec<(Technique, Vec<(BenchmarkKind, Cell)>)>,
+}
+
+/// Runs Table 4 for the given scales.
+pub fn run(params: &ExpParams, scales: &[f64]) -> Vec<ScaleBlock> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let baselines: Vec<(BenchmarkKind, SimStats)> = BenchmarkKind::all()
+                .into_iter()
+                .map(|k| {
+                    (
+                        k,
+                        runner::run(Technique::Linux, params, &WorkloadSpec::single(k, scale)),
+                    )
+                })
+                .collect();
+            let rows = Technique::compared()
+                .into_iter()
+                .map(|t| {
+                    let cells = baselines
+                        .iter()
+                        .map(|(k, base)| {
+                            let stats =
+                                runner::run(t, params, &WorkloadSpec::single(*k, scale));
+                            (
+                                *k,
+                                Cell {
+                                    idle_pct: stats.mean_idle_fraction() * 100.0,
+                                    perf_pct: runner::throughput_change(base, &stats),
+                                },
+                            )
+                        })
+                        .collect();
+                    (t, cells)
+                })
+                .collect();
+            ScaleBlock { scale, rows }
+        })
+        .collect()
+}
+
+/// Formats one block of Table 4 (idle % and Δ throughput per benchmark).
+pub fn block_table(block: &ScaleBlock) -> Table {
+    let mut headers = vec!["technique".to_string()];
+    for (k, _) in &block.rows[0].1 {
+        headers.push(format!("{} idle", k.name()));
+        headers.push(format!("{} perf", k.name()));
+    }
+    headers.push("gmean perf".to_string());
+    let mut t = Table::new(format!(
+        "Table 4 ({}X workload): idle fraction (%) and change in instruction throughput (%)",
+        block.scale
+    ))
+    .with_headers(headers);
+    for (tech, cells) in &block.rows {
+        let mut row = vec![tech.name().to_string()];
+        let mut perfs = Vec::new();
+        for (_, c) in cells {
+            row.push(format!("{:.0}", c.idle_pct));
+            row.push(format!("{:.0}", c.perf_pct));
+            perfs.push(c.perf_pct);
+        }
+        row.push(format!("{:.0}", geometric_mean_pct(&perfs)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// The paper's closing observation in Section 6.3: "Beyond an 8X
+/// workload, ... d-cache pollution among application as well as OS
+/// threads becomes high. This leads to lower performance and is counter
+/// productive." This table extends the scaling sweep past 8X to show
+/// the benefit rolling off.
+pub fn beyond_8x_table(params: &ExpParams, scales: &[f64]) -> Table {
+    let mut t = Table::new("Section 6.3 (beyond 8X): SchedTask benefit vs. workload scale")
+        .with_headers(["scale", "gmean Δ throughput vs. baseline (%)", "SchedTask idle (%)"]);
+    for &scale in scales {
+        let mut perfs = Vec::new();
+        let mut idles = Vec::new();
+        for kind in schedtask_workload::BenchmarkKind::all() {
+            let base = runner::run(
+                Technique::Linux,
+                params,
+                &WorkloadSpec::single(kind, scale),
+            );
+            let st = runner::run(
+                Technique::SchedTask,
+                params,
+                &WorkloadSpec::single(kind, scale),
+            );
+            perfs.push(runner::throughput_change(&base, &st));
+            idles.push(st.mean_idle_fraction() * 100.0);
+        }
+        t.push_row([
+            format!("{scale}X"),
+            format!("{:.1}", geometric_mean_pct(&perfs)),
+            format!("{:.1}", schedtask_metrics::mean(&idles)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idleness_falls_as_workload_scales() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 400_000;
+        p.warmup_instructions = 100_000;
+        // Use a reduced matrix for the test: SLICC only, two scales.
+        let blocks = run(&p, &[0.5, 4.0]);
+        assert_eq!(blocks.len(), 2);
+        let idle_at = |b: &ScaleBlock, tech: Technique| -> f64 {
+            let (_, cells) = b.rows.iter().find(|(t, _)| *t == tech).unwrap();
+            cells.iter().map(|(_, c)| c.idle_pct).sum::<f64>() / cells.len() as f64
+        };
+        // Techniques without stealing idle much more at low load
+        // (Table 4's 1X vs 4X/8X trend).
+        let low = idle_at(&blocks[0], Technique::Slicc);
+        let high = idle_at(&blocks[1], Technique::Slicc);
+        assert!(
+            low > high,
+            "SLICC idle at 0.5X ({low:.1}) should exceed idle at 4X ({high:.1})"
+        );
+        // SelectiveOffload stays pinned near its structural idleness at
+        // every scale.
+        let so_low = idle_at(&blocks[0], Technique::SelectiveOffload);
+        let so_high = idle_at(&blocks[1], Technique::SelectiveOffload);
+        assert!((so_low - so_high).abs() < 20.0);
+        // Rendering.
+        assert!(block_table(&blocks[0]).rows.len() == 5);
+    }
+}

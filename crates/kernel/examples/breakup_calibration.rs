@@ -1,0 +1,28 @@
+//! Dev utility: prints the Figure 4 instruction breakup for each benchmark
+//! under the FIFO reference scheduler, for workload calibration.
+
+use schedtask_kernel::{Engine, EngineConfig, GlobalFifoScheduler, WorkloadSpec};
+use schedtask_sim::SystemConfig;
+use schedtask_workload::BenchmarkKind;
+
+fn main() {
+    println!("{:<10} {:>6} {:>6} {:>6} {:>6}  ihit  dhit  idle", "bench", "app%", "sys%", "irq%", "bh%");
+    for kind in BenchmarkKind::all() {
+        let cfg = EngineConfig::fast()
+            .with_system(SystemConfig::table2().with_cores(8))
+            .with_max_instructions(2_000_000);
+        let mut e = Engine::new(cfg, &WorkloadSpec::single(kind, 1.0), Box::new(GlobalFifoScheduler::new()));
+        let t0 = std::time::Instant::now();
+        let s = e.run();
+        let b = s.instructions.breakup_percent();
+        println!(
+            "{:<10} {:>6.1} {:>6.1} {:>6.1} {:>6.1}  {:.3} {:.3} {:.3}  ({:.2}s, {:.1} Minstr/s, ipc {:.2})",
+            kind.name(), b[0], b[1], b[2], b[3],
+            s.mem.icache_overall_hit_rate(), s.mem.dcache_overall_hit_rate(),
+            s.mean_idle_fraction(),
+            t0.elapsed().as_secs_f64(),
+            s.total_instructions() as f64 / 1e6 / t0.elapsed().as_secs_f64(),
+            s.instruction_throughput(),
+        );
+    }
+}

@@ -1,0 +1,1300 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the machine ([`schedtask_sim::MemorySystem`] plus
+//! per-core state including the hardware Page-heatmap registers), the OS
+//! object model (threads, SuperFunctions, devices, the interrupt
+//! controller), and global time. The scheduling *policy* is a plug-in
+//! ([`crate::Scheduler`]); the engine invokes it at exactly the points
+//! where the paper's TMigrate/TAlloc hooks run.
+//!
+//! Cores advance private clocks; the engine always processes whichever is
+//! earliest — the next device/timer/epoch event or the lowest-clock busy
+//! core — so execution is deterministic and causally consistent to within
+//! one quantum.
+
+use crate::config::EngineConfig;
+use crate::ids::{CoreId, SfId, SfIdAllocator, ThreadId};
+use crate::scheduler::{SchedEvent, Scheduler, SwitchReason};
+use crate::stats::SimStats;
+use crate::superfunction::{SfBody, SfState, SuperFunction};
+use crate::trace::{TraceEvent, TraceLog};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use schedtask_sim::{CodeDomain, GshareBranchPredictor, MemorySystem, PageHeatmap};
+use schedtask_workload::{
+    BenchmarkInstance, BenchmarkKind, BenchmarkSpec, DeviceKind, Footprint, FootprintWalker,
+    MultiProgrammedWorkload, PageAllocator, ServiceCatalog, SfCategory, SuperFuncType, WalkParams,
+    LINES_PER_PAGE,
+};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// The `tid` used for kernel contexts that no thread created (external
+/// interrupts and their bottom halves).
+pub const KERNEL_TID: ThreadId = ThreadId(u64::MAX);
+
+/// What benchmarks run, and at which per-benchmark scale (Section 6.3's
+/// 1X/2X/... and the appendix's multi-programmed bags).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// (benchmark, scale) pairs.
+    pub parts: Vec<(BenchmarkKind, f64)>,
+    /// Fully custom benchmark specs (e.g. phase-shifted variants built
+    /// with [`BenchmarkSpec::with_phase_shift`]), each with a scale.
+    pub custom: Vec<(BenchmarkSpec, f64)>,
+}
+
+impl WorkloadSpec {
+    /// A single benchmark at the given scale.
+    pub fn single(kind: BenchmarkKind, scale: f64) -> Self {
+        WorkloadSpec {
+            parts: vec![(kind, scale)],
+            custom: Vec::new(),
+        }
+    }
+
+    /// A single custom benchmark spec at the given scale.
+    pub fn custom(spec: BenchmarkSpec, scale: f64) -> Self {
+        WorkloadSpec {
+            parts: Vec::new(),
+            custom: vec![(spec, scale)],
+        }
+    }
+}
+
+impl From<&MultiProgrammedWorkload> for WorkloadSpec {
+    fn from(w: &MultiProgrammedWorkload) -> Self {
+        WorkloadSpec {
+            parts: w.parts.clone(),
+            custom: Vec::new(),
+        }
+    }
+}
+
+/// One simulated thread (or single-threaded process instance).
+#[derive(Debug)]
+struct Thread {
+    benchmark: usize,
+    app_sf: SfId,
+    private_data: Arc<Footprint>,
+    rng: SmallRng,
+    last_core: Option<CoreId>,
+}
+
+/// An interrupt delivered to a core but not yet serviced.
+#[derive(Debug, Clone)]
+struct PendingIrq {
+    name: &'static str,
+    waiter: Option<SfId>,
+    raised_at: u64,
+}
+
+/// Per-core execution state.
+#[derive(Debug)]
+struct CoreState {
+    clock: u64,
+    current: Option<SfId>,
+    preempt_stack: Vec<SfId>,
+    pending_irqs: VecDeque<PendingIrq>,
+    idle: bool,
+    /// The hardware Page-heatmap register (Section 5.4), if armed.
+    heatmap: Option<PageHeatmap>,
+    /// Exact page collection (Figure 11's ideal-ranking baseline).
+    exact_pages: Option<HashSet<u64>>,
+    sched_walker: FootprintWalker,
+    /// Explicit branch predictor, when the machine models branches.
+    branch_predictor: Option<GshareBranchPredictor>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    DeviceComplete { device: DeviceKind, waiter: SfId },
+    ExternalIrq { bench: usize },
+    TimerTick { core: usize },
+    Epoch,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEvent {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// What ended an execution quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Boundary {
+    None,
+    AppBurstEnd,
+    Blocked(DeviceKind),
+    Completed,
+}
+
+/// The engine's state, passed to every scheduler hook as the context.
+///
+/// Schedulers use this to query SuperFunction metadata, read the hardware
+/// Page-heatmap registers, probe i-caches (SLICC's remote-tag search), and
+/// inspect workload structure.
+#[derive(Debug)]
+pub struct EngineCore {
+    cfg: EngineConfig,
+    mem: MemorySystem,
+    catalog: ServiceCatalog,
+    instances: Vec<BenchmarkInstance>,
+    threads: Vec<Thread>,
+    sfs: HashMap<SfId, SuperFunction>,
+    cores: Vec<CoreState>,
+    events: BinaryHeap<HeapEvent>,
+    event_seq: u64,
+    id_alloc: SfIdAllocator,
+    stats: SimStats,
+    rng: SmallRng,
+    now: u64,
+    measure_start: u64,
+    warmed_up: bool,
+    epoch_prev: crate::stats::CategoryInstructions,
+    irq_rate_interval: Vec<u64>,
+    trace: TraceLog,
+    /// Completed system calls per benchmark since the last whole
+    /// operation (operations are counted benchmark-wide: every
+    /// `op_syscalls` completed system calls is one application-level
+    /// operation).
+    op_progress: Vec<u32>,
+    /// Total completed system calls per benchmark (drives workload phase
+    /// shifts).
+    syscalls_completed: Vec<u64>,
+}
+
+impl EngineCore {
+    // ---- Public query API (for schedulers) ---------------------------
+
+    /// Current simulated time in cycles (the time of the event or core
+    /// step being processed).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The OS service catalog in use.
+    pub fn catalog(&self) -> &ServiceCatalog {
+        &self.catalog
+    }
+
+    /// The benchmark instances in this workload.
+    pub fn benchmarks(&self) -> &[BenchmarkInstance] {
+        &self.instances
+    }
+
+    /// SuperFunction type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SuperFunction does not exist.
+    pub fn sf_type(&self, sf: SfId) -> SuperFuncType {
+        self.sf(sf).sf_type
+    }
+
+    /// SuperFunction state.
+    pub fn sf_state(&self, sf: SfId) -> SfState {
+        self.sf(sf).state
+    }
+
+    /// SuperFunction parent (`parentSuperFuncPtr`).
+    pub fn sf_parent(&self, sf: SfId) -> Option<SfId> {
+        self.sf(sf).parent
+    }
+
+    /// Owning thread id.
+    pub fn sf_tid(&self, sf: SfId) -> ThreadId {
+        self.sf(sf).tid
+    }
+
+    /// Cycles the SuperFunction has consumed so far.
+    pub fn sf_cycles(&self, sf: SfId) -> u64 {
+        self.sf(sf).cycles_used
+    }
+
+    /// Instructions the SuperFunction has retired so far.
+    pub fn sf_instructions(&self, sf: SfId) -> u64 {
+        self.sf(sf).instructions_retired
+    }
+
+    /// The physical code pages the SuperFunction executes from (models
+    /// hardware that can observe the upcoming fetch stream, as SLICC's
+    /// migration unit does).
+    pub fn sf_code_pages(&self, sf: SfId) -> Vec<u64> {
+        self.sf(sf).walker.code().pages().to_vec()
+    }
+
+    /// True if the SuperFunction's thread belongs to a single-threaded
+    /// benchmark (Find/Iscp/Oscp) — FlexSC's behaviour differs for these.
+    pub fn sf_is_single_threaded_app(&self, sf: SfId) -> bool {
+        let tid = self.sf_tid(sf);
+        if tid == KERNEL_TID {
+            return false;
+        }
+        let t = &self.threads[tid.0 as usize];
+        self.instances[t.benchmark].spec.single_threaded
+    }
+
+    /// The core the thread last executed on, if any.
+    pub fn thread_last_core(&self, tid: ThreadId) -> Option<CoreId> {
+        if tid == KERNEL_TID {
+            return None;
+        }
+        self.threads[tid.0 as usize].last_core
+    }
+
+    /// Number of threads in the workload.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Non-destructively checks whether `core`'s L1 i-cache holds `line`
+    /// (SLICC's zero-cost remote tag search, Table 3).
+    pub fn probe_icache(&self, core: CoreId, line: u64) -> bool {
+        self.mem.probe_icache(core.0, line)
+    }
+
+    /// Loads the hardware Page-heatmap register of `core` (the paper's
+    /// special load instruction). Subsequent committed instruction pages
+    /// set bits in it.
+    pub fn heatmap_load(&mut self, core: CoreId, heatmap: PageHeatmap) {
+        self.cores[core.0].heatmap = Some(heatmap);
+    }
+
+    /// Stores the Page-heatmap register out of `core` (the paper's
+    /// special store instruction), disarming collection.
+    pub fn heatmap_take(&mut self, core: CoreId) -> Option<PageHeatmap> {
+        self.cores[core.0].heatmap.take()
+    }
+
+    /// Enables exact page-set collection on every core (used only to
+    /// compute Figure 11's ideal ranking; real hardware has no such
+    /// facility).
+    pub fn exact_pages_enable(&mut self, enabled: bool) {
+        for c in &mut self.cores {
+            c.exact_pages = if enabled { Some(HashSet::new()) } else { None };
+        }
+    }
+
+    /// Takes and clears the exact page set collected on `core`.
+    pub fn exact_pages_take(&mut self, core: CoreId) -> HashSet<u64> {
+        match self.cores[core.0].exact_pages.as_mut() {
+            Some(set) => std::mem::take(set),
+            None => HashSet::new(),
+        }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The SuperFunction lifecycle trace (empty unless
+    /// [`EngineConfig::trace_capacity`] is set).
+    ///
+    /// [`EngineConfig::trace_capacity`]: crate::EngineConfig::trace_capacity
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    // ---- Internal helpers ---------------------------------------------
+
+    fn sf(&self, id: SfId) -> &SuperFunction {
+        self.sfs
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown SuperFunction {id}"))
+    }
+
+    fn schedule_event(&mut self, time: u64, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(HeapEvent {
+            time,
+            seq: self.event_seq,
+            kind,
+        });
+    }
+
+    fn wake_core(&mut self, c: usize) {
+        let now = self.now;
+        let core = &mut self.cores[c];
+        if core.idle {
+            if now > core.clock {
+                self.stats.core_time[c].idle_cycles += now - core.clock;
+                core.clock = now;
+            }
+            core.idle = false;
+        }
+    }
+
+    fn wake_all_idle(&mut self) {
+        for c in 0..self.cores.len() {
+            self.wake_core(c);
+        }
+    }
+
+    fn go_idle(&mut self, c: usize) {
+        self.cores[c].idle = true;
+    }
+
+    /// Executes `n` scheduler-code instructions on core `c` (OS domain),
+    /// charging cycles and counting them in the scheduler bucket.
+    fn charge_sched_overhead(&mut self, c: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let base_cpi = self.cfg.system.base_cpi;
+        let core = &mut self.cores[c];
+        let mut cycles = 0u64;
+        let mut executed = 0u64;
+        while executed < n {
+            let block = core.sched_walker.next_block();
+            cycles += self.mem.fetch_code(c, block.line, CodeDomain::Os);
+            if let Some(d) = block.data_ref {
+                cycles += self.mem.access_data(c, d.line, d.write, CodeDomain::Os);
+            }
+            executed += block.instructions as u64;
+        }
+        cycles += (executed as f64 * base_cpi).round() as u64;
+        core.clock += cycles;
+        self.stats.core_time[c].busy_cycles += cycles;
+        self.stats.instructions.scheduler += executed;
+    }
+
+    /// Runs one quantum of the core's current SuperFunction. Returns the
+    /// boundary reached, if any.
+    fn execute_quantum(&mut self, c: usize) -> Boundary {
+        let sf_id = self.cores[c].current.expect("execute without current SF");
+        let base_cpi = self.cfg.system.base_cpi;
+        let quantum = self.cfg.quantum_instructions;
+
+        let sf = self.sfs.get_mut(&sf_id).expect("current SF exists");
+        let domain = if sf.category() == SfCategory::Application {
+            CodeDomain::Application
+        } else {
+            CodeDomain::Os
+        };
+        let boundary_in = sf.instructions_until_boundary();
+        let target = boundary_in.min(quantum).max(1);
+
+        let core = &mut self.cores[c];
+        let mispredict_penalty = self.cfg.system.branch_predictor.map(|(_, p)| p);
+        let mut cycles = 0u64;
+        let mut executed = 0u64;
+        let mut branches = 0u64;
+        let mut mispredicts = 0u64;
+        let lines_per_page = LINES_PER_PAGE;
+        while executed < target {
+            let block = sf.walker.next_block();
+            cycles += self.mem.fetch_code(c, block.line, domain);
+            let page = block.line / lines_per_page;
+            if let Some(hm) = core.heatmap.as_mut() {
+                hm.insert_pfn(page);
+            }
+            if let Some(set) = core.exact_pages.as_mut() {
+                set.insert(page);
+            }
+            if let Some(d) = block.data_ref {
+                cycles += self.mem.access_data(c, d.line, d.write, domain);
+            }
+            if let (Some(penalty), Some(bp)) =
+                (mispredict_penalty, core.branch_predictor.as_mut())
+            {
+                branches += 1;
+                if !bp.predict_and_train(block.line, block.branch_taken) {
+                    mispredicts += 1;
+                    cycles += penalty;
+                }
+            }
+            executed += block.instructions as u64;
+        }
+        self.stats.branches += branches;
+        self.stats.branch_mispredictions += mispredicts;
+        cycles += (executed as f64 * base_cpi).round() as u64;
+
+        core.clock += cycles;
+        sf.cycles_used += cycles;
+        sf.instructions_retired += executed;
+        self.stats.core_time[c].busy_cycles += cycles;
+        self.stats.instructions.add(sf.category(), executed);
+
+        // Per-thread accounting for thread-context SuperFunctions.
+        if sf.tid != KERNEL_TID
+            && matches!(
+                sf.category(),
+                SfCategory::Application | SfCategory::SystemCall
+            )
+        {
+            let idx = sf.tid.0 as usize;
+            if self.stats.per_thread_instructions.len() <= idx {
+                self.stats.per_thread_instructions.resize(idx + 1, 0);
+            }
+            self.stats.per_thread_instructions[idx] += executed;
+        }
+
+        // Advance the body and detect boundaries.
+        match &mut sf.body {
+            SfBody::Application { burst_left } => {
+                *burst_left = burst_left.saturating_sub(executed);
+                if *burst_left == 0 {
+                    Boundary::AppBurstEnd
+                } else {
+                    Boundary::None
+                }
+            }
+            SfBody::Syscall { remaining, block } => {
+                *remaining = remaining.saturating_sub(executed);
+                match block {
+                    Some((at, dev)) if *remaining <= *at => {
+                        let dev = *dev;
+                        *block = None;
+                        Boundary::Blocked(dev)
+                    }
+                    _ => {
+                        if *remaining == 0 {
+                            Boundary::Completed
+                        } else {
+                            Boundary::None
+                        }
+                    }
+                }
+            }
+            SfBody::Interrupt { remaining, .. } | SfBody::BottomHalf { remaining, .. } => {
+                *remaining = remaining.saturating_sub(executed);
+                if *remaining == 0 {
+                    Boundary::Completed
+                } else {
+                    Boundary::None
+                }
+            }
+        }
+    }
+
+    /// Marks `sf` running on core `c`, counting thread migrations and
+    /// resampling the application burst if needed.
+    fn prepare_dispatch(&mut self, c: usize, sf_id: SfId) {
+        let sf = self.sfs.get_mut(&sf_id).expect("dispatch unknown SF");
+        debug_assert!(
+            matches!(sf.state, SfState::Runnable | SfState::Preempted),
+            "dispatching SF in state {:?}",
+            sf.state
+        );
+        sf.state = SfState::Running;
+        let tid = sf.tid;
+        let category = sf.category();
+
+        if let SfBody::Application { burst_left } = &mut sf.body {
+            if *burst_left == 0 {
+                let t = &mut self.threads[tid.0 as usize];
+                let spec = &self.instances[t.benchmark].spec;
+                *burst_left = spec.app_burst.sample(&mut t.rng).max(1);
+            }
+        }
+
+        // Thread-migration accounting (Figure 10): application and
+        // system-call SuperFunctions execute in thread context.
+        if tid != KERNEL_TID
+            && matches!(category, SfCategory::Application | SfCategory::SystemCall)
+        {
+            let t = &mut self.threads[tid.0 as usize];
+            if let Some(prev) = t.last_core {
+                if prev.0 != c {
+                    self.stats.thread_migrations += 1;
+                    let cost = self.cfg.migration_cost_cycles;
+                    self.cores[c].clock += cost;
+                    self.stats.core_time[c].busy_cycles += cost;
+                    let at = self.cores[c].clock;
+                    self.trace.record(TraceEvent::Migrated {
+                        at,
+                        tid,
+                        from: prev,
+                        to: CoreId(c),
+                    });
+                }
+            }
+            self.threads[tid.0 as usize].last_core = Some(CoreId(c));
+        }
+
+        self.cores[c].current = Some(sf_id);
+        let at = self.cores[c].clock;
+        self.trace
+            .record(TraceEvent::Dispatched { at, sf: sf_id, core: CoreId(c) });
+    }
+
+    /// Creates a system-call SuperFunction for `tid` on core `c`.
+    fn create_syscall_sf(&mut self, c: usize, tid: ThreadId, parent: SfId) -> SfId {
+        let t = &mut self.threads[tid.0 as usize];
+        let inst = &self.instances[t.benchmark];
+        let progress = self.syscalls_completed[t.benchmark];
+        let name = inst.sample_syscall_at(&mut t.rng, progress);
+        let spec = self.catalog.syscall(name);
+        let len = spec.len.sample(&mut t.rng).max(1);
+        let block_mult = inst.spec.blocking_multiplier;
+        let block = spec.blocking.and_then(|b| {
+            if t.rng.gen_bool((b.probability * block_mult).clamp(0.0, 1.0)) {
+                let at = (len as f64 * (1.0 - b.at_fraction)) as u64;
+                Some((at.min(len - 1), b.device))
+            } else {
+                None
+            }
+        });
+        let id = self.id_alloc.next(CoreId(c));
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let walker = FootprintWalker::new(
+            Arc::clone(&spec.code),
+            Arc::clone(&spec.shared_data),
+            Arc::clone(&t.private_data),
+            WalkParams::default(),
+            seed,
+        );
+        let sf_type = spec.super_func_type();
+        let sf = SuperFunction {
+            id,
+            sf_type,
+            parent: Some(parent),
+            tid,
+            state: SfState::Runnable,
+            body: SfBody::Syscall {
+                remaining: len,
+                block,
+            },
+            walker,
+            cycles_used: 0,
+            instructions_retired: 0,
+            runnable_since: self.cores[c].clock,
+        };
+        self.sfs.insert(id, sf);
+        let at = self.cores[c].clock;
+        self.trace.record(TraceEvent::Created { at, sf: id, sf_type, tid });
+        id
+    }
+
+    /// Creates an interrupt SuperFunction on core `c`.
+    fn create_interrupt_sf(&mut self, c: usize, irq_name: &'static str, waiter: Option<SfId>) -> SfId {
+        let spec = self.catalog.interrupt(irq_name);
+        let len = spec.len.sample(&mut self.rng).max(1);
+        let id = self.id_alloc.next(CoreId(c));
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0xD134_2543_DE82_EF95);
+        let tid = waiter.map(|w| self.sf(w).tid).unwrap_or(KERNEL_TID);
+        let walker = FootprintWalker::new(
+            Arc::clone(&spec.code),
+            Arc::clone(&spec.shared_data),
+            Arc::new(Footprint::new()),
+            WalkParams::default(),
+            seed,
+        );
+        let sf = SuperFunction {
+            id,
+            sf_type: spec.super_func_type(),
+            parent: None,
+            tid,
+            state: SfState::Runnable,
+            body: SfBody::Interrupt {
+                remaining: len,
+                bottom_half: spec.bottom_half,
+                waiter,
+            },
+            walker,
+            cycles_used: 0,
+            instructions_retired: 0,
+            runnable_since: self.cores[c].clock,
+        };
+        self.sfs.insert(id, sf);
+        id
+    }
+
+    /// Creates a bottom-half SuperFunction on core `c`.
+    fn create_bottom_half_sf(&mut self, c: usize, name: &'static str, wake: Option<SfId>) -> SfId {
+        let spec = self.catalog.bottom_half(name);
+        let len = spec.len.sample(&mut self.rng).max(1);
+        let id = self.id_alloc.next(CoreId(c));
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0xA076_1D64_78BD_642F);
+        let tid = wake.map(|w| self.sf(w).tid).unwrap_or(KERNEL_TID);
+        let walker = FootprintWalker::new(
+            Arc::clone(&spec.code),
+            Arc::clone(&spec.shared_data),
+            Arc::new(Footprint::new()),
+            WalkParams::default(),
+            seed,
+        );
+        let sf = SuperFunction {
+            id,
+            sf_type: spec.super_func_type(),
+            parent: None,
+            tid,
+            state: SfState::Runnable,
+            body: SfBody::BottomHalf {
+                remaining: len,
+                wake,
+            },
+            walker,
+            cycles_used: 0,
+            instructions_retired: 0,
+            runnable_since: self.cores[c].clock,
+        };
+        self.sfs.insert(id, sf);
+        id
+    }
+
+    fn snapshot_epoch_breakup(&mut self) {
+        let cur = self.stats.instructions;
+        let delta = crate::stats::CategoryInstructions {
+            application: cur.application - self.epoch_prev.application,
+            syscall: cur.syscall - self.epoch_prev.syscall,
+            interrupt: cur.interrupt - self.epoch_prev.interrupt,
+            bottom_half: cur.bottom_half - self.epoch_prev.bottom_half,
+            scheduler: cur.scheduler - self.epoch_prev.scheduler,
+        };
+        self.epoch_prev = cur;
+        self.stats.epoch_breakups.push(delta.breakup_percent());
+    }
+
+    fn reset_for_measurement(&mut self) {
+        let num_cores = self.cores.len();
+        let num_bench = self.instances.len();
+        let breakups = std::mem::take(&mut self.stats.epoch_breakups);
+        self.stats = SimStats::new(num_cores, num_bench);
+        self.stats.epoch_breakups = breakups; // epoch history spans warm-up
+        self.stats.per_thread_instructions = vec![0; self.threads.len()];
+        self.mem.reset_stats();
+        self.epoch_prev = self.stats.instructions;
+        self.measure_start = self.now;
+        self.warmed_up = true;
+    }
+}
+
+/// The simulation engine: an [`EngineCore`] plus the scheduling policy.
+pub struct Engine {
+    core: EngineCore,
+    scheduler: Box<dyn Scheduler>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scheduler", &self.scheduler.name())
+            .field("now", &self.core.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine for `workload` under `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty.
+    pub fn new(cfg: EngineConfig, workload: &WorkloadSpec, scheduler: Box<dyn Scheduler>) -> Self {
+        assert!(
+            !(workload.parts.is_empty() && workload.custom.is_empty()),
+            "workload must not be empty"
+        );
+        let mut alloc = PageAllocator::new();
+        let catalog = ServiceCatalog::standard(&mut alloc);
+        let num_cores = cfg.system.num_cores;
+        let mem = MemorySystem::new(&cfg.system);
+        let mut id_alloc = SfIdAllocator::new(num_cores);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // Instantiate benchmarks and threads.
+        let mut instances = Vec::new();
+        let mut threads: Vec<Thread> = Vec::new();
+        let mut sfs = HashMap::new();
+        let mut irq_rate_interval = Vec::new();
+        let all_specs: Vec<(BenchmarkSpec, f64)> = workload
+            .parts
+            .iter()
+            .map(|&(kind, scale)| (BenchmarkSpec::for_kind(kind), scale))
+            .chain(workload.custom.iter().cloned())
+            .collect();
+        for (pi, (spec, scale)) in all_specs.into_iter().enumerate() {
+            let inst = BenchmarkInstance::new(spec, &mut alloc);
+            let n_threads = inst.spec.threads(cfg.workload_reference_cores, scale);
+            // Spontaneous interrupt pacing for this benchmark.
+            let interval = match inst.spec.spontaneous_irq {
+                Some((_, per_core_per_mcycle)) if per_core_per_mcycle > 0.0 => {
+                    (1_000_000.0 / (per_core_per_mcycle * num_cores as f64)) as u64
+                }
+                _ => 0,
+            };
+            irq_rate_interval.push(interval.max(1));
+
+            for t in 0..n_threads {
+                let tid = ThreadId(threads.len() as u64);
+                let home = CoreId(threads.len() % num_cores);
+                let private =
+                    Arc::new(inst.private_data(&mut alloc, &format!("b{pi}t{t}")));
+                let app_params = WalkParams {
+                    hot_fraction: inst.spec.app_hot_fraction,
+                    ..WalkParams::default()
+                };
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add(tid.0);
+                let walker = FootprintWalker::new(
+                    Arc::clone(&inst.app_code),
+                    Arc::clone(&inst.app_shared_data),
+                    Arc::clone(&private),
+                    app_params,
+                    seed,
+                );
+                let mut t_rng = SmallRng::seed_from_u64(seed ^ 0xABCD_EF01);
+                let first_burst = inst.spec.app_burst.sample(&mut t_rng).max(1);
+                let sf_id = id_alloc.next(home);
+                let sf = SuperFunction {
+                    id: sf_id,
+                    sf_type: inst.app_super_func_type,
+                    parent: None,
+                    tid,
+                    state: SfState::Runnable,
+                    body: SfBody::Application {
+                        burst_left: first_burst,
+                    },
+                    walker,
+                    cycles_used: 0,
+                    instructions_retired: 0,
+                    runnable_since: 0,
+                };
+                sfs.insert(sf_id, sf);
+                threads.push(Thread {
+                    benchmark: pi,
+                    app_sf: sf_id,
+                    private_data: private,
+                    rng: t_rng,
+                    last_core: None,
+                });
+            }
+            instances.push(inst);
+        }
+
+        // Per-core scheduler-code walkers (the scheduler pollutes the
+        // i-cache like any other kernel code).
+        let sched_region = alloc.region("k:sched", 4);
+        let sched_data = alloc.region("kd:sched", 3);
+        let sched_code = Arc::new(Footprint::from_regions([&sched_region]));
+        let sched_shared = Arc::new(Footprint::from_regions([&sched_data]));
+        let cores = (0..num_cores)
+            .map(|c| CoreState {
+                clock: 0,
+                current: None,
+                preempt_stack: Vec::new(),
+                pending_irqs: VecDeque::new(),
+                idle: false,
+                heatmap: None,
+                exact_pages: None,
+                sched_walker: FootprintWalker::new(
+                    Arc::clone(&sched_code),
+                    Arc::clone(&sched_shared),
+                    Arc::new(Footprint::new()),
+                    WalkParams::default(),
+                    rng.gen::<u64>() ^ c as u64,
+                ),
+                branch_predictor: cfg
+                    .system
+                    .branch_predictor
+                    .map(|(entries, _)| GshareBranchPredictor::new(entries)),
+            })
+            .collect();
+
+        let num_benchmarks = instances.len();
+        let num_threads = threads.len();
+        let mut stats = SimStats::new(num_cores, num_benchmarks);
+        stats.per_thread_instructions = vec![0; num_threads];
+
+        let cfg_trace_capacity = cfg.trace_capacity;
+        Engine {
+            core: EngineCore {
+                cfg,
+                mem,
+                catalog,
+                instances,
+                threads,
+                sfs,
+                cores,
+                events: BinaryHeap::new(),
+                event_seq: 0,
+                id_alloc,
+                stats,
+                rng,
+                now: 0,
+                measure_start: 0,
+                warmed_up: false,
+                epoch_prev: crate::stats::CategoryInstructions::default(),
+                irq_rate_interval,
+                trace: TraceLog::new(cfg_trace_capacity),
+                op_progress: vec![0; num_benchmarks],
+                syscalls_completed: vec![0; num_benchmarks],
+            },
+            scheduler,
+            finished: false,
+        }
+    }
+
+    /// Access to the engine state (for inspection in tests and
+    /// experiments).
+    pub fn engine_core(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// The scheduling technique's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn run(&mut self) -> &SimStats {
+        assert!(!self.finished, "engine already ran");
+        self.finished = true;
+
+        self.scheduler.init(&mut self.core);
+
+        // Enqueue every application SuperFunction.
+        let app_sfs: Vec<SfId> = self.core.threads.iter().map(|t| t.app_sf).collect();
+        for sf in app_sfs {
+            self.scheduler.enqueue(&mut self.core, sf, None);
+        }
+
+        // Prime periodic events.
+        let tick = self.core.cfg.timer_tick_cycles;
+        if tick > 0 {
+            for c in 0..self.core.num_cores() {
+                let stagger = tick / self.core.num_cores() as u64 * c as u64;
+                self.core
+                    .schedule_event(tick + stagger, EventKind::TimerTick { core: c });
+            }
+        }
+        self.core
+            .schedule_event(self.core.cfg.epoch_cycles, EventKind::Epoch);
+        for bench in 0..self.core.instances.len() {
+            if self.core.instances[bench].spec.spontaneous_irq.is_some() {
+                let interval = self.core.irq_rate_interval[bench];
+                self.core
+                    .schedule_event(interval, EventKind::ExternalIrq { bench });
+            }
+        }
+
+        // Main loop.
+        loop {
+            let core_next = self
+                .core
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, cs)| !cs.idle)
+                .min_by_key(|(i, cs)| (cs.clock, *i))
+                .map(|(i, cs)| (cs.clock, i));
+            let event_next = self.core.events.peek().map(|e| e.time);
+
+            match (core_next, event_next) {
+                (None, None) => break,
+                (Some((ct, c)), Some(et)) => {
+                    if et <= ct {
+                        self.process_next_event();
+                    } else {
+                        self.core.now = ct;
+                        self.step_core(c);
+                    }
+                }
+                (Some((ct, c)), None) => {
+                    self.core.now = ct;
+                    self.step_core(c);
+                }
+                (None, Some(_)) => {
+                    self.process_next_event();
+                }
+            }
+
+            // Warm-up and stop conditions. After the warm-up reset the
+            // counters restart, so the stop check must not see the stale
+            // pre-reset count.
+            let workload_instr = self.core.stats.instructions.total_workload();
+            if !self.core.warmed_up {
+                if workload_instr >= self.core.cfg.warmup_instructions {
+                    self.core.reset_for_measurement();
+                }
+            } else if workload_instr >= self.core.cfg.max_instructions {
+                break;
+            }
+            if self.core.now >= self.core.cfg.max_cycles {
+                break;
+            }
+        }
+
+        self.finalize();
+        &self.core.stats
+    }
+
+    fn finalize(&mut self) {
+        if !self.core.warmed_up {
+            // Tiny runs may never hit the warm-up threshold; measure all.
+            self.core.measure_start = 0;
+        }
+        let end = self
+            .core
+            .cores
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .unwrap_or(self.core.now)
+            .max(self.core.now);
+        for c in 0..self.core.cores.len() {
+            let core = &mut self.core.cores[c];
+            if core.idle && end > core.clock {
+                self.core.stats.core_time[c].idle_cycles += end - core.clock;
+                core.clock = end;
+            }
+        }
+        self.core.stats.final_cycle = end.saturating_sub(self.core.measure_start).max(1);
+        self.core.stats.mem = self.core.mem.stats().clone();
+    }
+
+    fn process_next_event(&mut self) {
+        let ev = self.core.events.pop().expect("event queue non-empty");
+        self.core.now = ev.time;
+        match ev.kind {
+            EventKind::DeviceComplete { device, waiter } => {
+                let irq_name = self.core.catalog.interrupt_for_device(device).name;
+                let irq_id = self.core.catalog.interrupt_for_device(device).irq;
+                let target = self
+                    .scheduler
+                    .route_completion(&mut self.core, irq_id, waiter);
+                self.deliver_irq(target.0, irq_name, Some(waiter), ev.time);
+            }
+            EventKind::ExternalIrq { bench } => {
+                let (irq_name, _) = self.core.instances[bench]
+                    .spec
+                    .spontaneous_irq
+                    .expect("external irq only scheduled for rated benchmarks");
+                let irq_id = self.core.catalog.interrupt(irq_name).irq;
+                let target = self.scheduler.route_interrupt(&mut self.core, irq_id);
+                self.deliver_irq(target.0, irq_name, None, ev.time);
+                // Re-arm with ±50 % jitter.
+                let base = self.core.irq_rate_interval[bench];
+                let jitter = self.core.rng.gen_range(base / 2..=base + base / 2);
+                self.core
+                    .schedule_event(ev.time + jitter.max(1), EventKind::ExternalIrq { bench });
+            }
+            EventKind::TimerTick { core } => {
+                let irq_name = "timer_irq";
+                self.deliver_irq(core, irq_name, None, ev.time);
+                self.core.schedule_event(
+                    ev.time + self.core.cfg.timer_tick_cycles,
+                    EventKind::TimerTick { core },
+                );
+            }
+            EventKind::Epoch => {
+                let overhead =
+                    self.scheduler
+                        .overhead_for(&self.core, SchedEvent::EpochAlloc, None);
+                self.core.charge_sched_overhead(0, overhead);
+                self.scheduler.on_epoch(&mut self.core);
+                if self.core.cfg.collect_epoch_breakups {
+                    self.core.snapshot_epoch_breakup();
+                }
+                self.core
+                    .schedule_event(ev.time + self.core.cfg.epoch_cycles, EventKind::Epoch);
+            }
+        }
+    }
+
+    fn deliver_irq(&mut self, c: usize, name: &'static str, waiter: Option<SfId>, raised_at: u64) {
+        self.core.cores[c].pending_irqs.push_back(PendingIrq {
+            name,
+            waiter,
+            raised_at,
+        });
+        self.core.wake_core(c);
+    }
+
+    fn step_core(&mut self, c: usize) {
+        // 1. Service a pending interrupt: preempt whatever runs.
+        if let Some(pending) = self.core.cores[c].pending_irqs.pop_front() {
+            if let Some(cur) = self.core.cores[c].current.take() {
+                self.core
+                    .sfs
+                    .get_mut(&cur)
+                    .expect("current SF exists")
+                    .state = SfState::Preempted;
+                self.core.cores[c].preempt_stack.push(cur);
+                self.scheduler
+                    .on_switch_out(&mut self.core, CoreId(c), cur, SwitchReason::Preempted);
+            }
+            let clock = self.core.cores[c].clock;
+            self.core.stats.interrupts_delivered += 1;
+            self.core.stats.interrupt_latency_cycles +=
+                clock.saturating_sub(pending.raised_at);
+            let sf = self
+                .core
+                .create_interrupt_sf(c, pending.name, pending.waiter);
+            let overhead = self
+                .scheduler
+                .overhead_for(&self.core, SchedEvent::SfStart, Some(sf));
+            self.core.charge_sched_overhead(c, overhead);
+            self.core.prepare_dispatch(c, sf);
+            self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
+            return;
+        }
+
+        // 2. Nothing running? Ask the scheduler.
+        if self.core.cores[c].current.is_none() {
+            match self.scheduler.pick_next(&mut self.core, CoreId(c)) {
+                Some(sf) => {
+                    self.core.prepare_dispatch(c, sf);
+                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
+                }
+                None => self.core.go_idle(c),
+            }
+            return;
+        }
+
+        // 3. Execute one quantum.
+        match self.core.execute_quantum(c) {
+            Boundary::None => {}
+            Boundary::AppBurstEnd => self.on_app_burst_end(c),
+            Boundary::Blocked(device) => self.on_blocked(c, device),
+            Boundary::Completed => self.on_completed(c),
+        }
+    }
+
+    fn on_app_burst_end(&mut self, c: usize) {
+        let app_sf = self.core.cores[c].current.take().expect("app SF running");
+        let tid = self.core.sf(app_sf).tid;
+        self.core
+            .sfs
+            .get_mut(&app_sf)
+            .expect("app SF exists")
+            .state = SfState::PausedForChild;
+        self.scheduler
+            .on_switch_out(&mut self.core, CoreId(c), app_sf, SwitchReason::PausedForChild);
+
+        let syscall_sf = self.core.create_syscall_sf(c, tid, app_sf);
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfStart, Some(syscall_sf));
+        self.core.charge_sched_overhead(c, overhead);
+        self.scheduler
+            .enqueue(&mut self.core, syscall_sf, Some(CoreId(c)));
+        self.core.wake_all_idle();
+    }
+
+    fn on_blocked(&mut self, c: usize, device: DeviceKind) {
+        let sf = self.core.cores[c].current.take().expect("SF running");
+        self.core.sfs.get_mut(&sf).expect("SF exists").state = SfState::Waiting;
+        let at = self.core.cores[c].clock;
+        self.core.trace.record(TraceEvent::Blocked { at, sf });
+        self.scheduler
+            .on_switch_out(&mut self.core, CoreId(c), sf, SwitchReason::Blocked);
+        self.scheduler.on_block(&mut self.core, sf);
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfPause, Some(sf));
+        self.core.charge_sched_overhead(c, overhead);
+
+        let latency = match device {
+            DeviceKind::Disk => self.core.cfg.disk_latency_cycles,
+            DeviceKind::Network => self.core.cfg.network_latency_cycles,
+            DeviceKind::Timer => self.core.cfg.timer_sleep_cycles,
+        };
+        let when = self.core.cores[c].clock + latency.max(1);
+        self.core
+            .schedule_event(when, EventKind::DeviceComplete { device, waiter: sf });
+    }
+
+    fn on_completed(&mut self, c: usize) {
+        let sf_id = self.core.cores[c].current.take().expect("SF running");
+        let at = self.core.cores[c].clock;
+        self.core.trace.record(TraceEvent::Completed { at, sf: sf_id });
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfStop, Some(sf_id));
+        self.core.charge_sched_overhead(c, overhead);
+        self.core.sfs.get_mut(&sf_id).expect("SF exists").state = SfState::Done;
+        self.scheduler
+            .on_switch_out(&mut self.core, CoreId(c), sf_id, SwitchReason::Completed);
+        self.scheduler.on_complete(&mut self.core, sf_id);
+
+        let sf = self.core.sfs.remove(&sf_id).expect("SF exists");
+        match sf.body {
+            SfBody::Syscall { .. } => {
+                // Operation accounting: one application-level operation
+                // per `op_syscalls` completed system calls of the
+                // benchmark.
+                let bench = self.core.threads[sf.tid.0 as usize].benchmark;
+                self.core.op_progress[bench] += 1;
+                self.core.syscalls_completed[bench] += 1;
+                if self.core.op_progress[bench] >= self.core.instances[bench].spec.op_syscalls {
+                    self.core.op_progress[bench] = 0;
+                    self.core.stats.ops_per_benchmark[bench] += 1;
+                }
+                // Return to the parent (the paper's parentSuperFuncPtr
+                // hand-off in TMigrate).
+                let parent = sf.parent.expect("syscalls have a parent");
+                let p = self
+                    .core
+                    .sfs
+                    .get_mut(&parent)
+                    .expect("parent app SF exists");
+                debug_assert_eq!(p.state, SfState::PausedForChild);
+                p.state = SfState::Runnable;
+                p.runnable_since = self.core.cores[c].clock;
+                self.scheduler
+                    .enqueue(&mut self.core, parent, Some(CoreId(c)));
+            }
+            SfBody::Interrupt {
+                bottom_half,
+                waiter,
+                ..
+            } => {
+                if let Some(bh_name) = bottom_half {
+                    let bh = self.core.create_bottom_half_sf(c, bh_name, waiter);
+                    let overhead =
+                        self.scheduler
+                            .overhead_for(&self.core, SchedEvent::SfStart, Some(bh));
+                    self.core.charge_sched_overhead(c, overhead);
+                    self.scheduler.enqueue(&mut self.core, bh, Some(CoreId(c)));
+                } else if let Some(w) = waiter {
+                    self.wake_sf(c, w);
+                }
+                // Resume whatever the interrupt preempted.
+                if let Some(prev) = self.core.cores[c].preempt_stack.pop() {
+                    self.core.prepare_dispatch(c, prev);
+                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), prev);
+                }
+            }
+            SfBody::BottomHalf { wake, .. } => {
+                if let Some(w) = wake {
+                    self.wake_sf(c, w);
+                }
+            }
+            SfBody::Application { .. } => {
+                unreachable!("application SuperFunctions never complete")
+            }
+        }
+        self.core.wake_all_idle();
+    }
+
+    fn wake_sf(&mut self, c: usize, sf: SfId) {
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfWakeup, Some(sf));
+        self.core.charge_sched_overhead(c, overhead);
+        let s = self.core.sfs.get_mut(&sf).expect("woken SF exists");
+        debug_assert_eq!(s.state, SfState::Waiting);
+        s.state = SfState::Runnable;
+        s.runnable_since = self.core.cores[c].clock;
+        self.scheduler.enqueue(&mut self.core, sf, Some(CoreId(c)));
+        self.core.wake_all_idle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_events_pop_in_time_order_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEvent { time: 30, seq: 1, kind: EventKind::Epoch });
+        heap.push(HeapEvent { time: 10, seq: 3, kind: EventKind::Epoch });
+        heap.push(HeapEvent { time: 10, seq: 2, kind: EventKind::TimerTick { core: 0 } });
+        heap.push(HeapEvent { time: 20, seq: 4, kind: EventKind::Epoch });
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time, e.seq))
+            .collect();
+        assert_eq!(order, vec![(10, 2), (10, 3), (20, 4), (30, 1)]);
+    }
+
+    #[test]
+    fn workload_spec_constructors() {
+        let w = WorkloadSpec::single(BenchmarkKind::Find, 2.0);
+        assert_eq!(w.parts, vec![(BenchmarkKind::Find, 2.0)]);
+        assert!(w.custom.is_empty());
+
+        let spec = BenchmarkSpec::for_kind(BenchmarkKind::Apache);
+        let w = WorkloadSpec::custom(spec.clone(), 1.5);
+        assert!(w.parts.is_empty());
+        assert_eq!(w.custom.len(), 1);
+        assert_eq!(w.custom[0].1, 1.5);
+
+        let bag = MultiProgrammedWorkload::by_name("MPW-B").expect("exists");
+        let w = WorkloadSpec::from(&bag);
+        assert_eq!(w.parts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_workload_rejected() {
+        let cfg = EngineConfig::fast();
+        let _ = Engine::new(
+            cfg,
+            &WorkloadSpec::default(),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        );
+    }
+
+    #[test]
+    fn kernel_tid_is_reserved() {
+        assert_eq!(KERNEL_TID, ThreadId(u64::MAX));
+    }
+
+    #[test]
+    fn engine_debug_shows_scheduler_name() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
+        let engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        );
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("GlobalFifo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already ran")]
+    fn engine_cannot_run_twice() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(20_000);
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        );
+        engine.run();
+        engine.run();
+    }
+}

@@ -1,0 +1,143 @@
+//! Identifier newtypes and the paper's distributed superFuncID allocator.
+
+use std::fmt;
+
+/// A core index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A thread id (the `tid` field of a SuperFunction structure,
+/// Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// A unique SuperFunction id (the `superFuncID` field, Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SfId(pub u64);
+
+impl fmt::Display for SfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sf{}", self.0)
+    }
+}
+
+/// Distributed superFuncID allocation, exactly as Section 3.3 specifies:
+/// on an `n`-core system, core `i` assigns ids sequentially in the range
+/// `[2⁶⁴·i/n, 2⁶⁴·(i+1)/n − 1]`, wrapping within its range if exhausted,
+/// so that no global counter is ever shared (the Boyd-Wickizer
+/// scalability argument).
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_kernel::ids::{CoreId, SfIdAllocator};
+///
+/// let mut alloc = SfIdAllocator::new(4);
+/// let a = alloc.next(CoreId(0));
+/// let b = alloc.next(CoreId(1));
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SfIdAllocator {
+    /// Per-core (next, range_start, range_len).
+    counters: Vec<(u64, u64, u64)>,
+}
+
+impl SfIdAllocator {
+    /// Creates an allocator for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        let span = u64::MAX / num_cores as u64;
+        let counters = (0..num_cores as u64)
+            .map(|i| {
+                let start = i * span;
+                (start, start, span)
+            })
+            .collect();
+        SfIdAllocator { counters }
+    }
+
+    /// Allocates the next id from `core`'s range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn next(&mut self, core: CoreId) -> SfId {
+        let (next, start, len) = &mut self.counters[core.0];
+        let id = *next;
+        *next += 1;
+        if *next >= *start + *len {
+            // Wrap around within the core's range, as the paper specifies.
+            *next = *start;
+        }
+        SfId(id)
+    }
+
+    /// The core whose range contains `id`.
+    pub fn owner_of(&self, id: SfId) -> CoreId {
+        let span = self.counters[0].2;
+        CoreId(((id.0 / span) as usize).min(self.counters.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_ranges_are_disjoint() {
+        let mut alloc = SfIdAllocator::new(32);
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..32 {
+            for _ in 0..100 {
+                let id = alloc.next(CoreId(core));
+                assert!(seen.insert(id), "duplicate id {id}");
+                assert_eq!(alloc.owner_of(id), CoreId(core));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_within_a_core() {
+        let mut alloc = SfIdAllocator::new(4);
+        let a = alloc.next(CoreId(2));
+        let b = alloc.next(CoreId(2));
+        assert_eq!(b.0, a.0 + 1);
+    }
+
+    #[test]
+    fn range_start_matches_paper_formula() {
+        let mut alloc = SfIdAllocator::new(4);
+        let first_core1 = alloc.next(CoreId(1));
+        assert_eq!(first_core1.0, u64::MAX / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        SfIdAllocator::new(0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(ThreadId(7).to_string(), "tid7");
+        assert_eq!(SfId(9).to_string(), "sf9");
+    }
+}

@@ -1,0 +1,52 @@
+//! The OS model and discrete-event simulation engine for the SchedTask
+//! reproduction.
+//!
+//! This crate supplies everything between the memory-hierarchy substrate
+//! (`schedtask-sim`) and the scheduling policies (`schedtask-baselines`,
+//! `schedtask`):
+//!
+//! * the SuperFunction object model of Section 3.3
+//!   ([`SuperFunction`], [`SfState`], [`SfBody`]), including the paper's
+//!   distributed `superFuncID` allocation ([`ids::SfIdAllocator`]);
+//! * threads, system-call dispatch, the interrupt controller, bottom
+//!   halves, and blocking devices;
+//! * the [`Scheduler`] plug-in trait — every technique the paper
+//!   evaluates implements it;
+//! * the [`Engine`], which executes SuperFunctions quantum by quantum
+//!   through the cache hierarchy and collects the statistics every figure
+//!   of the paper reports ([`SimStats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use schedtask_kernel::{Engine, EngineConfig, GlobalFifoScheduler, WorkloadSpec};
+//! use schedtask_sim::SystemConfig;
+//! use schedtask_workload::BenchmarkKind;
+//!
+//! let cfg = EngineConfig::fast()
+//!     .with_system(SystemConfig::table2().with_cores(4))
+//!     .with_max_instructions(200_000);
+//! let workload = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
+//! let mut engine = Engine::new(cfg, &workload, Box::new(GlobalFifoScheduler::new()));
+//! let stats = engine.run();
+//! assert!(stats.total_instructions() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod ids;
+pub mod scheduler;
+pub mod stats;
+pub mod superfunction;
+pub mod trace;
+
+pub use config::EngineConfig;
+pub use engine::{Engine, EngineCore, WorkloadSpec, KERNEL_TID};
+pub use ids::{CoreId, SfId, ThreadId};
+pub use scheduler::{GlobalFifoScheduler, SchedEvent, Scheduler, SwitchReason};
+pub use stats::{CategoryInstructions, CoreTime, SimStats};
+pub use superfunction::{SfBody, SfState, SuperFunction};
+pub use trace::{TraceEvent, TraceLog};

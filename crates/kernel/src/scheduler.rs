@@ -1,0 +1,173 @@
+//! The scheduler plug-in interface.
+//!
+//! Every technique the paper evaluates — the Linux baseline,
+//! SelectiveOffload, FlexSC, DisAggregateOS, SLICC, and SchedTask itself —
+//! is an implementation of [`Scheduler`]. The engine owns SuperFunction
+//! lifecycle and timing; the scheduler owns runnable queues and placement
+//! policy, exactly the paper's division between the machine and
+//! TAlloc/TMigrate.
+
+use crate::engine::EngineCore;
+use crate::ids::{CoreId, SfId};
+
+/// Scheduling events for which a technique may charge an instruction
+/// overhead (executed as OS code on the core where the event occurs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedEvent {
+    /// A new SuperFunction is started (the paper's `START_SUPER_FUNCTION`
+    /// TMigrate request).
+    SfStart,
+    /// A SuperFunction completed (`STOP_SUPER_FUNCTION`).
+    SfStop,
+    /// A SuperFunction blocked (`PAUSE_SUPER_FUNCTION`).
+    SfPause,
+    /// A SuperFunction was woken (`WAKEUP_SUPER_FUNCTION`).
+    SfWakeup,
+    /// The per-epoch allocation pass (TAlloc).
+    EpochAlloc,
+    /// A full OS scheduler invocation (context switch through the Linux
+    /// scheduler — what FlexSC pays on every syscall of a single-threaded
+    /// application).
+    FullReschedule,
+}
+
+/// Why a SuperFunction is being switched off a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// It finished.
+    Completed,
+    /// It blocked on a device.
+    Blocked,
+    /// An interrupt preempted it (it will resume on the same core).
+    Preempted,
+    /// It paused to let a child SuperFunction (a system call it invoked)
+    /// run.
+    PausedForChild,
+}
+
+/// A scheduling technique.
+///
+/// The engine calls these hooks; the implementation keeps whatever queues
+/// and tables it needs. All methods receive the [`EngineCore`] context for
+/// querying SuperFunction metadata, reading the hardware Page-heatmap
+/// registers, and probing caches.
+pub trait Scheduler {
+    /// Technique name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Called once before simulation starts, after all threads exist.
+    fn init(&mut self, ctx: &mut EngineCore) {
+        let _ = ctx;
+    }
+
+    /// A SuperFunction became runnable (newly created or woken). The
+    /// scheduler must record it in some queue; it will later hand it back
+    /// from [`Scheduler::pick_next`]. `origin` is the core on which the
+    /// triggering event happened (`None` for initial thread creation) —
+    /// the paper runs SuperFunctions with no allocation-table entry on
+    /// the local core.
+    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>);
+
+    /// The core is free; return the next SuperFunction it should run
+    /// (possibly stolen from another queue), or `None` to idle.
+    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId>;
+
+    /// `sf` is about to start or resume executing on `core`.
+    fn on_dispatch(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId) {
+        let _ = (ctx, core, sf);
+    }
+
+    /// `sf` is leaving `core` for the given reason.
+    fn on_switch_out(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId, reason: SwitchReason) {
+        let _ = (ctx, core, sf, reason);
+    }
+
+    /// `sf` completed (after the final switch-out).
+    fn on_complete(&mut self, ctx: &mut EngineCore, sf: SfId) {
+        let _ = (ctx, sf);
+    }
+
+    /// `sf` blocked on a device (after the switch-out).
+    fn on_block(&mut self, ctx: &mut EngineCore, sf: SfId) {
+        let _ = (ctx, sf);
+    }
+
+    /// An epoch boundary passed.
+    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+        let _ = ctx;
+    }
+
+    /// Which core should service interrupts with this IRQ id right now
+    /// (the paper's programmable interrupt-controller routing; unrouted
+    /// IRQs default to core 0).
+    fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {
+        let _ = (ctx, irq);
+        CoreId(0)
+    }
+
+    /// Which core should service the completion interrupt for an IO
+    /// request that `waiter` is blocked on. The default steers the
+    /// completion to the submitting thread's core (what blk-mq and
+    /// RSS/XPS do), which also spreads the subsequent bottom-half work —
+    /// funnelling every completion to one core livelocks it. Techniques
+    /// that program the interrupt controller (SchedTask's TAlloc)
+    /// override this.
+    fn route_completion(&mut self, ctx: &mut EngineCore, irq: u64, waiter: SfId) -> CoreId {
+        let tid = ctx.sf_tid(waiter);
+        ctx.thread_last_core(tid)
+            .unwrap_or_else(|| self.route_interrupt(ctx, irq))
+    }
+
+    /// Instruction overhead for a scheduling event, with full context —
+    /// FlexSC, for example, charges a complete Linux-scheduler invocation
+    /// when a single-threaded application starts a system call. The
+    /// default defers to [`Scheduler::overhead_instructions`].
+    fn overhead_for(&self, ctx: &EngineCore, event: SchedEvent, sf: Option<SfId>) -> u64 {
+        let _ = (ctx, sf);
+        self.overhead_instructions(event)
+    }
+
+    /// Instruction overhead charged for a scheduling event, executed as
+    /// OS code on the core where the event happens. Defaults model a
+    /// lightweight scheduler; techniques override to match the paper's
+    /// observations (e.g. SchedTask's TMigrate ≈ 3.2 % of execution,
+    /// TAlloc < 0.01 %).
+    fn overhead_instructions(&self, event: SchedEvent) -> u64 {
+        match event {
+            SchedEvent::SfStart | SchedEvent::SfStop => 60,
+            SchedEvent::SfPause | SchedEvent::SfWakeup => 40,
+            SchedEvent::EpochAlloc => 0,
+            SchedEvent::FullReschedule => 1_800,
+        }
+    }
+}
+
+/// A minimal reference scheduler: one global FIFO queue, any free core
+/// takes the head. Used by the engine's own tests and as a sanity floor;
+/// the real techniques live in `schedtask-baselines` and `schedtask`
+/// (core).
+#[derive(Debug, Default)]
+pub struct GlobalFifoScheduler {
+    queue: std::collections::VecDeque<SfId>,
+}
+
+impl GlobalFifoScheduler {
+    /// Creates an empty FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for GlobalFifoScheduler {
+    fn name(&self) -> &'static str {
+        "GlobalFifo"
+    }
+
+    fn enqueue(&mut self, _ctx: &mut EngineCore, sf: SfId, _origin: Option<CoreId>) {
+        self.queue.push_back(sf);
+    }
+
+    fn pick_next(&mut self, _ctx: &mut EngineCore, _core: CoreId) -> Option<SfId> {
+        self.queue.pop_front()
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulation statistics: everything the paper's figures report.
+
+use schedtask_metrics::jain_fairness;
+use schedtask_sim::MemStats;
+use schedtask_workload::SfCategory;
+
+/// Instruction counts by SuperFunction category plus scheduler code
+/// (which Figure 4 excludes from the breakup but which still retires
+/// instructions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryInstructions {
+    /// Application SuperFunctions.
+    pub application: u64,
+    /// System-call handlers.
+    pub syscall: u64,
+    /// Interrupt (top-half) handlers.
+    pub interrupt: u64,
+    /// Bottom-half handlers.
+    pub bottom_half: u64,
+    /// Scheduler routines (TMigrate/TAlloc/Linux scheduler).
+    pub scheduler: u64,
+}
+
+impl CategoryInstructions {
+    /// Adds `n` instructions to the category's counter.
+    pub fn add(&mut self, category: SfCategory, n: u64) {
+        match category {
+            SfCategory::Application => self.application += n,
+            SfCategory::SystemCall => self.syscall += n,
+            SfCategory::Interrupt => self.interrupt += n,
+            SfCategory::BottomHalf => self.bottom_half += n,
+        }
+    }
+
+    /// Total including scheduler instructions.
+    pub fn total(&self) -> u64 {
+        self.application + self.syscall + self.interrupt + self.bottom_half + self.scheduler
+    }
+
+    /// Total excluding scheduler instructions (the Figure 4 denominator).
+    pub fn total_workload(&self) -> u64 {
+        self.application + self.syscall + self.interrupt + self.bottom_half
+    }
+
+    /// The Figure 4 breakup: fractions (%) of
+    /// application/syscall/interrupt/bottom-half instructions, scheduler
+    /// excluded.
+    pub fn breakup_percent(&self) -> [f64; 4] {
+        let t = self.total_workload();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [
+            self.application as f64 / t * 100.0,
+            self.syscall as f64 / t * 100.0,
+            self.interrupt as f64 / t * 100.0,
+            self.bottom_half as f64 / t * 100.0,
+        ]
+    }
+}
+
+/// Per-core execution-time accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreTime {
+    /// Cycles spent executing SuperFunctions or scheduler code.
+    pub busy_cycles: u64,
+    /// Cycles spent with nothing to run.
+    pub idle_cycles: u64,
+}
+
+impl CoreTime {
+    /// Fraction of time idle, in [0, 1].
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Instructions by category.
+    pub instructions: CategoryInstructions,
+    /// Per-core busy/idle accounting.
+    pub core_time: Vec<CoreTime>,
+    /// Inter-core thread migrations (Figure 10).
+    pub thread_migrations: u64,
+    /// Per-thread retired instructions (Jain fairness, Section 6.1).
+    pub per_thread_instructions: Vec<u64>,
+    /// Application operations completed, per benchmark instance.
+    pub ops_per_benchmark: Vec<u64>,
+    /// Interrupt count and cumulative delivery latency in cycles.
+    pub interrupts_delivered: u64,
+    /// Sum of (service start − raise) over all interrupts.
+    pub interrupt_latency_cycles: u64,
+    /// Per-epoch category breakups (%) when epoch collection is enabled
+    /// (Section 4.4).
+    pub epoch_breakups: Vec<[f64; 4]>,
+    /// Branches executed (only counted when explicit branch modelling is
+    /// enabled).
+    pub branches: u64,
+    /// Branch mispredictions (explicit branch modelling only).
+    pub branch_mispredictions: u64,
+    /// Final cycle count (simulated time at stop).
+    pub final_cycle: u64,
+    /// Snapshot of the memory-system statistics.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Creates zeroed stats for `num_cores` cores and
+    /// `num_benchmarks` benchmark instances.
+    pub fn new(num_cores: usize, num_benchmarks: usize) -> Self {
+        SimStats {
+            core_time: vec![CoreTime::default(); num_cores],
+            ops_per_benchmark: vec![0; num_benchmarks],
+            ..SimStats::default()
+        }
+    }
+
+    /// Total retired instructions (including scheduler code).
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.total()
+    }
+
+    /// Instruction throughput in instructions per cycle across the whole
+    /// machine.
+    pub fn instruction_throughput(&self) -> f64 {
+        if self.final_cycle == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / self.final_cycle as f64
+        }
+    }
+
+    /// Mean idle-time fraction across cores, in [0, 1] (Figure 8b).
+    pub fn mean_idle_fraction(&self) -> f64 {
+        if self.core_time.is_empty() {
+            return 0.0;
+        }
+        self.core_time.iter().map(CoreTime::idle_fraction).sum::<f64>()
+            / self.core_time.len() as f64
+    }
+
+    /// Application performance: operations per simulated second for the
+    /// given clock (Section 6.1's "application-specific events ... in one
+    /// second of system execution").
+    pub fn app_performance(&self, clock_hz: u64) -> f64 {
+        let ops: u64 = self.ops_per_benchmark.iter().sum();
+        if self.final_cycle == 0 {
+            0.0
+        } else {
+            ops as f64 * clock_hz as f64 / self.final_cycle as f64
+        }
+    }
+
+    /// Jain fairness index over per-thread instruction throughput.
+    pub fn fairness(&self) -> f64 {
+        let tputs: Vec<f64> = self
+            .per_thread_instructions
+            .iter()
+            .map(|&n| n as f64)
+            .collect();
+        jain_fairness(&tputs)
+    }
+
+    /// Mean interrupt delivery latency in cycles.
+    pub fn mean_interrupt_latency(&self) -> f64 {
+        if self.interrupts_delivered == 0 {
+            0.0
+        } else {
+            self.interrupt_latency_cycles as f64 / self.interrupts_delivered as f64
+        }
+    }
+
+    /// Branch-prediction accuracy in [0, 1]; 0.0 when branch modelling
+    /// is disabled.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            (self.branches - self.branch_mispredictions) as f64 / self.branches as f64
+        }
+    }
+
+    /// Thread migrations normalized per billion instructions (Figure 10's
+    /// y-axis).
+    pub fn migrations_per_billion_instructions(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            self.thread_migrations as f64 * 1e9 / instr as f64
+        }
+    }
+}
+
+impl SimStats {
+    /// A multi-line human-readable summary (used by examples and
+    /// debugging sessions; the experiment tables are the precise
+    /// artefacts).
+    pub fn summary(&self, clock_hz: u64) -> String {
+        let b = self.instructions.breakup_percent();
+        format!(
+            "instructions: {} (app {:.1}% / sys {:.1}% / irq {:.1}% / bh {:.1}%)\n\
+             cycles: {}  machine IPC: {:.3}  idle: {:.1}%\n\
+             i-cache: app {:.1}% / OS {:.1}%   d-cache: app {:.1}% / OS {:.1}%\n\
+             ops/s: {:.0}  migrations/Binstr: {:.0}  fairness: {:.3}",
+            self.total_instructions(),
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+            self.final_cycle,
+            self.instruction_throughput(),
+            self.mean_idle_fraction() * 100.0,
+            self.mem.icache_app.hit_rate() * 100.0,
+            self.mem.icache_os.hit_rate() * 100.0,
+            self.mem.dcache_app.hit_rate() * 100.0,
+            self.mem.dcache_os.hit_rate() * 100.0,
+            self.app_performance(clock_hz),
+            self.migrations_per_billion_instructions(),
+            self.fairness(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let mut s = SimStats::new(2, 1);
+        s.instructions.add(SfCategory::Application, 800);
+        s.instructions.add(SfCategory::SystemCall, 200);
+        s.final_cycle = 1_000;
+        s.ops_per_benchmark[0] = 4;
+        let text = s.summary(1_000);
+        assert!(text.contains("instructions: 1000"));
+        assert!(text.contains("app 80.0%"));
+        assert!(text.contains("ops/s: 4"));
+    }
+
+    #[test]
+    fn breakup_sums_to_hundred() {
+        let mut c = CategoryInstructions::default();
+        c.add(SfCategory::Application, 35);
+        c.add(SfCategory::SystemCall, 55);
+        c.add(SfCategory::Interrupt, 4);
+        c.add(SfCategory::BottomHalf, 6);
+        c.scheduler = 10; // excluded
+        let b = c.breakup_percent();
+        assert!((b.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(b[0], 35.0);
+        assert_eq!(c.total(), 110);
+        assert_eq!(c.total_workload(), 100);
+    }
+
+    #[test]
+    fn empty_breakup_is_zero() {
+        assert_eq!(CategoryInstructions::default().breakup_percent(), [0.0; 4]);
+    }
+
+    #[test]
+    fn idle_fraction() {
+        let ct = CoreTime {
+            busy_cycles: 75,
+            idle_cycles: 25,
+        };
+        assert!((ct.idle_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(CoreTime::default().idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_perf() {
+        let mut s = SimStats::new(2, 1);
+        s.instructions.add(SfCategory::Application, 1_000);
+        s.final_cycle = 2_000;
+        s.ops_per_benchmark[0] = 10;
+        assert!((s.instruction_throughput() - 0.5).abs() < 1e-12);
+        // 10 ops in 2000 cycles at 2 kHz = 10 ops per second.
+        assert!((s.app_performance(2_000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_of_equal_threads_is_one() {
+        let mut s = SimStats::new(1, 1);
+        s.per_thread_instructions = vec![500, 500, 500];
+        assert!((s.fairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interrupt_latency_mean() {
+        let mut s = SimStats::new(1, 1);
+        s.interrupts_delivered = 4;
+        s.interrupt_latency_cycles = 400;
+        assert_eq!(s.mean_interrupt_latency(), 100.0);
+    }
+
+    #[test]
+    fn migrations_normalized() {
+        let mut s = SimStats::new(1, 1);
+        s.thread_migrations = 5;
+        s.instructions.add(SfCategory::Application, 1_000_000);
+        assert!((s.migrations_per_billion_instructions() - 5_000.0).abs() < 1e-9);
+    }
+}

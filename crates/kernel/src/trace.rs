@@ -1,0 +1,219 @@
+//! SuperFunction event tracing.
+//!
+//! The paper's methodology is trace-driven (Qemu collects a full-system
+//! trace, Tejas replays it). This module provides the equivalent
+//! observability for the synthetic engine: a bounded ring of
+//! SuperFunction lifecycle events that experiments and tests can inspect
+//! or dump, without affecting timing.
+
+use crate::ids::{CoreId, SfId, ThreadId};
+use schedtask_workload::SuperFuncType;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A SuperFunction was created.
+    Created {
+        /// Cycle of the event.
+        at: u64,
+        /// The SuperFunction.
+        sf: SfId,
+        /// Its type.
+        sf_type: SuperFuncType,
+        /// Its thread.
+        tid: ThreadId,
+    },
+    /// A SuperFunction started or resumed on a core.
+    Dispatched {
+        /// Cycle of the event.
+        at: u64,
+        /// The SuperFunction.
+        sf: SfId,
+        /// The core it runs on.
+        core: CoreId,
+    },
+    /// A SuperFunction blocked on a device.
+    Blocked {
+        /// Cycle of the event.
+        at: u64,
+        /// The SuperFunction.
+        sf: SfId,
+    },
+    /// A SuperFunction completed.
+    Completed {
+        /// Cycle of the event.
+        at: u64,
+        /// The SuperFunction.
+        sf: SfId,
+    },
+    /// A thread moved between cores.
+    Migrated {
+        /// Cycle of the event.
+        at: u64,
+        /// The thread.
+        tid: ThreadId,
+        /// Source core.
+        from: CoreId,
+        /// Destination core.
+        to: CoreId,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event happened at.
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::Created { at, .. }
+            | TraceEvent::Dispatched { at, .. }
+            | TraceEvent::Blocked { at, .. }
+            | TraceEvent::Completed { at, .. }
+            | TraceEvent::Migrated { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Created { at, sf, sf_type, tid } => {
+                write!(f, "{at} CREATE {sf} type={sf_type} {tid}")
+            }
+            TraceEvent::Dispatched { at, sf, core } => {
+                write!(f, "{at} DISPATCH {sf} on {core}")
+            }
+            TraceEvent::Blocked { at, sf } => write!(f, "{at} BLOCK {sf}"),
+            TraceEvent::Completed { at, sf } => write!(f, "{at} COMPLETE {sf}"),
+            TraceEvent::Migrated { at, tid, from, to } => {
+                write!(f, "{at} MIGRATE {tid} {from}->{to}")
+            }
+        }
+    }
+}
+
+/// A bounded ring of trace events. When full, the oldest events are
+/// dropped (and counted), so tracing never grows unbounded.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log holding up to `capacity` events; a capacity of 0
+    /// disables tracing entirely.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// True when tracing is disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained trace, one event per line (the textual
+    /// format is stable enough for golden tests).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedtask_workload::SfCategory;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent::Completed { at, sf: SfId(at) }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut log = TraceLog::new(3);
+        for at in 0..5 {
+            log.record(ev(at));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.events().next().unwrap().at();
+        assert_eq!(first, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut log = TraceLog::new(0);
+        log.record(ev(1));
+        assert!(log.is_disabled());
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::Created {
+            at: 7,
+            sf: SfId(1),
+            sf_type: SuperFuncType::new(SfCategory::SystemCall, 3),
+            tid: ThreadId(2),
+        };
+        assert_eq!(e.to_string(), "7 CREATE sf1 type=system call:3 tid2");
+        let m = TraceEvent::Migrated {
+            at: 9,
+            tid: ThreadId(0),
+            from: CoreId(1),
+            to: CoreId(2),
+        };
+        assert_eq!(m.to_string(), "9 MIGRATE tid0 core1->core2");
+    }
+
+    #[test]
+    fn dump_is_line_per_event() {
+        let mut log = TraceLog::new(10);
+        log.record(ev(1));
+        log.record(ev(2));
+        assert_eq!(log.dump().lines().count(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Running summary statistics (count / mean / min / max / variance).
+
+/// Incremental summary of a stream of `f64` samples using Welford's
+/// algorithm, so the variance is numerically stable even for long runs.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Population variance (dividing by N); 0.0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation; 0.0 when empty.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use schedtask_metrics::Summary;
+    ///
+    /// let mut a = Summary::new();
+    /// a.record(1.0);
+    /// let mut b = Summary::new();
+    /// b.record(3.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.mean(), 2.0);
+    /// ```
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: Summary = [42.0].into_iter().collect();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        let s: Summary = [3.0, -1.0, 7.0, 2.0].into_iter().collect();
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let all: Summary = (0..100).map(|i| i as f64 * 0.37).collect();
+        let mut a: Summary = (0..50).map(|i| i as f64 * 0.37).collect();
+        let b: Summary = (50..100).map(|i| i as f64 * 0.37).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0]);
+        s.extend([4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 10.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Dev utility: standalone walker-vs-L1i hit rate check.
+use schedtask_sim::{CacheParams, SetAssocCache};
+use schedtask_workload::{Footprint, FootprintWalker, PageAllocator, WalkParams};
+use std::sync::Arc;
+
+fn main() {
+    let mut alloc = PageAllocator::new();
+    for (pages, hot) in [(36u64, 0.14f64), (13, 0.3), (92, 0.06)] {
+        let r = alloc.anonymous("x", pages);
+        let code = Arc::new(Footprint::from_regions([&r]));
+        let empty = Arc::new(Footprint::new());
+        let mut w = FootprintWalker::new(
+            code, empty.clone(), empty.clone(),
+            WalkParams { hot_fraction: hot, ..WalkParams::default() }, 42,
+        );
+        let mut l1 = SetAssocCache::new(CacheParams::new(32*1024, 4, 64, 3));
+        for _ in 0..200_000 { l1.access(w.next_block().line); }
+        println!("pages {pages} hot {hot}: i-hit {:.3}", l1.hit_rate());
+    }
+}

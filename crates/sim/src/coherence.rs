@@ -1,0 +1,305 @@
+//! Directory-based coherence (Table 2: "Directory based MOESI").
+//!
+//! The directory tracks, per data line, which cores hold it and whether
+//! one of them holds it modified. The memory system consults it on
+//! every data access:
+//!
+//! * a **write** by a core that is not the exclusive owner invalidates
+//!   every other sharer's private copy (an upgrade/ownership transfer);
+//! * a **read** of a line another core holds modified is served by a
+//!   cache-to-cache transfer, downgrading the owner to shared.
+//!
+//! States are tracked at directory granularity (Invalid / Shared /
+//! Modified — the O and E refinements of MOESI change who *supplies*
+//! data, not who gets invalidated, and the timing model charges the
+//! supplier uniformly at LLC latency).
+
+/// Directory-visible state of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// No private cache holds the line.
+    Invalid,
+    /// One or more cores hold the line clean.
+    Shared,
+    /// Exactly one core holds the line dirty.
+    Modified,
+}
+
+/// What a read request needs, as decided by the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Serve from the LLC/memory path (no remote private copy matters).
+    FromMemoryPath,
+    /// Serve by cache-to-cache transfer from the modified owner, which
+    /// is downgraded to shared.
+    CacheToCache {
+        /// The core that held the line modified.
+        owner: usize,
+    },
+}
+
+/// What a write request needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Cores whose private copies must be invalidated.
+    pub invalidate: Vec<usize>,
+    /// True when the writer already held the line modified (silent
+    /// upgrade — no coherence traffic).
+    pub silent: bool,
+}
+
+/// Per-line sharer tracking for up to 64 cores.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    sharers: u64,
+    /// Valid only when exactly one bit of `sharers` is set and the line
+    /// is dirty.
+    modified: bool,
+}
+
+/// The coherence directory.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_sim::coherence::{Directory, ReadOutcome};
+///
+/// let mut dir = Directory::new(4);
+/// dir.on_write(0, 100);                 // core 0 owns line 100 modified
+/// let r = dir.on_read(1, 100);          // core 1 reads it
+/// assert_eq!(r, ReadOutcome::CacheToCache { owner: 0 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    num_cores: usize,
+    entries: std::collections::HashMap<u64, Entry>,
+    invalidations: u64,
+    transfers: u64,
+    upgrades: u64,
+    downgrades: u64,
+}
+
+impl Directory {
+    /// Creates a directory for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds 64 (the sharer bitmask
+    /// width).
+    pub fn new(num_cores: usize) -> Self {
+        assert!(
+            (1..=64).contains(&num_cores),
+            "directory supports 1-64 cores"
+        );
+        Directory {
+            num_cores,
+            entries: std::collections::HashMap::new(),
+            invalidations: 0,
+            transfers: 0,
+            upgrades: 0,
+            downgrades: 0,
+        }
+    }
+
+    /// The directory state of `line`.
+    pub fn state_of(&self, line: u64) -> LineState {
+        match self.entries.get(&line) {
+            None => LineState::Invalid,
+            Some(e) if e.sharers == 0 => LineState::Invalid,
+            Some(e) if e.modified => LineState::Modified,
+            Some(_) => LineState::Shared,
+        }
+    }
+
+    /// Registers a read by `core`; returns how the data is supplied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn on_read(&mut self, core: usize, line: u64) -> ReadOutcome {
+        assert!(core < self.num_cores, "core out of range");
+        let e = self.entries.entry(line).or_default();
+        let bit = 1u64 << core;
+        if e.modified && e.sharers & bit == 0 {
+            // Another core holds it modified: cache-to-cache, downgrade.
+            let owner = e.sharers.trailing_zeros() as usize;
+            e.modified = false;
+            e.sharers |= bit;
+            self.transfers += 1;
+            self.downgrades += 1;
+            ReadOutcome::CacheToCache { owner }
+        } else {
+            e.sharers |= bit;
+            ReadOutcome::FromMemoryPath
+        }
+    }
+
+    /// Registers a write by `core`; returns the invalidation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn on_write(&mut self, core: usize, line: u64) -> WriteOutcome {
+        assert!(core < self.num_cores, "core out of range");
+        let e = self.entries.entry(line).or_default();
+        let bit = 1u64 << core;
+        if e.modified && e.sharers == bit {
+            // Already the exclusive modified owner: silent.
+            return WriteOutcome {
+                invalidate: Vec::new(),
+                silent: true,
+            };
+        }
+        let mut invalidate = Vec::new();
+        let others = e.sharers & !bit;
+        for c in 0..self.num_cores {
+            if others & (1u64 << c) != 0 {
+                invalidate.push(c);
+            }
+        }
+        self.invalidations += invalidate.len() as u64;
+        if !invalidate.is_empty() || e.sharers & bit != 0 {
+            self.upgrades += 1;
+        }
+        e.sharers = bit;
+        e.modified = true;
+        WriteOutcome {
+            invalidate,
+            silent: false,
+        }
+    }
+
+    /// Registers that `core` evicted its copy of `line` (the directory
+    /// stops tracking it as a sharer).
+    pub fn on_evict(&mut self, core: usize, line: u64) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1u64 << core);
+            if e.sharers == 0 {
+                e.modified = false;
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Total invalidation messages sent.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total cache-to-cache transfers.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Ownership upgrades (writes that found other sharers or a shared
+    /// self-copy).
+    pub fn upgrades(&self) -> u64 {
+        self.upgrades
+    }
+
+    /// Modified→Shared downgrades.
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    /// Lines currently tracked.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_line_is_invalid() {
+        let dir = Directory::new(4);
+        assert_eq!(dir.state_of(5), LineState::Invalid);
+    }
+
+    #[test]
+    fn read_makes_shared_write_makes_modified() {
+        let mut dir = Directory::new(4);
+        assert_eq!(dir.on_read(0, 1), ReadOutcome::FromMemoryPath);
+        assert_eq!(dir.state_of(1), LineState::Shared);
+        dir.on_write(0, 1);
+        assert_eq!(dir.state_of(1), LineState::Modified);
+    }
+
+    #[test]
+    fn write_invalidates_all_other_sharers() {
+        let mut dir = Directory::new(8);
+        for c in 0..5 {
+            dir.on_read(c, 9);
+        }
+        let w = dir.on_write(5, 9);
+        assert_eq!(w.invalidate, vec![0, 1, 2, 3, 4]);
+        assert!(!w.silent);
+        assert_eq!(dir.invalidations(), 5);
+        assert_eq!(dir.state_of(9), LineState::Modified);
+    }
+
+    #[test]
+    fn repeat_writes_by_owner_are_silent() {
+        let mut dir = Directory::new(2);
+        dir.on_write(0, 3);
+        let w = dir.on_write(0, 3);
+        assert!(w.silent);
+        assert!(w.invalidate.is_empty());
+    }
+
+    #[test]
+    fn read_of_modified_line_is_cache_to_cache_and_downgrades() {
+        let mut dir = Directory::new(4);
+        dir.on_write(2, 7);
+        assert_eq!(dir.on_read(0, 7), ReadOutcome::CacheToCache { owner: 2 });
+        assert_eq!(dir.state_of(7), LineState::Shared);
+        assert_eq!(dir.transfers(), 1);
+        assert_eq!(dir.downgrades(), 1);
+        // Subsequent reads are plain shared reads.
+        assert_eq!(dir.on_read(1, 7), ReadOutcome::FromMemoryPath);
+    }
+
+    #[test]
+    fn owner_rereading_its_own_modified_line_is_local() {
+        let mut dir = Directory::new(4);
+        dir.on_write(1, 11);
+        assert_eq!(dir.on_read(1, 11), ReadOutcome::FromMemoryPath);
+        assert_eq!(dir.state_of(11), LineState::Modified);
+    }
+
+    #[test]
+    fn evictions_clear_tracking() {
+        let mut dir = Directory::new(4);
+        dir.on_read(0, 2);
+        dir.on_read(1, 2);
+        dir.on_evict(0, 2);
+        assert_eq!(dir.state_of(2), LineState::Shared);
+        dir.on_evict(1, 2);
+        assert_eq!(dir.state_of(2), LineState::Invalid);
+        assert_eq!(dir.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn upgrade_from_shared_self_copy_counts() {
+        let mut dir = Directory::new(4);
+        dir.on_read(0, 4);
+        let w = dir.on_write(0, 4); // S -> M upgrade, no other sharers
+        assert!(w.invalidate.is_empty());
+        assert!(!w.silent);
+        assert_eq!(dir.upgrades(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-64 cores")]
+    fn too_many_cores_rejected() {
+        Directory::new(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "core out of range")]
+    fn out_of_range_core_rejected() {
+        Directory::new(2).on_read(2, 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The multicore memory system: per-core private caches and TLBs, a shared
+//! last-level cache, a lightweight ownership-based coherence model, and the
+//! optional instruction prefetcher / trace cache of the appendix.
+//!
+//! This is the substrate on which every scheduling technique is evaluated;
+//! all techniques in the paper differ *only* through what they do to these
+//! structures (i-cache pollution, d-cache locality, TLB pressure).
+
+use crate::cache::SetAssocCache;
+use crate::coherence::{Directory, ReadOutcome};
+use crate::config::{PrefetcherConfig, SystemConfig, TraceCacheConfig};
+use crate::prefetch::{CallGraphPrefetcher, StrideDataPrefetcher};
+use crate::stats::{CodeDomain, MemStats};
+use crate::tlb::Tlb;
+use crate::trace_cache::TraceCache;
+
+/// Bytes per page (4 KB, matching the paper's 12-bit page offset).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Private per-core memory structures.
+#[derive(Debug)]
+struct CoreMem {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: Option<SetAssocCache>,
+    itlb: Tlb,
+    dtlb: Tlb,
+    prefetcher: Option<CallGraphPrefetcher>,
+    data_prefetcher: Option<StrideDataPrefetcher>,
+    trace_cache: Option<TraceCache>,
+}
+
+/// The shared multicore memory system.
+///
+/// Lines are abstract `u64` identifiers already translated to physical
+/// line addresses (line id = physical address / line size); the page frame
+/// number of a line is [`MemorySystem::page_of_line`].
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_sim::{CodeDomain, MemorySystem, SystemConfig};
+///
+/// let mut mem = MemorySystem::new(&SystemConfig::table2());
+/// let cold = mem.fetch_code(0, 1000, CodeDomain::Application);
+/// let warm = mem.fetch_code(0, 1000, CodeDomain::Application);
+/// assert!(cold > warm); // second fetch hits the L1i
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    cores: Vec<CoreMem>,
+    llc: SetAssocCache,
+    /// Coherence directory (Table 2: directory-based MOESI). Sharer sets
+    /// are tracked conservatively: private-cache evictions are not
+    /// reported back, so stale sharer bits can cause spurious (harmless)
+    /// invalidation messages — a common real-directory behaviour too.
+    directory: Directory,
+    stats: MemStats,
+    lines_per_page: u64,
+    nuca: Option<crate::nuca::NucaModel>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let h = &cfg.hierarchy;
+        let cores = (0..cfg.num_cores)
+            .map(|_| CoreMem {
+                l1i: SetAssocCache::with_policy(h.l1i, cfg.l1_replacement),
+                l1d: SetAssocCache::with_policy(h.l1d, cfg.l1_replacement),
+                l2: h.l2.map(SetAssocCache::new),
+                itlb: Tlb::new(cfg.itlb_entries as usize),
+                dtlb: Tlb::new(cfg.dtlb_entries as usize),
+                prefetcher: match cfg.prefetcher {
+                    PrefetcherConfig::None => None,
+                    PrefetcherConfig::CallGraph {
+                        degree,
+                        table_entries,
+                    } => Some(CallGraphPrefetcher::new(table_entries, degree)),
+                },
+                data_prefetcher: if cfg.data_prefetcher {
+                    Some(StrideDataPrefetcher::new())
+                } else {
+                    None
+                },
+                trace_cache: match cfg.trace_cache {
+                    TraceCacheConfig::None => None,
+                    TraceCacheConfig::Enabled {
+                        entries,
+                        trace_lines,
+                    } => Some(TraceCache::new(entries, trace_lines)),
+                },
+            })
+            .collect();
+        MemorySystem {
+            cores,
+            llc: SetAssocCache::new(h.llc),
+            directory: Directory::new(cfg.num_cores.min(64)),
+            stats: MemStats::new(),
+            lines_per_page: PAGE_BYTES / h.l1i.line_bytes,
+            nuca: cfg
+                .nuca
+                .map(|(base, hop)| crate::nuca::NucaModel::new(cfg.num_cores, base, hop)),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// LLC hit latency for `core` accessing `line` (NUCA-aware when the
+    /// banked model is enabled).
+    fn llc_latency(&self, core: usize, line: u64) -> u64 {
+        match &self.nuca {
+            Some(n) => n.latency(core, line),
+            None => self.cfg.hierarchy.llc.latency_cycles,
+        }
+    }
+
+    /// Page frame number containing `line`.
+    pub fn page_of_line(&self, line: u64) -> u64 {
+        line / self.lines_per_page
+    }
+
+    /// Number of cache lines per page for this configuration.
+    pub fn lines_per_page(&self) -> u64 {
+        self.lines_per_page
+    }
+
+    /// Fetches the instruction line `line` on `core`, returning the stall
+    /// cycles this fetch adds on top of the base CPI (0 for an L1i hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn fetch_code(&mut self, core: usize, line: u64, domain: CodeDomain) -> u64 {
+        let page = line / self.lines_per_page;
+        let mut penalty = 0u64;
+
+        // Instruction TLB.
+        let itlb_hit = self.cores[core].itlb.access(page);
+        self.stats.itlb.record(itlb_hit);
+        if !itlb_hit {
+            penalty += self.cfg.tlb_miss_penalty;
+        }
+
+        // Trace cache: a covered fetch bypasses the i-cache entirely.
+        if let Some(tc) = self.cores[core].trace_cache.as_mut() {
+            if tc.fetch(line) {
+                self.stats.trace_cache_covered += 1;
+                return penalty;
+            }
+        }
+
+        // Demand fetch through the hierarchy.
+        let l1_hit = self.cores[core].l1i.access(line);
+        match domain {
+            CodeDomain::Application => self.stats.icache_app.record(l1_hit),
+            CodeDomain::Os => self.stats.icache_os.record(l1_hit),
+        }
+        if !l1_hit {
+            penalty += self.refill_from_outer(core, line);
+        }
+
+        // Train and trigger the instruction prefetcher.
+        if self.cores[core].prefetcher.is_some() {
+            let predictions = {
+                let p = self.cores[core].prefetcher.as_mut().expect("checked");
+                p.observe(line);
+                if l1_hit {
+                    Vec::new()
+                } else {
+                    p.predict(line)
+                }
+            };
+            let mut fills = 0;
+            for pline in predictions {
+                if !self.cores[core].l1i.probe(pline) {
+                    self.cores[core].l1i.fill(pline);
+                    if let Some(l2) = self.cores[core].l2.as_mut() {
+                        l2.fill(pline);
+                    }
+                    self.llc.fill(pline);
+                    fills += 1;
+                }
+            }
+            if fills > 0 {
+                self.stats.prefetch_fills += fills;
+                self.cores[core]
+                    .prefetcher
+                    .as_mut()
+                    .expect("checked")
+                    .note_issued(fills);
+            }
+        }
+
+        penalty
+    }
+
+    /// Performs a data access to `line` on `core`; returns the *visible*
+    /// stall cycles (the out-of-order window hides
+    /// [`SystemConfig::data_overlap_hidden`] of the raw penalty).
+    ///
+    /// Writes take ownership of the line, invalidating any copy in other
+    /// cores' private caches (a MOESI-style upgrade, charged one LLC
+    /// round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_data(&mut self, core: usize, line: u64, write: bool, domain: CodeDomain) -> u64 {
+        let page = line / self.lines_per_page;
+        let mut raw_penalty = 0u64;
+
+        let dtlb_hit = self.cores[core].dtlb.access(page);
+        self.stats.dtlb.record(dtlb_hit);
+        if !dtlb_hit {
+            raw_penalty += self.cfg.tlb_miss_penalty;
+        }
+
+        // Coherence: writes always consult the directory (a write hit on
+        // a shared copy still needs an ownership upgrade).
+        let dir_core = core.min(63);
+        if write {
+            let outcome = self.directory.on_write(dir_core, line);
+            if !outcome.silent && !outcome.invalidate.is_empty() {
+                for c in &outcome.invalidate {
+                    self.invalidate_private(*c, line);
+                }
+                self.stats.coherence_invalidations += outcome.invalidate.len() as u64;
+                raw_penalty += self.llc_latency(core, line);
+            }
+        }
+
+        let l1_hit = self.cores[core].l1d.access(line);
+        match domain {
+            CodeDomain::Application => self.stats.dcache_app.record(l1_hit),
+            CodeDomain::Os => self.stats.dcache_os.record(l1_hit),
+        }
+        if !l1_hit {
+            if write {
+                // The directory already granted ownership above; fetch
+                // the line through the memory path.
+                raw_penalty += self.refill_data_from_outer(core, line);
+            } else {
+                match self.directory.on_read(dir_core, line) {
+                    ReadOutcome::CacheToCache { owner: _ } => {
+                        // Served dirty by the remote owner at LLC
+                        // latency; fills our private hierarchy too.
+                        self.stats.coherence_transfers += 1;
+                        raw_penalty += self.llc_latency(core, line);
+                        if let Some(l2) = self.cores[core].l1d_l2_mut() {
+                            l2.fill(line);
+                        }
+                        self.cores[core].l1d.fill(line);
+                        self.llc.fill(line);
+                    }
+                    ReadOutcome::FromMemoryPath => {
+                        raw_penalty += self.refill_data_from_outer(core, line);
+                    }
+                }
+            }
+        }
+
+        // Stride data prefetcher: train on the demand stream and fill
+        // predicted lines into the private hierarchy.
+        if self.cores[core].data_prefetcher.is_some() {
+            let predicted = self
+                .cores[core]
+                .data_prefetcher
+                .as_mut()
+                .expect("checked")
+                .observe(line);
+            for pline in predicted {
+                self.cores[core].l1d.fill(pline);
+                if let Some(l2) = self.cores[core].l2.as_mut() {
+                    l2.fill(pline);
+                }
+                self.llc.fill(pline);
+                self.stats.prefetch_fills += 1;
+            }
+        }
+
+        let hidden = self.cfg.data_overlap_hidden.clamp(0.0, 1.0);
+        (raw_penalty as f64 * (1.0 - hidden)).round() as u64
+    }
+
+    /// True if `core`'s L1i currently holds `line` (no state change). Used
+    /// by SLICC's remote-tag search, which the paper models at zero cost.
+    pub fn probe_icache(&self, core: usize, line: u64) -> bool {
+        self.cores[core].l1i.probe(line)
+    }
+
+    fn invalidate_private(&mut self, core: usize, line: u64) {
+        self.cores[core].l1d.invalidate(line);
+        if let Some(l2) = self.cores[core].l2.as_mut() {
+            l2.invalidate(line);
+        }
+    }
+
+    /// Refills an instruction line from L2/LLC/memory; returns added
+    /// cycles.
+    fn refill_from_outer(&mut self, core: usize, line: u64) -> u64 {
+        if let Some(l2) = self.cores[core].l2.as_mut() {
+            let l2_hit = l2.access(line);
+            self.stats.l2.record(l2_hit);
+            if l2_hit {
+                return self.cfg.hierarchy.l2.expect("l2 exists").latency_cycles;
+            }
+        }
+        let llc_hit = self.llc.access(line);
+        self.stats.llc.record(llc_hit);
+        if llc_hit {
+            self.llc_latency(core, line)
+        } else {
+            self.cfg.hierarchy.memory_latency
+        }
+    }
+
+    /// Refills a data line from L2/LLC/memory; returns added cycles.
+    fn refill_data_from_outer(&mut self, core: usize, line: u64) -> u64 {
+        // Identical path; kept separate so d-side prefetching could hook in.
+        self.refill_from_outer(core, line)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets statistics (cache contents are preserved — use after
+    /// warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// i-TLB hit rate so far.
+    pub fn itlb_hit_rate(&self) -> f64 {
+        self.stats.itlb.hit_rate()
+    }
+
+    /// d-TLB hit rate so far.
+    pub fn dtlb_hit_rate(&self) -> f64 {
+        self.stats.dtlb.hit_rate()
+    }
+}
+
+impl CoreMem {
+    /// Helper: mutable access to the L2 (for data fills).
+    fn l1d_l2_mut(&mut self) -> Option<&mut SetAssocCache> {
+        self.l2.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SystemConfig {
+        SystemConfig::table2().with_cores(4)
+    }
+
+    #[test]
+    fn code_fetch_hit_costs_nothing() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        let first = mem.fetch_code(0, 500, CodeDomain::Os);
+        assert!(first > 0);
+        let second = mem.fetch_code(0, 500, CodeDomain::Os);
+        assert_eq!(second, 0);
+        assert_eq!(mem.stats().icache_os.hits, 1);
+        assert_eq!(mem.stats().icache_os.misses, 1);
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        let cfg = small_cfg();
+        let p = mem.fetch_code(0, 12345, CodeDomain::Application);
+        // TLB miss + memory latency on a completely cold access.
+        assert_eq!(p, cfg.tlb_miss_penalty + cfg.hierarchy.memory_latency);
+    }
+
+    #[test]
+    fn second_core_hits_llc_not_memory() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        mem.fetch_code(0, 777, CodeDomain::Application);
+        let p = mem.fetch_code(1, 777, CodeDomain::Application);
+        let cfg = small_cfg();
+        // Core 1: own TLB miss + L1 miss + L2 miss + LLC hit.
+        assert_eq!(p, cfg.tlb_miss_penalty + cfg.hierarchy.llc.latency_cycles);
+    }
+
+    #[test]
+    fn domains_are_tracked_separately() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        mem.fetch_code(0, 1, CodeDomain::Application);
+        mem.fetch_code(0, 2, CodeDomain::Os);
+        mem.fetch_code(0, 2, CodeDomain::Os);
+        assert_eq!(mem.stats().icache_app.total(), 1);
+        assert_eq!(mem.stats().icache_os.total(), 2);
+    }
+
+    #[test]
+    fn data_write_takes_ownership_and_invalidates() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        mem.access_data(0, 42, true, CodeDomain::Os);
+        assert!(mem.access_data(0, 42, false, CodeDomain::Os) == 0);
+        // Core 1 writes the same line: invalidation charged.
+        mem.access_data(1, 42, true, CodeDomain::Os);
+        assert_eq!(mem.stats().coherence_invalidations, 1);
+        // Core 0 re-reads: its copy was invalidated, so this misses.
+        let before = mem.stats().dcache_os.misses;
+        mem.access_data(0, 42, false, CodeDomain::Os);
+        assert_eq!(mem.stats().dcache_os.misses, before + 1);
+    }
+
+    #[test]
+    fn read_of_remote_dirty_line_is_cache_to_cache() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        mem.access_data(0, 99, true, CodeDomain::Os);
+        mem.access_data(1, 99, false, CodeDomain::Os);
+        assert_eq!(mem.stats().coherence_transfers, 1);
+    }
+
+    #[test]
+    fn data_overlap_hides_latency() {
+        let mut zero_hide = SystemConfig::table2().with_cores(1);
+        zero_hide.data_overlap_hidden = 0.0;
+        let mut full_hide = zero_hide.clone();
+        full_hide.data_overlap_hidden = 1.0;
+
+        let mut m0 = MemorySystem::new(&zero_hide);
+        let mut m1 = MemorySystem::new(&full_hide);
+        let p0 = m0.access_data(0, 7, false, CodeDomain::Application);
+        let p1 = m1.access_data(0, 7, false, CodeDomain::Application);
+        assert!(p0 > 0);
+        assert_eq!(p1, 0);
+    }
+
+    #[test]
+    fn two_level_hierarchy_skips_l2() {
+        let cfg = SystemConfig::table2()
+            .with_cores(1)
+            .with_hierarchy(crate::config::HierarchyConfig::config1());
+        let mut mem = MemorySystem::new(&cfg);
+        mem.fetch_code(0, 5, CodeDomain::Os);
+        assert_eq!(mem.stats().l2.total(), 0);
+        assert_eq!(mem.stats().llc.total(), 1);
+    }
+
+    #[test]
+    fn prefetcher_reduces_misses_on_sequential_code() {
+        let base = SystemConfig::table2().with_cores(1);
+        let pf = base.clone().with_call_graph_prefetcher();
+
+        let run = |cfg: &SystemConfig| {
+            let mut mem = MemorySystem::new(cfg);
+            // A loop over a footprint larger than the L1i, twice.
+            let lines = cfg.hierarchy.l1i.num_lines() * 2;
+            for _ in 0..3 {
+                for l in 0..lines {
+                    mem.fetch_code(0, l, CodeDomain::Application);
+                }
+            }
+            let s = mem.stats();
+            let mut all = s.icache_app;
+            all.merge(&s.icache_os);
+            all.hit_rate()
+        };
+
+        let hit_plain = run(&base);
+        let hit_pf = run(&pf);
+        assert!(
+            hit_pf > hit_plain,
+            "prefetcher should raise i-hit rate: {hit_pf} vs {hit_plain}"
+        );
+    }
+
+    #[test]
+    fn trace_cache_covers_repeated_fetches() {
+        let cfg = SystemConfig::table2().with_cores(1).with_trace_cache();
+        let mut mem = MemorySystem::new(&cfg);
+        for _ in 0..4 {
+            for l in 0..64u64 {
+                mem.fetch_code(0, l, CodeDomain::Application);
+            }
+        }
+        assert!(mem.stats().trace_cache_covered > 0);
+    }
+
+    #[test]
+    fn page_of_line_uses_64_lines_per_page() {
+        let mem = MemorySystem::new(&small_cfg());
+        assert_eq!(mem.lines_per_page(), 64);
+        assert_eq!(mem.page_of_line(63), 0);
+        assert_eq!(mem.page_of_line(64), 1);
+    }
+
+    #[test]
+    fn probe_icache_is_non_destructive() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        assert!(!mem.probe_icache(0, 9));
+        mem.fetch_code(0, 9, CodeDomain::Os);
+        assert!(mem.probe_icache(0, 9));
+        let hits_before = mem.stats().icache_os.hits;
+        let _ = mem.probe_icache(0, 9);
+        assert_eq!(mem.stats().icache_os.hits, hits_before);
+    }
+
+    #[test]
+    fn reset_stats_preserves_warm_caches() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        mem.fetch_code(0, 11, CodeDomain::Os);
+        mem.reset_stats();
+        assert_eq!(mem.stats().icache_os.total(), 0);
+        let p = mem.fetch_code(0, 11, CodeDomain::Os);
+        assert_eq!(p, 0, "cache stayed warm across reset");
+    }
+
+    #[test]
+    fn tlb_hit_rates_exposed() {
+        let mut mem = MemorySystem::new(&small_cfg());
+        for _ in 0..4 {
+            mem.fetch_code(0, 3, CodeDomain::Os);
+            mem.access_data(0, 3, false, CodeDomain::Os);
+        }
+        assert!(mem.itlb_hit_rate() > 0.5);
+        assert!(mem.dtlb_hit_rate() > 0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! NUCA (non-uniform cache access) latency model for the shared LLC.
+//!
+//! Table 2 describes the L3 as a "Shared NUCA cache" with an *average*
+//! latency of 18 cycles. The default timing model uses that flat
+//! average; this module provides the explicit banked model for the NUCA
+//! ablation: the LLC is distributed across one bank per core on a 2-D
+//! mesh, and an access from core `c` to the bank holding the line pays
+//! the Manhattan hop distance.
+
+/// Banked NUCA latency model over a square(ish) mesh.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_sim::NucaModel;
+///
+/// let nuca = NucaModel::new(16, 12, 2); // 16 banks, 12-cycle base, 2 cycles/hop
+/// // Same tile: base latency only.
+/// assert_eq!(nuca.latency(0, 0), 12);
+/// // Distant bank costs hops.
+/// assert!(nuca.latency(0, 15) > nuca.latency(0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NucaModel {
+    banks: usize,
+    mesh_width: usize,
+    base_latency: u64,
+    per_hop: u64,
+}
+
+impl NucaModel {
+    /// Creates a model with `banks` banks (one per core tile), a bank
+    /// access latency of `base_latency`, and `per_hop` cycles per mesh
+    /// hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize, base_latency: u64, per_hop: u64) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        let mesh_width = (banks as f64).sqrt().ceil() as usize;
+        NucaModel {
+            banks,
+            mesh_width: mesh_width.max(1),
+            base_latency,
+            per_hop,
+        }
+    }
+
+    /// The bank holding `line` (static line interleaving).
+    pub fn bank_of(&self, line: u64) -> usize {
+        (line % self.banks as u64) as usize
+    }
+
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        (tile % self.mesh_width, tile / self.mesh_width)
+    }
+
+    /// Manhattan hop distance between two tiles.
+    pub fn hops(&self, from_tile: usize, to_tile: usize) -> u64 {
+        let (x0, y0) = self.coords(from_tile);
+        let (x1, y1) = self.coords(to_tile);
+        (x0.abs_diff(x1) + y0.abs_diff(y1)) as u64
+    }
+
+    /// Access latency from `core` to the bank holding `line`.
+    pub fn latency(&self, core: usize, line: u64) -> u64 {
+        let bank = self.bank_of(line);
+        self.base_latency + self.per_hop * self.hops(core % self.banks, bank)
+    }
+
+    /// Mean latency over all (core, bank) pairs — useful for checking
+    /// the model against Table 2's quoted average.
+    pub fn mean_latency(&self) -> f64 {
+        let mut total = 0u64;
+        for c in 0..self.banks {
+            for b in 0..self.banks {
+                total += self.base_latency + self.per_hop * self.hops(c, b);
+            }
+        }
+        total as f64 / (self.banks * self.banks) as f64
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_tile_pays_base_only() {
+        let n = NucaModel::new(16, 12, 2);
+        for t in 0..16 {
+            assert_eq!(n.latency(t, t as u64), 12);
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_triangle() {
+        let n = NucaModel::new(16, 12, 2);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(n.hops(a, b), n.hops(b, a));
+                for c in 0..16 {
+                    assert!(n.hops(a, c) <= n.hops(a, b) + n.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner_is_maximal() {
+        let n = NucaModel::new(16, 12, 2); // 4x4 mesh
+        let max = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| n.hops(a, b))
+            .max()
+            .unwrap();
+        assert_eq!(n.hops(0, 15), max);
+        assert_eq!(max, 6); // (3 + 3) hops on a 4x4 mesh
+    }
+
+    #[test]
+    fn mean_latency_can_match_table2_average() {
+        // 32 banks at base 12 with 2 cycles/hop averages near the
+        // paper's quoted 18 cycles.
+        let n = NucaModel::new(32, 12, 2);
+        let mean = n.mean_latency();
+        assert!((16.0..20.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn line_interleaving_covers_all_banks() {
+        let n = NucaModel::new(8, 10, 1);
+        let banks: std::collections::HashSet<usize> = (0..64u64).map(|l| n.bank_of(l)).collect();
+        assert_eq!(banks.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        NucaModel::new(0, 1, 1);
+    }
+}

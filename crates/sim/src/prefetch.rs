@@ -1,0 +1,255 @@
+//! A history-based instruction prefetcher in the spirit of Call Graph
+//! Prefetching (CGP, Annavaram et al.), hardware-only mode.
+//!
+//! The appendix's Figure 2 re-evaluates all core-specialization techniques
+//! on a baseline that has an instruction prefetcher. CGP's hardware-only
+//! mode learns, per fetched line, which lines were fetched next, and
+//! prefetches a few predicted successors on every demand fetch. We model
+//! exactly that: a direct-mapped successor-history table of
+//! `table_entries`, trained on the demand-fetch stream, that emits up to
+//! `degree` predicted lines per trigger.
+
+/// Successor-history instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_sim::CallGraphPrefetcher;
+///
+/// let mut p = CallGraphPrefetcher::new(1024, 2);
+/// p.observe(100);
+/// p.observe(101);
+/// p.observe(102);
+/// // After training, fetching line 100 predicts 101 (and its successor).
+/// assert_eq!(p.predict(100), vec![101, 102]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallGraphPrefetcher {
+    /// Direct-mapped table: `successor[h(line)] = (line, next_line)`.
+    table: Vec<Option<(u64, u64)>>,
+    degree: usize,
+    last_line: Option<u64>,
+    issued: u64,
+}
+
+impl CallGraphPrefetcher {
+    /// Creates a prefetcher with a `table_entries`-entry history table
+    /// that prefetches up to `degree` lines per trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` or `degree` is zero.
+    pub fn new(table_entries: u32, degree: u32) -> Self {
+        assert!(table_entries > 0 && degree > 0);
+        CallGraphPrefetcher {
+            table: vec![None; table_entries as usize],
+            degree: degree as usize,
+            last_line: None,
+            issued: 0,
+        }
+    }
+
+    fn slot(&self, line: u64) -> usize {
+        (line % self.table.len() as u64) as usize
+    }
+
+    /// Trains the history table with the next line in the demand-fetch
+    /// stream.
+    pub fn observe(&mut self, line: u64) {
+        if let Some(prev) = self.last_line {
+            if prev != line {
+                let slot = self.slot(prev);
+                self.table[slot] = Some((prev, line));
+            }
+        }
+        self.last_line = Some(line);
+    }
+
+    /// Predicted successor chain for `line`, up to `degree` lines.
+    pub fn predict(&self, line: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.degree);
+        let mut cur = line;
+        for _ in 0..self.degree {
+            match self.table[self.slot(cur)] {
+                Some((tag, next)) if tag == cur => {
+                    out.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Records that `n` prefetches were issued (for statistics).
+    pub fn note_issued(&mut self, n: u64) {
+        self.issued += n;
+    }
+
+    /// Total prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_table_predicts_nothing() {
+        let p = CallGraphPrefetcher::new(64, 4);
+        assert!(p.predict(42).is_empty());
+    }
+
+    #[test]
+    fn learns_sequential_stream() {
+        let mut p = CallGraphPrefetcher::new(1024, 3);
+        for line in 0..10 {
+            p.observe(line);
+        }
+        assert_eq!(p.predict(0), vec![1, 2, 3]);
+        assert_eq!(p.predict(7), vec![8, 9]);
+    }
+
+    #[test]
+    fn relearns_on_changed_successor() {
+        let mut p = CallGraphPrefetcher::new(1024, 1);
+        p.observe(5);
+        p.observe(6);
+        assert_eq!(p.predict(5), vec![6]);
+        p.observe(5);
+        p.observe(9);
+        assert_eq!(p.predict(5), vec![9]);
+    }
+
+    #[test]
+    fn repeated_line_does_not_self_link() {
+        let mut p = CallGraphPrefetcher::new(64, 4);
+        p.observe(3);
+        p.observe(3);
+        p.observe(3);
+        assert!(p.predict(3).is_empty());
+    }
+
+    #[test]
+    fn table_conflicts_replace() {
+        let mut p = CallGraphPrefetcher::new(1, 1);
+        p.observe(1);
+        p.observe(2); // table[0] = (1, 2)
+        p.observe(3); // table[0] = (2, 3)
+        assert!(p.predict(1).is_empty());
+        assert_eq!(p.predict(2), vec![3]);
+    }
+
+    #[test]
+    fn issue_counter() {
+        let mut p = CallGraphPrefetcher::new(8, 2);
+        p.note_issued(5);
+        p.note_issued(2);
+        assert_eq!(p.issued(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sizing_rejected() {
+        CallGraphPrefetcher::new(0, 1);
+    }
+}
+
+/// A per-core stride data prefetcher: detects a repeated line-stride in
+/// the data stream and prefetches the next line(s) along it. Modern
+/// cores ship one (Section 2.2 notes that data prefetchers are among the
+/// optimizations that already hide d-cache latencies); it is optional
+/// here for the data-prefetcher ablation.
+#[derive(Debug, Clone, Default)]
+pub struct StrideDataPrefetcher {
+    last_line: Option<u64>,
+    last_stride: i64,
+    confidence: u8,
+    issued: u64,
+}
+
+impl StrideDataPrefetcher {
+    /// Creates an untrained prefetcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a demand data access; returns lines to prefetch (empty
+    /// until a stride repeats).
+    pub fn observe(&mut self, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Some(prev) = self.last_line {
+            let stride = line as i64 - prev as i64;
+            if stride != 0 && stride == self.last_stride {
+                self.confidence = (self.confidence + 1).min(4);
+            } else {
+                self.confidence = 0;
+            }
+            self.last_stride = stride;
+            if self.confidence >= 2 {
+                // Confident: prefetch the next two lines along the stride.
+                for k in 1..=2i64 {
+                    let target = line as i64 + self.last_stride * k;
+                    if target >= 0 {
+                        out.push(target as u64);
+                    }
+                }
+                self.issued += out.len() as u64;
+            }
+        }
+        self.last_line = Some(line);
+        out
+    }
+
+    /// Total prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod stride_tests {
+    use super::*;
+
+    #[test]
+    fn untrained_issues_nothing() {
+        let mut p = StrideDataPrefetcher::new();
+        assert!(p.observe(100).is_empty());
+        assert!(p.observe(200).is_empty()); // first stride observation
+    }
+
+    #[test]
+    fn repeated_stride_triggers() {
+        let mut p = StrideDataPrefetcher::new();
+        p.observe(100);
+        p.observe(104);
+        p.observe(108); // stride 4 repeated once -> confidence building
+        let pf = p.observe(112);
+        assert_eq!(pf, vec![116, 120]);
+        assert!(p.issued() >= 2);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StrideDataPrefetcher::new();
+        for l in [100u64, 104, 108, 112] {
+            p.observe(l);
+        }
+        assert!(!p.observe(116).is_empty());
+        // Break the stride.
+        assert!(p.observe(500).is_empty());
+        assert!(p.observe(501).is_empty());
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut p = StrideDataPrefetcher::new();
+        for l in [100u64, 96, 92, 88] {
+            p.observe(l);
+        }
+        let pf = p.observe(84);
+        assert_eq!(pf, vec![80, 76]);
+    }
+}

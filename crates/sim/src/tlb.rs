@@ -1,0 +1,155 @@
+//! Fully-associative translation lookaside buffers with LRU replacement.
+
+use std::collections::VecDeque;
+
+/// A fully-associative TLB over page identifiers.
+///
+/// The paper's Table 2 machine has 128-entry iTLB and dTLB per core; TLB
+/// hit-rate deltas are reported in Section 6.1 ("TLB hit rates").
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_sim::Tlb;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.access(10));
+/// assert!(tlb.access(10));
+/// tlb.access(11);
+/// tlb.access(12);         // evicts page 10
+/// assert!(!tlb.access(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: usize,
+    /// Pages in LRU order: front = MRU.
+    resident: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with room for `entries` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "a TLB needs at least one entry");
+        Tlb {
+            entries,
+            resident: VecDeque::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `page`; returns `true` on hit. A miss installs the
+    /// translation, evicting the LRU entry when full.
+    pub fn access(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.resident.iter().position(|&p| p == page) {
+            self.resident.remove(pos);
+            self.resident.push_front(page);
+            self.hits += 1;
+            true
+        } else {
+            if self.resident.len() == self.entries {
+                self.resident.pop_back();
+            }
+            self.resident.push_front(page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1]; 0.0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all translations (e.g. on an address-space switch), keeping
+    /// statistics.
+    pub fn flush(&mut self) {
+        self.resident.clear();
+    }
+
+    /// Number of resident translations.
+    pub fn resident_entries(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(1));
+        assert!(t.access(1));
+        assert_eq!((t.hits(), t.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(1);
+        t.access(2);
+        t.access(1); // refresh 1; LRU = 2
+        t.access(3); // evict 2
+        assert!(t.access(1));
+        assert!(!t.access(2));
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut t = Tlb::new(8);
+        for p in 0..100 {
+            t.access(p);
+        }
+        assert_eq!(t.resident_entries(), 8);
+    }
+
+    #[test]
+    fn flush_keeps_stats() {
+        let mut t = Tlb::new(2);
+        t.access(1);
+        t.flush();
+        assert_eq!(t.resident_entries(), 0);
+        assert_eq!(t.misses(), 1);
+        assert!(!t.access(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        Tlb::new(0);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut t = Tlb::new(128);
+        for _ in 0..10 {
+            for p in 0..64 {
+                t.access(p);
+            }
+        }
+        assert!(t.hit_rate() > 0.85);
+    }
+}

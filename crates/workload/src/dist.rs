@@ -1,0 +1,109 @@
+//! Small deterministic distributions for instruction counts.
+
+use rand::Rng;
+
+/// A distribution over instruction counts.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_workload::LenDist;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let d = LenDist::uniform(100, 200);
+/// let n = d.sample(&mut rng);
+/// assert!((100..=200).contains(&n));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LenDist {
+    /// Always the same length.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+impl LenDist {
+    /// A constant length.
+    pub fn fixed(n: u64) -> Self {
+        LenDist::Fixed(n)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "uniform bounds must be ordered");
+        LenDist::Uniform { lo, hi }
+    }
+
+    /// Draws a length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LenDist::Fixed(n) => n,
+            LenDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LenDist::Fixed(n) => n as f64,
+            LenDist::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_same() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = LenDist::fixed(42);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 42);
+        }
+        assert_eq!(d.mean(), 42.0);
+    }
+
+    #[test]
+    fn uniform_in_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = LenDist::uniform(10, 20);
+        let mut sum = 0u64;
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10..=20).contains(&x));
+            sum += x;
+        }
+        let avg = sum as f64 / 1000.0;
+        assert!((avg - d.mean()).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_bounds_rejected() {
+        LenDist::uniform(5, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LenDist::uniform(0, 1_000_000);
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

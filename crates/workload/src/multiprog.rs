@@ -1,0 +1,84 @@
+//! Multi-programmed workload bags MPW-A .. MPW-F (appendix Table 1).
+
+use crate::benchmarks::BenchmarkKind;
+
+/// A multi-programmed workload: several benchmarks running simultaneously,
+/// each at a per-benchmark scale (appendix Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiProgrammedWorkload {
+    /// Bag name ("MPW-A" .. "MPW-F").
+    pub name: &'static str,
+    /// Constituent benchmarks with their individual workload scale.
+    pub parts: Vec<(BenchmarkKind, f64)>,
+}
+
+impl MultiProgrammedWorkload {
+    /// The six bags of appendix Table 1.
+    pub fn all() -> Vec<MultiProgrammedWorkload> {
+        use BenchmarkKind::*;
+        vec![
+            MultiProgrammedWorkload {
+                name: "MPW-A",
+                parts: vec![(Dss, 1.0), (FileSrv, 1.0)],
+            },
+            MultiProgrammedWorkload {
+                name: "MPW-B",
+                parts: vec![(Apache, 1.0), (Oltp, 1.0)],
+            },
+            MultiProgrammedWorkload {
+                name: "MPW-C",
+                parts: vec![(Apache, 0.5), (Dss, 0.5), (FileSrv, 0.5), (Iscp, 0.5)],
+            },
+            MultiProgrammedWorkload {
+                name: "MPW-D",
+                parts: vec![(Apache, 0.5), (Dss, 0.5), (Find, 0.5), (Oltp, 0.5)],
+            },
+            MultiProgrammedWorkload {
+                name: "MPW-E",
+                parts: vec![(Find, 0.5), (FileSrv, 0.5), (Iscp, 0.5), (Oscp, 0.5)],
+            },
+            MultiProgrammedWorkload {
+                name: "MPW-F",
+                parts: vec![(Apache, 0.5), (FileSrv, 0.5), (MailSrvIo, 0.5), (Oltp, 0.5)],
+            },
+        ]
+    }
+
+    /// Looks up a bag by name.
+    pub fn by_name(name: &str) -> Option<MultiProgrammedWorkload> {
+        Self::all().into_iter().find(|w| w.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_bags_matching_appendix_table1() {
+        let bags = MultiProgrammedWorkload::all();
+        assert_eq!(bags.len(), 6);
+        assert_eq!(bags[0].name, "MPW-A");
+        assert_eq!(bags[0].parts.len(), 2);
+        assert!(bags[0].parts.iter().all(|&(_, s)| s == 1.0));
+        // Four-benchmark bags run each constituent at half scale.
+        for bag in &bags[2..] {
+            assert_eq!(bag.parts.len(), 4);
+            assert!(bag.parts.iter().all(|&(_, s)| s == 0.5));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(MultiProgrammedWorkload::by_name("MPW-F").is_some());
+        assert!(MultiProgrammedWorkload::by_name("MPW-Z").is_none());
+    }
+
+    #[test]
+    fn mpw_f_contents_match_table() {
+        use BenchmarkKind::*;
+        let f = MultiProgrammedWorkload::by_name("MPW-F").unwrap();
+        let kinds: Vec<_> = f.parts.iter().map(|&(k, _)| k).collect();
+        assert_eq!(kinds, vec![Apache, FileSrv, MailSrvIo, Oltp]);
+    }
+}

@@ -1,0 +1,105 @@
+//! A bump allocator for physical code/data pages.
+//!
+//! All footprints in one simulated machine must come from the same
+//! allocator so that *named* regions are shared (same physical pages)
+//! while anonymous allocations never collide.
+
+use crate::footprint::Region;
+use std::collections::HashMap;
+
+/// Allocates physical page frames and memoizes named regions.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_workload::PageAllocator;
+///
+/// let mut alloc = PageAllocator::new();
+/// let a = alloc.region("vfs_common", 6);
+/// let b = alloc.region("vfs_common", 6); // same physical pages
+/// assert_eq!(a.first_page(), b.first_page());
+///
+/// let c = alloc.region("net_common", 4); // fresh pages
+/// assert_ne!(a.first_page(), c.first_page());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageAllocator {
+    next_page: u64,
+    named: HashMap<String, Region>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator starting at page frame 16 (leaving low frames
+    /// unused, as a real machine would).
+    pub fn new() -> Self {
+        PageAllocator {
+            next_page: 16,
+            named: HashMap::new(),
+        }
+    }
+
+    /// Returns the named region, allocating it on first use. Subsequent
+    /// calls with the same name return the *same physical pages*
+    /// regardless of the requested size (first allocation wins — this
+    /// mirrors how a shared library is mapped once).
+    pub fn region(&mut self, name: &str, pages: u64) -> Region {
+        if let Some(r) = self.named.get(name) {
+            return r.clone();
+        }
+        let r = Region::new(name, self.next_page, pages);
+        self.next_page += pages;
+        self.named.insert(name.to_string(), r.clone());
+        r
+    }
+
+    /// Allocates fresh anonymous pages (never shared, never reused).
+    pub fn anonymous(&mut self, tag: &str, pages: u64) -> Region {
+        let r = Region::new(format!("anon:{tag}:{}", self.next_page), self.next_page, pages);
+        self.next_page += pages;
+        r
+    }
+
+    /// Total pages handed out so far.
+    pub fn pages_allocated(&self) -> u64 {
+        self.next_page - 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_regions_are_shared() {
+        let mut a = PageAllocator::new();
+        let r1 = a.region("libc", 10);
+        let r2 = a.region("libc", 10);
+        assert_eq!(r1, r2);
+        assert_eq!(a.pages_allocated(), 10);
+    }
+
+    #[test]
+    fn distinct_names_do_not_overlap() {
+        let mut a = PageAllocator::new();
+        let r1 = a.region("x", 5);
+        let r2 = a.region("y", 5);
+        let p1: Vec<u64> = r1.page_iter().collect();
+        assert!(r2.page_iter().all(|p| !p1.contains(&p)));
+    }
+
+    #[test]
+    fn anonymous_regions_are_always_fresh() {
+        let mut a = PageAllocator::new();
+        let r1 = a.anonymous("thread", 2);
+        let r2 = a.anonymous("thread", 2);
+        assert_ne!(r1.first_page(), r2.first_page());
+    }
+
+    #[test]
+    fn first_allocation_wins_on_size() {
+        let mut a = PageAllocator::new();
+        let r1 = a.region("z", 4);
+        let r2 = a.region("z", 99);
+        assert_eq!(r2.pages(), r1.pages());
+    }
+}

@@ -1,0 +1,729 @@
+//! The OS service catalog: system-call handlers, interrupt handlers, and
+//! bottom-half handlers with their code footprints, lengths, and blocking
+//! behaviour.
+//!
+//! Footprints are built from named regions so that related services share
+//! physical pages exactly as the paper describes: `read` and `pread`
+//! "mostly execute the same set of instructions" (Section 3.2), all
+//! filesystem calls share VFS code, and all network calls share the
+//! socket/TCP stack. These shared regions are what the Page-heatmap
+//! Bloom filters detect at run time.
+
+use crate::dist::LenDist;
+use crate::footprint::Footprint;
+use crate::pagealloc::PageAllocator;
+use crate::types::{SfCategory, SuperFuncType};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A device a SuperFunction can block on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Block storage (latency ≈ tens of microseconds, e.g. an SSD-backed
+    /// ext3 volume).
+    Disk,
+    /// Network interface.
+    Network,
+    /// Timer (sleeps).
+    Timer,
+}
+
+impl DeviceKind {
+    /// All devices.
+    pub fn all() -> [DeviceKind; 3] {
+        [DeviceKind::Disk, DeviceKind::Network, DeviceKind::Timer]
+    }
+}
+
+/// How (and whether) a system call blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingProfile {
+    /// Device awaited.
+    pub device: DeviceKind,
+    /// Probability that a given invocation blocks.
+    pub probability: f64,
+    /// Fraction of the handler's instructions executed before blocking
+    /// (the remainder runs after wake-up).
+    pub at_fraction: f64,
+}
+
+/// A system-call handler.
+#[derive(Debug, Clone)]
+pub struct SyscallSpec {
+    /// System-call number (Linux 2.6 x86 table where the paper pins one:
+    /// `read` is 3).
+    pub id: u64,
+    /// Handler name.
+    pub name: &'static str,
+    /// Code footprint (includes shared kernel regions).
+    pub code: Arc<Footprint>,
+    /// Kernel data structures shared by all invocations of this handler.
+    pub shared_data: Arc<Footprint>,
+    /// Instruction-count distribution per invocation.
+    pub len: LenDist,
+    /// Blocking behaviour, if any.
+    pub blocking: Option<BlockingProfile>,
+}
+
+impl SyscallSpec {
+    /// The handler's SuperFunction type (category 0, subcategory = id).
+    pub fn super_func_type(&self) -> SuperFuncType {
+        SuperFuncType::new(SfCategory::SystemCall, self.id)
+    }
+}
+
+/// A (top-half) interrupt handler.
+#[derive(Debug, Clone)]
+pub struct InterruptSpec {
+    /// Interrupt id (IRQ line).
+    pub irq: u64,
+    /// Handler name.
+    pub name: &'static str,
+    /// Code footprint.
+    pub code: Arc<Footprint>,
+    /// Shared kernel data.
+    pub shared_data: Arc<Footprint>,
+    /// Instruction-count distribution.
+    pub len: LenDist,
+    /// Bottom half scheduled when the top half completes, if any.
+    pub bottom_half: Option<&'static str>,
+}
+
+impl InterruptSpec {
+    /// The handler's SuperFunction type (category 1, subcategory = IRQ).
+    pub fn super_func_type(&self) -> SuperFuncType {
+        SuperFuncType::new(SfCategory::Interrupt, self.irq)
+    }
+}
+
+/// A bottom-half (softirq) handler.
+#[derive(Debug, Clone)]
+pub struct BottomHalfSpec {
+    /// Identifier: the program counter of the handler routine (Table 1) —
+    /// we use the first instruction line of its footprint.
+    pub entry_pc: u64,
+    /// Handler name.
+    pub name: &'static str,
+    /// Code footprint.
+    pub code: Arc<Footprint>,
+    /// Shared kernel data.
+    pub shared_data: Arc<Footprint>,
+    /// Instruction-count distribution.
+    pub len: LenDist,
+}
+
+impl BottomHalfSpec {
+    /// The handler's SuperFunction type (category 2, subcategory =
+    /// entry PC).
+    pub fn super_func_type(&self) -> SuperFuncType {
+        SuperFuncType::new(SfCategory::BottomHalf, self.entry_pc)
+    }
+}
+
+/// The complete catalog of OS services for one simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_workload::{PageAllocator, ServiceCatalog};
+///
+/// let mut alloc = PageAllocator::new();
+/// let cat = ServiceCatalog::standard(&mut alloc);
+///
+/// let read = cat.syscall("read");
+/// let pread = cat.syscall("pread");
+/// // read and pread mostly share instructions (Section 3.2).
+/// let overlap = read.code.overlap_pages(&pread.code);
+/// assert!(overlap as f64 / read.code.num_pages() as f64 > 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceCatalog {
+    syscalls: HashMap<&'static str, SyscallSpec>,
+    interrupts: HashMap<&'static str, InterruptSpec>,
+    bottom_halves: HashMap<&'static str, BottomHalfSpec>,
+}
+
+impl ServiceCatalog {
+    /// Builds the standard Linux-2.6-flavoured catalog on `alloc`.
+    pub fn standard(alloc: &mut PageAllocator) -> Self {
+        let mut cat = ServiceCatalog {
+            syscalls: HashMap::new(),
+            interrupts: HashMap::new(),
+            bottom_halves: HashMap::new(),
+        };
+
+        // ---- Shared kernel code regions -------------------------------
+        let vfs = alloc.region("k:vfs_common", 6);
+        let namei = alloc.region("k:namei", 5);
+        let buffer_io = alloc.region("k:buffer_io", 4);
+        let block = alloc.region("k:block_common", 5);
+        let net = alloc.region("k:net_common", 8);
+        let tcp = alloc.region("k:tcp", 6);
+        let mm = alloc.region("k:mm_common", 5);
+        let sched_code = alloc.region("k:sched", 4);
+        let crypto = alloc.region("k:crypto", 4);
+
+        // ---- Shared kernel data regions -------------------------------
+        let d_vfs = alloc.region("kd:vfs", 6);
+        let d_net = alloc.region("kd:net", 6);
+        let d_block = alloc.region("kd:block", 4);
+        let d_mm = alloc.region("kd:mm", 3);
+        let d_sched = alloc.region("kd:sched", 3);
+
+        // Helper closures -----------------------------------------------
+        let fpr = |regions: &[&crate::footprint::Region]| {
+            Arc::new(Footprint::from_regions(regions.iter().copied()))
+        };
+
+        // ---- System calls ---------------------------------------------
+        // Filesystem family: heavy mutual overlap through vfs/namei.
+        let read_priv = alloc.region("k:read_priv", 3);
+        cat.add_syscall(SyscallSpec {
+            id: 3,
+            name: "read",
+            code: fpr(&[&vfs, &buffer_io, &read_priv]),
+            shared_data: fpr(&[&d_vfs, &d_block]),
+            len: LenDist::uniform(2_000, 5_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.25,
+                at_fraction: 0.6,
+            }),
+        });
+        let pread_priv = alloc.region("k:pread_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 180,
+            name: "pread",
+            code: fpr(&[&vfs, &buffer_io, &read_priv, &pread_priv]),
+            shared_data: fpr(&[&d_vfs, &d_block]),
+            len: LenDist::uniform(2_000, 5_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.25,
+                at_fraction: 0.6,
+            }),
+        });
+        let write_priv = alloc.region("k:write_priv", 3);
+        cat.add_syscall(SyscallSpec {
+            id: 4,
+            name: "write",
+            code: fpr(&[&vfs, &buffer_io, &write_priv]),
+            shared_data: fpr(&[&d_vfs, &d_block]),
+            len: LenDist::uniform(2_500, 6_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.15,
+                at_fraction: 0.7,
+            }),
+        });
+        let open_priv = alloc.region("k:open_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 5,
+            name: "open",
+            code: fpr(&[&vfs, &namei, &open_priv]),
+            shared_data: fpr(&[&d_vfs]),
+            len: LenDist::uniform(3_000, 7_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.10,
+                at_fraction: 0.5,
+            }),
+        });
+        let close_priv = alloc.region("k:close_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 6,
+            name: "close",
+            code: fpr(&[&vfs, &close_priv]),
+            shared_data: fpr(&[&d_vfs]),
+            len: LenDist::uniform(800, 2_000),
+            blocking: None,
+        });
+        let stat_priv = alloc.region("k:stat_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 106,
+            name: "stat",
+            code: fpr(&[&vfs, &namei, &stat_priv]),
+            shared_data: fpr(&[&d_vfs]),
+            len: LenDist::uniform(1_500, 4_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.08,
+                at_fraction: 0.5,
+            }),
+        });
+        let getdents_priv = alloc.region("k:getdents_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 141,
+            name: "getdents",
+            code: fpr(&[&vfs, &namei, &getdents_priv]),
+            shared_data: fpr(&[&d_vfs, &d_block]),
+            len: LenDist::uniform(2_500, 6_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.20,
+                at_fraction: 0.5,
+            }),
+        });
+        let unlink_priv = alloc.region("k:unlink_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 10,
+            name: "unlink",
+            code: fpr(&[&vfs, &namei, &unlink_priv]),
+            shared_data: fpr(&[&d_vfs]),
+            len: LenDist::uniform(2_000, 5_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.10,
+                at_fraction: 0.6,
+            }),
+        });
+        let creat_priv = alloc.region("k:creat_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 8,
+            name: "creat",
+            code: fpr(&[&vfs, &namei, &creat_priv]),
+            shared_data: fpr(&[&d_vfs]),
+            len: LenDist::uniform(3_000, 7_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.15,
+                at_fraction: 0.6,
+            }),
+        });
+        let fsync_priv = alloc.region("k:fsync_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 118,
+            name: "fsync",
+            code: fpr(&[&vfs, &buffer_io, &block, &fsync_priv]),
+            shared_data: fpr(&[&d_vfs, &d_block]),
+            len: LenDist::uniform(3_000, 8_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Disk,
+                probability: 0.7,
+                at_fraction: 0.4,
+            }),
+        });
+
+        // Network family: heavy mutual overlap through net/tcp.
+        let socket_priv = alloc.region("k:socket_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 359,
+            name: "socket",
+            code: fpr(&[&net, &socket_priv]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(2_000, 4_000),
+            blocking: None,
+        });
+        let accept_priv = alloc.region("k:accept_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 364,
+            name: "accept",
+            code: fpr(&[&net, &tcp, &accept_priv]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(2_000, 5_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Network,
+                probability: 0.5,
+                at_fraction: 0.3,
+            }),
+        });
+        let sendto_priv = alloc.region("k:sendto_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 369,
+            name: "sendto",
+            code: fpr(&[&net, &tcp, &sendto_priv]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(3_000, 7_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Network,
+                probability: 0.10,
+                at_fraction: 0.8,
+            }),
+        });
+        let recvfrom_priv = alloc.region("k:recvfrom_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 371,
+            name: "recvfrom",
+            code: fpr(&[&net, &tcp, &recvfrom_priv]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(3_000, 7_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Network,
+                probability: 0.45,
+                at_fraction: 0.3,
+            }),
+        });
+        let epoll_priv = alloc.region("k:epoll_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 256,
+            name: "epoll_wait",
+            code: fpr(&[&vfs, &epoll_priv]),
+            shared_data: fpr(&[&d_net, &d_vfs]),
+            len: LenDist::uniform(1_000, 3_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Network,
+                probability: 0.4,
+                at_fraction: 0.5,
+            }),
+        });
+
+        // Memory / process family.
+        let mmap_priv = alloc.region("k:mmap_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 90,
+            name: "mmap",
+            code: fpr(&[&mm, &mmap_priv]),
+            shared_data: fpr(&[&d_mm]),
+            len: LenDist::uniform(2_000, 5_000),
+            blocking: None,
+        });
+        let brk_priv = alloc.region("k:brk_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 45,
+            name: "brk",
+            code: fpr(&[&mm, &brk_priv]),
+            shared_data: fpr(&[&d_mm]),
+            len: LenDist::uniform(800, 2_000),
+            blocking: None,
+        });
+        let fork_priv = alloc.region("k:fork_priv", 4);
+        cat.add_syscall(SyscallSpec {
+            id: 2,
+            name: "fork",
+            code: fpr(&[&mm, &sched_code, &fork_priv]),
+            shared_data: fpr(&[&d_mm, &d_sched]),
+            len: LenDist::uniform(10_000, 20_000),
+            blocking: None,
+        });
+        let futex_priv = alloc.region("k:futex_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 240,
+            name: "futex",
+            code: fpr(&[&sched_code, &futex_priv]),
+            shared_data: fpr(&[&d_sched]),
+            len: LenDist::uniform(500, 1_500),
+            blocking: None,
+        });
+        let nanosleep_priv = alloc.region("k:nanosleep_priv", 1);
+        cat.add_syscall(SyscallSpec {
+            id: 162,
+            name: "nanosleep",
+            code: fpr(&[&sched_code, &nanosleep_priv]),
+            shared_data: fpr(&[&d_sched]),
+            len: LenDist::uniform(400, 1_200),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Timer,
+                probability: 1.0,
+                at_fraction: 0.5,
+            }),
+        });
+        // Crypto-flavoured read for scp-style benchmarks: shares the VFS
+        // entry path but also drags in the kernel crypto code.
+        let sread_priv = alloc.region("k:sockread_priv", 2);
+        cat.add_syscall(SyscallSpec {
+            id: 397,
+            name: "sock_read",
+            code: fpr(&[&net, &tcp, &crypto, &sread_priv]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(4_000, 9_000),
+            blocking: Some(BlockingProfile {
+                device: DeviceKind::Network,
+                probability: 0.35,
+                at_fraction: 0.3,
+            }),
+        });
+
+        // ---- Bottom halves --------------------------------------------
+        let bh_net_code = alloc.region("k:bh_net_rx", 6);
+        let bh_net = BottomHalfSpec {
+            entry_pc: bh_net_code.first_page() * crate::footprint::LINES_PER_PAGE,
+            name: "net_rx_softirq",
+            code: fpr(&[&bh_net_code, &net]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(3_000, 9_000),
+        };
+        cat.add_bottom_half(bh_net);
+        let bh_block_code = alloc.region("k:bh_block", 6);
+        let bh_block = BottomHalfSpec {
+            entry_pc: bh_block_code.first_page() * crate::footprint::LINES_PER_PAGE,
+            name: "block_softirq",
+            code: fpr(&[&bh_block_code, &block]),
+            shared_data: fpr(&[&d_block]),
+            // FileSrv's bottom halves average ≈24k instructions
+            // (Section 6.4).
+            len: LenDist::uniform(12_000, 36_000),
+        };
+        cat.add_bottom_half(bh_block);
+        let bh_timer_code = alloc.region("k:bh_timer", 2);
+        let bh_timer = BottomHalfSpec {
+            entry_pc: bh_timer_code.first_page() * crate::footprint::LINES_PER_PAGE,
+            name: "timer_softirq",
+            code: fpr(&[&bh_timer_code, &sched_code]),
+            shared_data: fpr(&[&d_sched]),
+            len: LenDist::uniform(1_000, 3_000),
+        };
+        cat.add_bottom_half(bh_timer);
+
+        // ---- Interrupt top halves -------------------------------------
+        let irq_timer_code = alloc.region("k:irq_timer", 2);
+        cat.add_interrupt(InterruptSpec {
+            irq: 0,
+            name: "timer_irq",
+            code: fpr(&[&irq_timer_code, &sched_code]),
+            shared_data: fpr(&[&d_sched]),
+            len: LenDist::uniform(400, 1_200),
+            bottom_half: Some("timer_softirq"),
+        });
+        let irq_kbd_code = alloc.region("k:irq_kbd", 1);
+        cat.add_interrupt(InterruptSpec {
+            irq: 1,
+            name: "keyboard_irq",
+            code: fpr(&[&irq_kbd_code]),
+            shared_data: Arc::new(Footprint::new()),
+            len: LenDist::uniform(300, 800),
+            bottom_half: None,
+        });
+        let irq_net_code = alloc.region("k:irq_net", 3);
+        cat.add_interrupt(InterruptSpec {
+            irq: 11,
+            name: "network_irq",
+            code: fpr(&[&irq_net_code, &net]),
+            shared_data: fpr(&[&d_net]),
+            len: LenDist::uniform(800, 2_500),
+            bottom_half: Some("net_rx_softirq"),
+        });
+        let irq_disk_code = alloc.region("k:irq_disk", 3);
+        cat.add_interrupt(InterruptSpec {
+            irq: 14,
+            name: "disk_irq",
+            code: fpr(&[&irq_disk_code, &block]),
+            shared_data: fpr(&[&d_block]),
+            len: LenDist::uniform(800, 2_500),
+            bottom_half: Some("block_softirq"),
+        });
+
+        cat
+    }
+
+    fn add_syscall(&mut self, s: SyscallSpec) {
+        assert!(
+            self.syscalls.insert(s.name, s).is_none(),
+            "duplicate syscall name"
+        );
+    }
+
+    fn add_interrupt(&mut self, s: InterruptSpec) {
+        assert!(
+            self.interrupts.insert(s.name, s).is_none(),
+            "duplicate interrupt name"
+        );
+    }
+
+    fn add_bottom_half(&mut self, s: BottomHalfSpec) {
+        assert!(
+            self.bottom_halves.insert(s.name, s).is_none(),
+            "duplicate bottom-half name"
+        );
+    }
+
+    /// Looks up a system call by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown — catalog names are static and a
+    /// typo is a programming error.
+    pub fn syscall(&self, name: &str) -> &SyscallSpec {
+        self.syscalls
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown syscall {name:?}"))
+    }
+
+    /// Looks up an interrupt handler by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn interrupt(&self, name: &str) -> &InterruptSpec {
+        self.interrupts
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown interrupt {name:?}"))
+    }
+
+    /// Looks up a bottom-half handler by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn bottom_half(&self, name: &str) -> &BottomHalfSpec {
+        self.bottom_halves
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown bottom half {name:?}"))
+    }
+
+    /// The interrupt raised when `device` completes a request.
+    pub fn interrupt_for_device(&self, device: DeviceKind) -> &InterruptSpec {
+        match device {
+            DeviceKind::Disk => self.interrupt("disk_irq"),
+            DeviceKind::Network => self.interrupt("network_irq"),
+            DeviceKind::Timer => self.interrupt("timer_irq"),
+        }
+    }
+
+    /// All system calls.
+    pub fn syscalls(&self) -> impl Iterator<Item = &SyscallSpec> {
+        self.syscalls.values()
+    }
+
+    /// All interrupt handlers.
+    pub fn interrupts(&self) -> impl Iterator<Item = &InterruptSpec> {
+        self.interrupts.values()
+    }
+
+    /// All bottom-half handlers.
+    pub fn bottom_halves(&self) -> impl Iterator<Item = &BottomHalfSpec> {
+        self.bottom_halves.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> (PageAllocator, ServiceCatalog) {
+        let mut alloc = PageAllocator::new();
+        let cat = ServiceCatalog::standard(&mut alloc);
+        (alloc, cat)
+    }
+
+    #[test]
+    fn read_has_paper_syscall_id() {
+        let (_, cat) = catalog();
+        assert_eq!(cat.syscall("read").id, 3);
+        assert_eq!(cat.syscall("read").super_func_type().raw(), 3);
+    }
+
+    #[test]
+    fn read_and_pread_mostly_overlap() {
+        let (_, cat) = catalog();
+        let read = cat.syscall("read");
+        let pread = cat.syscall("pread");
+        let overlap = read.code.overlap_pages(&pread.code);
+        // All of read's pages appear in pread (pread = read + 1 page).
+        assert_eq!(overlap, read.code.num_pages());
+    }
+
+    #[test]
+    fn read_and_fork_barely_overlap() {
+        let (_, cat) = catalog();
+        let read = cat.syscall("read");
+        let fork = cat.syscall("fork");
+        assert_eq!(read.code.overlap_pages(&fork.code), 0);
+    }
+
+    #[test]
+    fn fs_family_shares_vfs() {
+        let (_, cat) = catalog();
+        for name in ["read", "write", "open", "close", "stat", "getdents"] {
+            for other in ["read", "write", "open", "close", "stat", "getdents"] {
+                if name != other {
+                    let a = cat.syscall(name);
+                    let b = cat.syscall(other);
+                    assert!(
+                        a.code.overlap_pages(&b.code) >= 6,
+                        "{name} and {other} should share the 6 VFS pages"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn net_family_shares_stack() {
+        let (_, cat) = catalog();
+        let send = cat.syscall("sendto");
+        let recv = cat.syscall("recvfrom");
+        assert!(send.code.overlap_pages(&recv.code) >= 14); // net(8) + tcp(6)
+    }
+
+    #[test]
+    fn fs_and_net_families_disjoint() {
+        let (_, cat) = catalog();
+        let read = cat.syscall("read");
+        let send = cat.syscall("sendto");
+        assert_eq!(read.code.overlap_pages(&send.code), 0);
+    }
+
+    #[test]
+    fn every_device_has_an_interrupt() {
+        let (_, cat) = catalog();
+        for d in DeviceKind::all() {
+            let irq = cat.interrupt_for_device(d);
+            assert!(irq.len.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn disk_irq_chains_to_block_softirq() {
+        let (_, cat) = catalog();
+        let irq = cat.interrupt("disk_irq");
+        assert_eq!(irq.bottom_half, Some("block_softirq"));
+        let bh = cat.bottom_half("block_softirq");
+        // FileSrv's bottom halves average around 24k instructions.
+        assert!((20_000.0..28_000.0).contains(&bh.len.mean()));
+    }
+
+    #[test]
+    fn keyboard_interrupt_type_matches_paper() {
+        let (_, cat) = catalog();
+        let kbd = cat.interrupt("keyboard_irq");
+        assert_eq!(kbd.super_func_type().raw(), 0x4000_0000_0000_0001);
+    }
+
+    #[test]
+    fn bottom_half_types_use_entry_pc() {
+        let (_, cat) = catalog();
+        let bh = cat.bottom_half("net_rx_softirq");
+        assert_eq!(bh.super_func_type().subcategory(), bh.entry_pc);
+        assert_eq!(bh.super_func_type().category(), SfCategory::BottomHalf);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown syscall")]
+    fn unknown_syscall_panics() {
+        let (_, cat) = catalog();
+        cat.syscall("nope");
+    }
+
+    #[test]
+    fn nanosleep_always_blocks_on_the_timer() {
+        let (_, cat) = catalog();
+        let ns = cat.syscall("nanosleep");
+        let b = ns.blocking.expect("nanosleep blocks");
+        assert_eq!(b.device, DeviceKind::Timer);
+        assert_eq!(b.probability, 1.0);
+        // It shares the scheduler code pages (timer wheel lives there).
+        let fork = cat.syscall("fork");
+        assert!(ns.code.overlap_pages(&fork.code) >= 4);
+    }
+
+    #[test]
+    fn combined_footprint_exceeds_icache() {
+        // The premise of the paper: combined OS footprints exceed 32 KB.
+        let (_, cat) = catalog();
+        let mut pages = std::collections::HashSet::new();
+        for s in cat.syscalls() {
+            pages.extend(s.code.pages().iter().copied());
+        }
+        for i in cat.interrupts() {
+            pages.extend(i.code.pages().iter().copied());
+        }
+        for b in cat.bottom_halves() {
+            pages.extend(b.code.pages().iter().copied());
+        }
+        assert!(
+            pages.len() * 4096 > 64 * 1024,
+            "combined OS footprint is only {} KB",
+            pages.len() * 4
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! File-server scenario: the paper's work-stealing result (Figure 9)
+//! on two contrasting benchmarks.
+//!
+//! FileSrv executes heavy bottom halves (≈24k instructions each) and
+//! Find funnels everything through a handful of filesystem handlers.
+//! With no stealing, threads pile up behind the allocated cores and the
+//! machine idles; the *steal similar work also* strategy recovers almost
+//! all of that idleness at a tiny i-cache cost. (In this reproduction
+//! the idleness drama shows most on Find; in the paper it was FileSrv —
+//! either way the strategy ordering is the same.)
+//!
+//! ```text
+//! cargo run --release --example fileserver
+//! ```
+
+use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
+use schedtask_suite::experiments::{runner, ExpParams};
+use schedtask_suite::kernel::WorkloadSpec;
+use schedtask_suite::workload::BenchmarkKind;
+
+fn main() {
+    let mut params = ExpParams::standard();
+    params.max_instructions = 12_000_000;
+    params.warmup_instructions = 3_000_000;
+    for kind in [BenchmarkKind::FileSrv, BenchmarkKind::Find] {
+        let workload = WorkloadSpec::single(kind, 2.0);
+        println!("{}, 2X workload, 32 cores — SchedTask stealing strategies\n", kind.name());
+        println!(
+            "{:<28} {:>8} {:>12} {:>12}",
+            "strategy", "idle(%)", "IPC/core", "i-hit(%)"
+        );
+        for policy in StealPolicy::all() {
+            let sched = SchedTaskScheduler::new(
+                params.cores,
+                SchedTaskConfig {
+                    steal_policy: policy,
+                    ..SchedTaskConfig::default()
+                },
+            );
+            let stats = runner::run_with_scheduler(Box::new(sched), &params, &workload);
+            println!(
+                "{:<28} {:>8.1} {:>12.3} {:>12.1}",
+                policy.to_string(),
+                stats.mean_idle_fraction() * 100.0,
+                stats.instruction_throughput() / params.cores as f64,
+                stats.mem.icache_overall_hit_rate() * 100.0,
+            );
+        }
+        println!();
+    }
+    println!(
+        "\n'Steal nothing' leaves cores idle while everyone waits for the block\n\
+         softirq cores; 'steal similar work also' (the paper's default) takes\n\
+         overlapping SuperFunctions from backlogged cores — and half of them at\n\
+         once, amortizing the cold i-cache misses of the first steal."
+    );
+}

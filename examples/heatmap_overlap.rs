@@ -1,0 +1,63 @@
+//! The Page-heatmap mechanism in isolation (Sections 3.1-3.2).
+//!
+//! Builds the OS service catalog, fills a Page-heatmap Bloom filter per
+//! handler from its real physical pages, and shows that the hardware
+//! similarity metric — the Hamming weight of the AND of two heatmaps —
+//! recovers the true page overlaps: `read` ≈ `pread` ≫ `fork`.
+//!
+//! ```text
+//! cargo run --release --example heatmap_overlap
+//! ```
+
+use schedtask_suite::metrics::kendall_tau_b;
+use schedtask_suite::sim::PageHeatmap;
+use schedtask_suite::workload::{PageAllocator, ServiceCatalog};
+
+fn heatmap_of(cat: &ServiceCatalog, name: &str, bits: u32) -> PageHeatmap {
+    let mut hm = PageHeatmap::new(bits);
+    for &page in cat.syscall(name).code.pages() {
+        hm.insert_pfn(page);
+    }
+    hm
+}
+
+fn main() {
+    let mut alloc = PageAllocator::new();
+    let cat = ServiceCatalog::standard(&mut alloc);
+
+    let names = ["pread", "write", "open", "getdents", "sendto", "fork"];
+    println!("Page overlap with the `read` system call handler:\n");
+    println!(
+        "{:<10} {:>12} {:>24}",
+        "handler", "exact pages", "heatmap overlap (512b)"
+    );
+    let read_hm = heatmap_of(&cat, "read", 512);
+    let read = cat.syscall("read");
+    let mut exact = Vec::new();
+    let mut bloom = Vec::new();
+    for name in names {
+        let other = cat.syscall(name);
+        let e = read.code.overlap_pages(&other.code);
+        let b = read_hm.overlap(&heatmap_of(&cat, name, 512));
+        println!("{name:<10} {e:>12} {b:>24}");
+        exact.push(e as f64);
+        bloom.push(b as f64);
+    }
+    let tau = kendall_tau_b(&bloom, &exact);
+    println!(
+        "\nKendall tau_B between the Bloom ranking and the exact ranking: {tau:.3}\n\
+         (Figure 11 sweeps this quality over 128-2048 register bits; the\n\
+         paper picks 512 bits — good ranking at 64 bytes of state per core.)"
+    );
+
+    // Width effect: a too-small filter saturates and loses ranking.
+    println!("\nRanking quality by register width:");
+    for bits in [128u32, 256, 512, 1024, 2048] {
+        let rh = heatmap_of(&cat, "read", bits);
+        let b: Vec<f64> = names
+            .iter()
+            .map(|n| rh.overlap(&heatmap_of(&cat, n, bits)) as f64)
+            .collect();
+        println!("  {bits:>5} bits: tau_B = {:.3}", kendall_tau_b(&b, &exact));
+    }
+}

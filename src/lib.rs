@@ -1,0 +1,59 @@
+//! # SchedTask reproduction suite
+//!
+//! A full, from-scratch Rust reproduction of *SchedTask: A
+//! Hardware-Assisted Task Scheduler* (Kallurkar & Sarangi, MICRO 2017)
+//! and its arXiv sensitivity appendix.
+//!
+//! This façade crate re-exports the whole workspace for convenient use
+//! from examples and integration tests:
+//!
+//! * [`sim`] — the machine: caches, TLBs, coherence, Page-heatmap
+//!   registers, prefetcher, trace cache;
+//! * [`workload`] — synthetic OS-intensive benchmarks with shared
+//!   physical footprints;
+//! * [`kernel`] — SuperFunctions, threads, interrupts, devices, and the
+//!   discrete-event engine with its pluggable [`kernel::Scheduler`];
+//! * [`core`] — the paper's contribution: TAlloc, TMigrate, overlap
+//!   tables, work stealing;
+//! * [`baselines`] — Linux, SelectiveOffload, FlexSC, DisAggregateOS,
+//!   SLICC;
+//! * [`experiments`] — one module per table/figure of the paper;
+//! * [`metrics`] — cosine similarity, Kendall τ_B, Jain fairness.
+//!
+//! # Examples
+//!
+//! ```
+//! use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler};
+//! use schedtask_suite::kernel::{Engine, EngineConfig, WorkloadSpec};
+//! use schedtask_suite::sim::SystemConfig;
+//! use schedtask_suite::workload::BenchmarkKind;
+//!
+//! let cores = 4;
+//! let cfg = EngineConfig::fast()
+//!     .with_system(SystemConfig::table2().with_cores(cores))
+//!     .with_max_instructions(100_000);
+//! let mut engine = Engine::new(
+//!     cfg,
+//!     &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
+//!     Box::new(SchedTaskScheduler::new(cores, SchedTaskConfig::default())),
+//! );
+//! assert!(engine.run().total_instructions() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's contribution: the SchedTask scheduler.
+pub use schedtask as core;
+/// Baseline schedulers from the literature.
+pub use schedtask_baselines as baselines;
+/// Experiment harness for every table and figure.
+pub use schedtask_experiments as experiments;
+/// OS model and discrete-event engine.
+pub use schedtask_kernel as kernel;
+/// Statistics (cosine similarity, Kendall τ_B, Jain fairness).
+pub use schedtask_metrics as metrics;
+/// Machine substrate (caches, TLBs, heatmap registers).
+pub use schedtask_sim as sim;
+/// Synthetic OS-intensive workloads.
+pub use schedtask_workload as workload;

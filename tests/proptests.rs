@@ -1,0 +1,77 @@
+//! Cross-crate property tests: invariants of the full simulation
+//! pipeline under randomized configurations.
+
+use proptest::prelude::*;
+use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler};
+use schedtask_suite::kernel::{Engine, EngineConfig, GlobalFifoScheduler, WorkloadSpec};
+use schedtask_suite::sim::SystemConfig;
+use schedtask_suite::workload::BenchmarkKind;
+
+fn any_benchmark() -> impl Strategy<Value = BenchmarkKind> {
+    prop::sample::select(BenchmarkKind::all().to_vec())
+}
+
+fn engine_cfg(cores: usize, seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::fast()
+        .with_system(SystemConfig::table2().with_cores(cores))
+        .with_max_instructions(120_000)
+        .with_seed(seed);
+    cfg.warmup_instructions = 30_000;
+    cfg.epoch_cycles = 30_000;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any benchmark, any small core count, any seed: the run terminates
+    /// with self-consistent statistics.
+    #[test]
+    fn runs_terminate_with_consistent_stats(
+        kind in any_benchmark(),
+        cores in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut engine = Engine::new(
+            engine_cfg(cores, seed),
+            &WorkloadSpec::single(kind, 1.0),
+            Box::new(GlobalFifoScheduler::new()),
+        );
+        let stats = engine.run();
+        prop_assert!(stats.total_instructions() >= 120_000);
+        prop_assert!(stats.final_cycle > 0);
+        prop_assert_eq!(stats.core_time.len(), cores);
+        let breakup: f64 = stats.instructions.breakup_percent().iter().sum();
+        prop_assert!((breakup - 100.0).abs() < 1e-6);
+        // Busy+idle per core is positive.
+        for ct in &stats.core_time {
+            prop_assert!(ct.busy_cycles + ct.idle_cycles > 0);
+        }
+    }
+
+    /// Identical configuration → identical results, for SchedTask too.
+    #[test]
+    fn schedtask_runs_are_reproducible(kind in any_benchmark(), seed in 0u64..100) {
+        let run = || {
+            let mut engine = Engine::new(
+                engine_cfg(4, seed),
+                &WorkloadSpec::single(kind, 1.0),
+                Box::new(SchedTaskScheduler::new(4, SchedTaskConfig::default())),
+            );
+            let s = engine.run();
+            (s.total_instructions(), s.final_cycle, s.thread_migrations)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The workload scale knob monotonically increases thread counts.
+    #[test]
+    fn scale_monotonicity(kind in any_benchmark(), scale in 1.0f64..8.0) {
+        use schedtask_suite::workload::BenchmarkSpec;
+        let spec = BenchmarkSpec::for_kind(kind);
+        let t1 = spec.threads(8, 1.0);
+        let ts = spec.threads(8, scale);
+        prop_assert!(ts >= t1);
+        prop_assert!(ts >= 1);
+    }
+}
