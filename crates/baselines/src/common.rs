@@ -67,16 +67,14 @@ impl CoreQueues {
         Some(sf)
     }
 
-    /// Removes the element at `pos` in `core`'s queue.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pos` is out of range.
-    pub fn remove_at(&mut self, ctx: &EngineCore, core: usize, pos: usize) -> SfId {
-        let sf = self.queues[core].remove(pos).expect("valid queue position");
+    /// Removes the element at `pos` in `core`'s queue; `None` if `pos`
+    /// is out of range (callers compute positions over the same queue in
+    /// the same borrow, so `None` indicates a caller bug).
+    pub fn remove_at(&mut self, ctx: &EngineCore, core: usize, pos: usize) -> Option<SfId> {
+        let sf = self.queues[core].remove(pos)?;
         let ty = ctx.sf_type(sf);
         self.waiting[core] = (self.waiting[core] - self.exec_estimate(ty)).max(0.0);
-        sf
+        Some(sf)
     }
 
     /// Estimated waiting time of `core`'s queue in cycles.
@@ -131,9 +129,16 @@ impl CoreQueues {
     /// Steals the head of the most-loaded non-empty queue among
     /// `candidates`, excluding `me`.
     pub fn steal_any(&mut self, ctx: &EngineCore, me: usize, candidates: &[usize]) -> Option<SfId> {
-        let victim =
-            self.most_loaded_nonempty(candidates.iter().copied().filter(|&c| c != me))?;
+        let victim = self.most_loaded_nonempty(candidates.iter().copied().filter(|&c| c != me))?;
         self.pop(ctx, victim)
+    }
+
+    /// Appends every queued SuperFunction to `out` (the
+    /// [`schedtask_kernel::Scheduler::queued_sfs`] sanitizer hook).
+    pub fn all_queued(&self, out: &mut Vec<SfId>) {
+        for q in &self.queues {
+            out.extend(q.iter().copied());
+        }
     }
 }
 

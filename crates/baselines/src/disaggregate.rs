@@ -11,7 +11,7 @@
 //! as the workload scales (Table 4).
 
 use crate::common::CoreQueues;
-use schedtask_kernel::{CoreId, EngineCore, SchedEvent, Scheduler, SfId, SwitchReason};
+use schedtask_kernel::{CoreId, EngineCore, SchedError, SchedEvent, Scheduler, SfId, SwitchReason};
 use schedtask_workload::{SfCategory, SuperFuncType};
 use std::collections::HashMap;
 
@@ -80,12 +80,15 @@ impl Scheduler for DisAggregateOsScheduler {
         "DisAggregateOS"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let region = region_of(ctx.sf_type(sf));
         let core = match region.and_then(|r| self.allocation.get(&r)) {
-            Some(cores) if !cores.is_empty() => {
-                self.queues.least_loaded(cores.iter().copied())
-            }
+            Some(cores) if !cores.is_empty() => self.queues.least_loaded(cores.iter().copied()),
             _ => match origin {
                 Some(c) => c.0,
                 None => {
@@ -95,11 +98,21 @@ impl Scheduler for DisAggregateOsScheduler {
             },
         };
         self.queues.push(ctx, core, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         // No idle-core stealing.
-        self.queues.pop(ctx, core.0)
+        Ok(self.queues.pop(ctx, core.0))
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.queues.all_queued(out);
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {
@@ -116,11 +129,11 @@ impl Scheduler for DisAggregateOsScheduler {
         }
     }
 
-    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+    fn on_epoch(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         // Proportional core allocation per region (largest remainder).
         let total: u64 = self.region_cycles.values().sum();
         if total == 0 {
-            return;
+            return Ok(());
         }
         let n = ctx.num_cores();
         let mut regions: Vec<(Region, u64)> = self.region_cycles.drain().collect();
@@ -158,6 +171,7 @@ impl Scheduler for DisAggregateOsScheduler {
                 .insert(r, (next..next + count).map(|c| c % n).collect());
             next += count;
         }
+        Ok(())
     }
 
     fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {

@@ -17,7 +17,7 @@
 
 use crate::common::CoreQueues;
 use schedtask_kernel::{
-    CoreId, EngineCore, SchedEvent, Scheduler, SfId, SwitchReason, KERNEL_TID,
+    CoreId, EngineCore, SchedError, SchedEvent, Scheduler, SfId, SwitchReason, KERNEL_TID,
 };
 use schedtask_workload::SfCategory;
 use std::collections::HashMap;
@@ -47,7 +47,10 @@ impl FlexScScheduler {
     ///
     /// Panics if `num_cores < 2`.
     pub fn new(num_cores: usize) -> Self {
-        assert!(num_cores >= 2, "FlexSC needs separate app and syscall cores");
+        assert!(
+            num_cores >= 2,
+            "FlexSC needs separate app and syscall cores"
+        );
         FlexScScheduler {
             queues: CoreQueues::new(num_cores),
             syscall_cores: (num_cores / 2).max(1),
@@ -74,7 +77,12 @@ impl Scheduler for FlexScScheduler {
         "FlexSC"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let group = self.group_of(ctx, sf);
         let core = if group.is_empty() {
             origin.map(|c| c.0).unwrap_or(0)
@@ -90,11 +98,16 @@ impl Scheduler for FlexScScheduler {
             self.queues.least_loaded(group)
         };
         self.queues.push(ctx, core, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         if let Some(sf) = self.queues.pop(ctx, core.0) {
-            return Some(sf);
+            return Ok(Some(sf));
         }
         // Steal within the core's own group first, then anywhere —
         // FlexSC's balancing keeps idleness at ~0 % (Figure 8b).
@@ -104,12 +117,15 @@ impl Scheduler for FlexScScheduler {
         } else {
             (self.syscall_cores..n).collect()
         };
-        self.queues
-            .steal_any(ctx, core.0, &own)
-            .or_else(|| {
-                let all: Vec<usize> = (0..n).collect();
-                self.queues.steal_any(ctx, core.0, &all)
-            })
+        Ok(self.queues.steal_any(ctx, core.0, &own).or_else(|| {
+            let all: Vec<usize> = (0..n).collect();
+            self.queues.steal_any(ctx, core.0, &all)
+        }))
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.queues.all_queued(out);
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {
@@ -128,7 +144,7 @@ impl Scheduler for FlexScScheduler {
         }
     }
 
-    fn on_epoch(&mut self, _ctx: &mut EngineCore) {
+    fn on_epoch(&mut self, _ctx: &mut EngineCore) -> Result<(), SchedError> {
         // Re-proportion the core split to the observed work mix.
         let total = self.syscall_cycles + self.app_cycles;
         if total > 0 {
@@ -138,6 +154,7 @@ impl Scheduler for FlexScScheduler {
         }
         self.syscall_cycles = 0;
         self.app_cycles = 0;
+        Ok(())
     }
 
     fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {

@@ -28,12 +28,15 @@
 //!     cfg,
 //!     &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
 //!     Box::new(LinuxScheduler::new(4)),
-//! );
-//! assert!(engine.run().total_instructions() > 0);
+//! )
+//! .expect("valid config");
+//! let stats = engine.run().expect("run succeeds");
+//! assert!(stats.total_instructions() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod common;
 pub mod disaggregate;

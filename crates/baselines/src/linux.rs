@@ -9,9 +9,7 @@
 //! `irqbalance` does).
 
 use crate::common::CoreQueues;
-use schedtask_kernel::{
-    CoreId, EngineCore, Scheduler, SfId, SwitchReason, KERNEL_TID,
-};
+use schedtask_kernel::{CoreId, EngineCore, SchedError, Scheduler, SfId, SwitchReason, KERNEL_TID};
 use schedtask_workload::SfCategory;
 use std::collections::HashMap;
 
@@ -59,7 +57,12 @@ impl Scheduler for LinuxScheduler {
         "Linux"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let tid = ctx.sf_tid(sf);
         let category = ctx.sf_type(sf).category();
         let core = if category == SfCategory::BottomHalf || tid == KERNEL_TID {
@@ -69,22 +72,34 @@ impl Scheduler for LinuxScheduler {
             self.home_of(tid.0)
         };
         self.queues.push(ctx, core, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         if let Some(sf) = self.queues.pop(ctx, core.0) {
-            return Some(sf);
+            return Ok(Some(sf));
         }
         // CFS idle balancing: pull from the busiest run queue, re-homing
         // the thread (this is the "significant imbalance" migration — an
         // idle core vs. a backlogged one).
         let candidates: Vec<usize> = (0..self.queues.num_cores()).collect();
-        let stolen = self.queues.steal_any(ctx, core.0, &candidates)?;
+        let Some(stolen) = self.queues.steal_any(ctx, core.0, &candidates) else {
+            return Ok(None);
+        };
         let tid = ctx.sf_tid(stolen);
         if tid != KERNEL_TID {
             self.home.insert(tid.0, core.0);
         }
-        Some(stolen)
+        Ok(Some(stolen))
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.queues.all_queued(out);
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {
@@ -97,31 +112,36 @@ impl Scheduler for LinuxScheduler {
         self.queues.record_exec(ctx.sf_type(sf), seg);
     }
 
-    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+    fn on_epoch(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         // Periodic load balancing: move one queued thread-context
         // SuperFunction from the most- to the least-loaded core if the
         // imbalance is significant.
         let n = self.queues.num_cores();
         let Some(busiest) = self.queues.most_loaded_nonempty(0..n) else {
-            return;
+            return Ok(());
         };
         let idlest = self.queues.least_loaded(0..n);
         if busiest == idlest {
-            return;
+            return Ok(());
         }
         let heavy = self.queues.waiting(busiest);
         let light = self.queues.waiting(idlest).max(1.0);
         if heavy / light >= IMBALANCE_RATIO {
             if let Some(pos) = self.queues.queue(busiest).iter().position(|&sf| {
-                ctx.sf_tid(sf) != KERNEL_TID
-                    && ctx.sf_type(sf).category() != SfCategory::BottomHalf
+                ctx.sf_tid(sf) != KERNEL_TID && ctx.sf_type(sf).category() != SfCategory::BottomHalf
             }) {
-                let sf = self.queues.remove_at(ctx, busiest, pos);
+                let sf = self.queues.remove_at(ctx, busiest, pos).ok_or_else(|| {
+                    SchedError::CorruptQueue {
+                        core: CoreId(busiest),
+                        detail: format!("balance position {pos} out of range"),
+                    }
+                })?;
                 let tid = ctx.sf_tid(sf);
                 self.home.insert(tid.0, idlest);
                 self.queues.push(ctx, idlest, sf);
             }
         }
+        Ok(())
     }
 
     fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {

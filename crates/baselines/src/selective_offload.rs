@@ -9,7 +9,7 @@
 //! OS tasks, so OS-side i-cache pollution stays high.
 
 use crate::common::CoreQueues;
-use schedtask_kernel::{CoreId, EngineCore, Scheduler, SfId, SwitchReason, KERNEL_TID};
+use schedtask_kernel::{CoreId, EngineCore, SchedError, Scheduler, SfId, SwitchReason, KERNEL_TID};
 use schedtask_workload::SfCategory;
 use std::collections::HashMap;
 
@@ -96,7 +96,12 @@ impl Scheduler for SelectiveOffloadScheduler {
         "SelectiveOffload"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let ty = ctx.sf_type(sf);
         let tid = ctx.sf_tid(sf);
         let core = match ty.category() {
@@ -126,36 +131,51 @@ impl Scheduler for SelectiveOffloadScheduler {
             }
         };
         self.queues.push(ctx, core, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         // No work stealing whatsoever (the technique's main drawback).
         if core.0 >= self.app_cores {
             // OS cores multiplex all offloaded OS work.
-            return self.queues.pop(ctx, core.0);
+            return Ok(self.queues.pop(ctx, core.0));
         }
         // Application cores serve exactly one thread. Claim one if the
         // core is unowned, then only ever run that thread's work.
         let owner = match self.bound.get(&core.0) {
             Some(&tid) => tid,
             None => {
-                let tid = self
+                let Some(tid) = self
                     .queues
                     .queue(core.0)
                     .iter()
                     .map(|&sf| ctx.sf_tid(sf))
-                    .find(|&tid| tid != KERNEL_TID)?
-                    .0;
-                self.bound.insert(core.0, tid);
-                tid
+                    .find(|&tid| tid != KERNEL_TID)
+                else {
+                    return Ok(None);
+                };
+                self.bound.insert(core.0, tid.0);
+                tid.0
             }
         };
-        let pos = self
+        let Some(pos) = self
             .queues
             .queue(core.0)
             .iter()
-            .position(|&sf| ctx.sf_tid(sf).0 == owner)?;
-        Some(self.queues.remove_at(ctx, core.0, pos))
+            .position(|&sf| ctx.sf_tid(sf).0 == owner)
+        else {
+            return Ok(None);
+        };
+        Ok(self.queues.remove_at(ctx, core.0, pos))
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.queues.all_queued(out);
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {

@@ -18,7 +18,9 @@
 //!   heavy idleness at 1X (Table 4).
 
 use crate::common::CoreQueues;
-use schedtask_kernel::{CoreId, EngineCore, SchedEvent, Scheduler, SfId, SwitchReason, KERNEL_TID};
+use schedtask_kernel::{
+    CoreId, EngineCore, SchedError, SchedEvent, Scheduler, SfId, SwitchReason, KERNEL_TID,
+};
 use std::collections::HashMap;
 
 /// Queue pressure (estimated waiting cycles) above which a footprint
@@ -71,7 +73,12 @@ impl Scheduler for SliccScheduler {
         "SLICC"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let group = Self::app_group(ctx, sf);
         // Fingerprint of the upcoming fetch footprint: the tag-search
         // hardware effectively identifies which collective holds these
@@ -86,23 +93,24 @@ impl Scheduler for SliccScheduler {
             });
         let key = (group, fingerprint);
         let n = self.queues.num_cores();
-        if !self.segment_cores.contains_key(&key) {
-            // First time this footprint segment is seen for this
-            // application: claim the least-loaded core, spreading the
-            // footprint across the collective.
-            let c = self.queues.least_loaded(0..n);
-            self.segment_cores.insert(key, vec![c]);
-        }
-        let cores = self.segment_cores.get(&key).expect("just inserted").clone();
+        let cores = match self.segment_cores.get(&key) {
+            Some(cores) => cores.clone(),
+            None => {
+                // First time this footprint segment is seen for this
+                // application: claim the least-loaded core, spreading the
+                // footprint across the collective.
+                let c = self.queues.least_loaded(0..n);
+                self.segment_cores.insert(key, vec![c]);
+                vec![c]
+            }
+        };
         // Hysteresis: if the thread's current core already holds this
         // segment's lines, stay — SLICC only migrates when the needed
         // lines are remote.
         if let Some(last) = ctx.thread_last_core(ctx.sf_tid(sf)) {
-            if cores.contains(&last.0)
-                && self.queues.waiting(last.0) < SPILL_THRESHOLD_CYCLES
-            {
+            if cores.contains(&last.0) && self.queues.waiting(last.0) < SPILL_THRESHOLD_CYCLES {
                 self.queues.push(ctx, last.0, sf);
-                return;
+                return Ok(());
             }
         }
         let best = self.queues.least_loaded(cores.iter().copied());
@@ -111,7 +119,7 @@ impl Scheduler for SliccScheduler {
             // send this thread there (the migration hardware follows the
             // copy).
             let extra = self.queues.least_loaded(0..n);
-            let entry = self.segment_cores.get_mut(&key).expect("present");
+            let entry = self.segment_cores.entry(key).or_default();
             if !entry.contains(&extra) {
                 entry.push(extra);
             }
@@ -121,12 +129,22 @@ impl Scheduler for SliccScheduler {
         };
         let _ = origin;
         self.queues.push(ctx, core, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         // SLICC does not allow an idle core to steal pending threads
         // waiting at other cores (Section 1).
-        self.queues.pop(ctx, core.0)
+        Ok(self.queues.pop(ctx, core.0))
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.queues.all_queued(out);
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, _core: CoreId, sf: SfId) {

@@ -17,25 +17,35 @@ fn cfg(max_instr: u64) -> EngineConfig {
 }
 
 fn run_with(sched: Box<dyn Scheduler>, kind: BenchmarkKind, scale: f64) -> SimStats {
-    let mut engine = Engine::new(cfg(800_000), &WorkloadSpec::single(kind, scale), sched);
-    engine.run().clone()
+    let mut engine = Engine::new(cfg(800_000), &WorkloadSpec::single(kind, scale), sched)
+        .expect("engine builds");
+    engine.run().expect("run succeeds").clone()
 }
 
 #[test]
 fn all_baselines_run_every_benchmark_kind() {
     for kind in [BenchmarkKind::Find, BenchmarkKind::Apache] {
         let runs: Vec<(&str, SimStats)> = vec![
-            ("Linux", run_with(Box::new(LinuxScheduler::new(CORES)), kind, 1.0)),
+            (
+                "Linux",
+                run_with(Box::new(LinuxScheduler::new(CORES)), kind, 1.0),
+            ),
             (
                 "SelectiveOffload",
                 run_with(Box::new(SelectiveOffloadScheduler::new(CORES)), kind, 1.0),
             ),
-            ("FlexSC", run_with(Box::new(FlexScScheduler::new(CORES)), kind, 1.0)),
+            (
+                "FlexSC",
+                run_with(Box::new(FlexScScheduler::new(CORES)), kind, 1.0),
+            ),
             (
                 "DisAggregateOS",
                 run_with(Box::new(DisAggregateOsScheduler::new(CORES)), kind, 1.0),
             ),
-            ("SLICC", run_with(Box::new(SliccScheduler::new(CORES)), kind, 1.0)),
+            (
+                "SLICC",
+                run_with(Box::new(SliccScheduler::new(CORES)), kind, 1.0),
+            ),
         ];
         for (name, stats) in runs {
             assert!(
@@ -52,11 +62,18 @@ fn linux_baseline_has_few_migrations() {
     // Section 6.2: the baseline migrates threads only on significant
     // imbalance, so its migration rate is minimal compared to the
     // specialization techniques.
-    let linux = run_with(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Apache, 2.0);
-    let flexsc = run_with(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Apache, 2.0);
+    let linux = run_with(
+        Box::new(LinuxScheduler::new(CORES)),
+        BenchmarkKind::Apache,
+        2.0,
+    );
+    let flexsc = run_with(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Apache,
+        2.0,
+    );
     assert!(
-        linux.migrations_per_billion_instructions()
-            < flexsc.migrations_per_billion_instructions(),
+        linux.migrations_per_billion_instructions() < flexsc.migrations_per_billion_instructions(),
         "linux {} vs flexsc {}",
         linux.migrations_per_billion_instructions(),
         flexsc.migrations_per_billion_instructions()
@@ -76,8 +93,9 @@ fn selective_offload_idles_heavily() {
         config,
         &WorkloadSpec::single(BenchmarkKind::MailSrvIo, 1.0),
         Box::new(SelectiveOffloadScheduler::new(CORES * 2)),
-    );
-    let stats = engine.run().clone();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds").clone();
     assert!(
         stats.mean_idle_fraction() > 0.3,
         "idle = {}",
@@ -87,7 +105,11 @@ fn selective_offload_idles_heavily() {
 
 #[test]
 fn flexsc_keeps_idleness_near_zero() {
-    let stats = run_with(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Apache, 2.0);
+    let stats = run_with(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Apache,
+        2.0,
+    );
     assert!(
         stats.mean_idle_fraction() < 0.05,
         "idle = {}",
@@ -100,8 +122,16 @@ fn flexsc_hurts_single_threaded_apps() {
     // The per-syscall Linux reschedule makes single-threaded benchmarks
     // complete fewer operations per second than under Linux.
     let clock = cfg(0).system.clock_hz;
-    let linux = run_with(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Find, 2.0);
-    let flexsc = run_with(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Find, 2.0);
+    let linux = run_with(
+        Box::new(LinuxScheduler::new(CORES)),
+        BenchmarkKind::Find,
+        2.0,
+    );
+    let flexsc = run_with(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Find,
+        2.0,
+    );
     assert!(
         flexsc.app_performance(clock) < linux.app_performance(clock),
         "flexsc {} >= linux {}",
@@ -114,8 +144,16 @@ fn flexsc_hurts_single_threaded_apps() {
 fn slicc_does_not_steal() {
     // At 1X, SLICC idles visibly more than FlexSC (Table 4's 1X rows:
     // SLICC 41 %, FlexSC 0 %).
-    let slicc = run_with(Box::new(SliccScheduler::new(CORES)), BenchmarkKind::Find, 1.0);
-    let flexsc = run_with(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Find, 1.0);
+    let slicc = run_with(
+        Box::new(SliccScheduler::new(CORES)),
+        BenchmarkKind::Find,
+        1.0,
+    );
+    let flexsc = run_with(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Find,
+        1.0,
+    );
     assert!(
         slicc.mean_idle_fraction() > flexsc.mean_idle_fraction(),
         "slicc {} vs flexsc {}",
@@ -141,8 +179,16 @@ fn specialization_beats_fifo_on_icache() {
     // Grouping same-type work must raise the OS i-cache hit rate
     // relative to the global FIFO free-for-all.
     use schedtask_kernel::GlobalFifoScheduler;
-    let fifo = run_with(Box::new(GlobalFifoScheduler::new()), BenchmarkKind::MailSrvIo, 2.0);
-    let slicc = run_with(Box::new(SliccScheduler::new(CORES)), BenchmarkKind::MailSrvIo, 2.0);
+    let fifo = run_with(
+        Box::new(GlobalFifoScheduler::new()),
+        BenchmarkKind::MailSrvIo,
+        2.0,
+    );
+    let slicc = run_with(
+        Box::new(SliccScheduler::new(CORES)),
+        BenchmarkKind::MailSrvIo,
+        2.0,
+    );
     let fifo_os = fifo.mem.icache_os.hit_rate();
     let slicc_os = slicc.mem.icache_os.hit_rate();
     assert!(
@@ -153,8 +199,16 @@ fn specialization_beats_fifo_on_icache() {
 
 #[test]
 fn baselines_are_deterministic() {
-    let a = run_with(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Oltp, 1.0);
-    let b = run_with(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Oltp, 1.0);
+    let a = run_with(
+        Box::new(LinuxScheduler::new(CORES)),
+        BenchmarkKind::Oltp,
+        1.0,
+    );
+    let b = run_with(
+        Box::new(LinuxScheduler::new(CORES)),
+        BenchmarkKind::Oltp,
+        1.0,
+    );
     assert_eq!(a.final_cycle, b.final_cycle);
     assert_eq!(a.total_instructions(), b.total_instructions());
 }

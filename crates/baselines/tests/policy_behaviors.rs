@@ -16,8 +16,8 @@ fn run(sched: Box<dyn Scheduler>, kind: BenchmarkKind, scale: f64, instr: u64) -
         .with_system(SystemConfig::table2().with_cores(CORES))
         .with_max_instructions(instr);
     cfg.epoch_cycles = 50_000;
-    let mut e = Engine::new(cfg, &WorkloadSpec::single(kind, scale), sched);
-    e.run().clone()
+    let mut e = Engine::new(cfg, &WorkloadSpec::single(kind, scale), sched).expect("engine builds");
+    e.run().expect("run succeeds").clone()
 }
 
 #[test]
@@ -35,8 +35,9 @@ fn selective_offload_has_the_best_application_icache() {
         cfg,
         &WorkloadSpec::single(kind, 2.0),
         Box::new(SelectiveOffloadScheduler::new(CORES * 2)),
-    );
-    let so = e.run().clone();
+    )
+    .expect("engine builds");
+    let so = e.run().expect("run succeeds").clone();
     let linux = run(Box::new(LinuxScheduler::new(CORES)), kind, 2.0, 1_000_000);
     let slicc = run(Box::new(SliccScheduler::new(CORES)), kind, 2.0, 1_000_000);
     let so_app = so.mem.icache_app.hit_rate();
@@ -77,7 +78,12 @@ fn flexsc_penalizes_only_single_threaded_apps() {
     // The per-syscall Linux reschedule is charged for Find (single
     // threaded) but not for Apache (multi-threaded): FlexSC's scheduler
     // instruction share must be much higher on Find.
-    let find = run(Box::new(FlexScScheduler::new(CORES)), BenchmarkKind::Find, 1.0, 600_000);
+    let find = run(
+        Box::new(FlexScScheduler::new(CORES)),
+        BenchmarkKind::Find,
+        1.0,
+        600_000,
+    );
     let apache = run(
         Box::new(FlexScScheduler::new(CORES)),
         BenchmarkKind::Apache,
@@ -97,7 +103,12 @@ fn flexsc_penalizes_only_single_threaded_apps() {
 fn linux_keeps_threads_home_under_balanced_load() {
     // Section 6.2: with uniformly stressed threads, the baseline barely
     // migrates.
-    let stats = run(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Oltp, 2.0, 800_000);
+    let stats = run(
+        Box::new(LinuxScheduler::new(CORES)),
+        BenchmarkKind::Oltp,
+        2.0,
+        800_000,
+    );
     assert!(
         stats.migrations_per_billion_instructions() < 20_000.0,
         "baseline migrations/Binstr = {:.0}",
@@ -133,16 +144,28 @@ fn slicc_loses_its_edge_on_multiprogrammed_mixes() {
         .with_max_instructions(1_000_000);
     cfg.epoch_cycles = 50_000;
     let linux = {
-        let mut e = Engine::new(cfg.clone(), &w, Box::new(LinuxScheduler::new(CORES)));
-        e.run().clone()
+        let mut e = Engine::new(cfg.clone(), &w, Box::new(LinuxScheduler::new(CORES)))
+            .expect("engine builds");
+        e.run().expect("run succeeds").clone()
     };
     let slicc = {
-        let mut e = Engine::new(cfg, &w, Box::new(SliccScheduler::new(CORES)));
-        e.run().clone()
+        let mut e =
+            Engine::new(cfg, &w, Box::new(SliccScheduler::new(CORES))).expect("engine builds");
+        e.run().expect("run succeeds").clone()
     };
     let single_edge = {
-        let l = run(Box::new(LinuxScheduler::new(CORES)), BenchmarkKind::Dss, 1.0, 1_000_000);
-        let s = run(Box::new(SliccScheduler::new(CORES)), BenchmarkKind::Dss, 1.0, 1_000_000);
+        let l = run(
+            Box::new(LinuxScheduler::new(CORES)),
+            BenchmarkKind::Dss,
+            1.0,
+            1_000_000,
+        );
+        let s = run(
+            Box::new(SliccScheduler::new(CORES)),
+            BenchmarkKind::Dss,
+            1.0,
+            1_000_000,
+        );
         s.mem.icache_os.hit_rate() - l.mem.icache_os.hit_rate()
     };
     let mpw_edge = slicc.mem.icache_os.hit_rate() - linux.mem.icache_os.hit_rate();

@@ -46,7 +46,9 @@ fn bench_walker(c: &mut Criterion) {
     let code = Arc::new(Footprint::from_regions([&alloc.anonymous("code", 32)]));
     let data = Arc::new(Footprint::from_regions([&alloc.anonymous("data", 8)]));
     let mut w = FootprintWalker::new(code, data.clone(), data, WalkParams::default(), 7);
-    g.bench_function("walker_next_block", |b| b.iter(|| black_box(w.next_block())));
+    g.bench_function("walker_next_block", |b| {
+        b.iter(|| black_box(w.next_block()))
+    });
     g.finish();
 }
 
@@ -62,8 +64,9 @@ fn bench_engine(c: &mut Criterion) {
                 cfg,
                 &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
                 Box::new(GlobalFifoScheduler::new()),
-            );
-            black_box(engine.run().total_instructions())
+            )
+            .expect("engine builds");
+            black_box(engine.run().expect("run succeeds").total_instructions())
         });
     });
     g.finish();

@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
 use schedtask_bench::{bench_kinds, bench_params};
-use schedtask_experiments::{appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload};
+use schedtask_experiments::{
+    appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
+};
 use schedtask_experiments::{runner, Comparison, Technique};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_sim::HierarchyConfig;
@@ -36,7 +38,7 @@ fn bench_fig07_08_10(c: &mut Criterion) {
     let kinds = bench_kinds();
     g.bench_function("fig07_08_10_comparison", |b| {
         b.iter(|| {
-            let cmp = Comparison::run_subset(&p, 2.0, &kinds);
+            let cmp = Comparison::run_subset(&p, 2.0, &kinds).expect("comparison runs");
             (
                 cmp.fig07_performance(),
                 cmp.fig08_all(),
@@ -65,10 +67,8 @@ fn bench_fig11(c: &mut Criterion) {
     p.max_instructions = 500_000;
     g.bench_function("fig11_heatmap_single_width", |b| {
         b.iter(|| {
-            let (sched, _inspector) = SchedTaskScheduler::with_ranking_inspector(
-                p.cores,
-                SchedTaskConfig::default(),
-            );
+            let (sched, _inspector) =
+                SchedTaskScheduler::with_ranking_inspector(p.cores, SchedTaskConfig::default());
             runner::run_with_scheduler(
                 Box::new(sched),
                 &p,
@@ -113,8 +113,8 @@ fn bench_appendix_mpw(c: &mut Criterion) {
     let w = WorkloadSpec::from(&bag);
     g.bench_function("appendix_fig1_mpw_a", |b| {
         b.iter(|| {
-            let base = runner::run(Technique::Linux, &p, &w);
-            let st = runner::run(Technique::SchedTask, &p, &w);
+            let base = runner::run(Technique::Linux, &p, &w).expect("run succeeds");
+            let st = runner::run(Technique::SchedTask, &p, &w).expect("run succeeds");
             runner::throughput_change(&base, &st)
         });
     });

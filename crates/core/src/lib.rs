@@ -42,13 +42,15 @@
 //!     engine_cfg,
 //!     &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
 //!     Box::new(sched),
-//! );
-//! let stats = engine.run();
+//! )
+//! .expect("valid config");
+//! let stats = engine.run().expect("run succeeds");
 //! assert!(stats.total_instructions() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod alloc_table;
 pub mod overlap;

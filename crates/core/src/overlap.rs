@@ -27,12 +27,10 @@ impl OverlapTable {
     /// true, the exact page sets are used instead (Figure 11's ideal
     /// ranking).
     pub fn from_stats(stats: &StatsTable, use_exact: bool) -> Self {
-        let types: Vec<&SuperFuncType> = stats.iter().map(|(t, _)| t).collect();
         let mut entries = BTreeMap::new();
-        for &a in &types {
-            let sa = stats.get(*a).expect("type present");
+        for (a, sa) in stats.iter() {
             let mut list: Vec<(SuperFuncType, u32)> = Vec::new();
-            for &b in &types {
+            for (b, sb) in stats.iter() {
                 if a == b {
                     continue;
                 }
@@ -40,7 +38,6 @@ impl OverlapTable {
                 if a.is_os() != b.is_os() {
                     continue;
                 }
-                let sb = stats.get(*b).expect("type present");
                 let overlap = if use_exact {
                     sa.exact_pages.intersection(&sb.exact_pages).count() as u32
                 } else {
@@ -57,10 +54,7 @@ impl OverlapTable {
 
     /// The overlap list for `sf_type` (empty if unknown).
     pub fn overlaps_of(&self, sf_type: SuperFuncType) -> &[(SuperFuncType, u32)] {
-        self.entries
-            .get(&sf_type)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.entries.get(&sf_type).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Merges the overlap lists of several types into one list in
@@ -159,11 +153,7 @@ mod tests {
         let a = ty(SfCategory::SystemCall, 1);
         let b = ty(SfCategory::SystemCall, 2);
         let c = ty(SfCategory::SystemCall, 3);
-        let stats = stats_with_pages(&[
-            (a, &[1, 2, 3]),
-            (b, &[1, 2, 9]),
-            (c, &[3, 9, 10]),
-        ]);
+        let stats = stats_with_pages(&[(a, &[1, 2, 3]), (b, &[1, 2, 9]), (c, &[3, 9, 10])]);
         let table = OverlapTable::from_stats(&stats, true);
         let ranking = table.combined_ranking(&[a, b]);
         // Only c is a candidate (a and b are local).

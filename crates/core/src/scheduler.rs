@@ -5,7 +5,7 @@ use crate::alloc_table::AllocationTable;
 use crate::overlap::OverlapTable;
 use crate::stats_table::StatsTable;
 use crate::stealing::StealPolicy;
-use schedtask_kernel::{CoreId, EngineCore, SchedEvent, Scheduler, SfId, SwitchReason};
+use schedtask_kernel::{CoreId, EngineCore, SchedError, SchedEvent, Scheduler, SfId, SwitchReason};
 use schedtask_metrics::cosine_similarity;
 use schedtask_sim::PageHeatmap;
 use schedtask_workload::{SfCategory, SuperFuncType};
@@ -85,8 +85,9 @@ pub type RankingInspector = Rc<RefCell<Vec<EpochRankings>>>;
 ///     cfg,
 ///     &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
 ///     Box::new(sched),
-/// );
-/// let stats = engine.run();
+/// )
+/// .expect("valid config");
+/// let stats = engine.run().expect("run succeeds");
 /// assert!(stats.total_instructions() > 0);
 /// ```
 #[derive(Debug)]
@@ -185,17 +186,18 @@ impl SchedTaskScheduler {
     fn pop_queue(&mut self, ctx: &EngineCore, core: usize) -> Option<SfId> {
         let sf = self.queues[core].pop_front()?;
         let ty = ctx.sf_type(sf);
-        self.waiting_cycles[core] =
-            (self.waiting_cycles[core] - self.exec_estimate(ty)).max(0.0);
+        self.waiting_cycles[core] = (self.waiting_cycles[core] - self.exec_estimate(ty)).max(0.0);
         Some(sf)
     }
 
-    fn remove_from_queue(&mut self, ctx: &EngineCore, core: usize, pos: usize) -> SfId {
-        let sf = self.queues[core].remove(pos).expect("valid position");
+    fn remove_from_queue(&mut self, ctx: &EngineCore, core: usize, pos: usize) -> Option<SfId> {
+        // Positions come from a `position()`/`enumerate()` over the same
+        // queue in the same borrow, so this only returns `None` if a
+        // caller miscomputes.
+        let sf = self.queues[core].remove(pos)?;
         let ty = ctx.sf_type(sf);
-        self.waiting_cycles[core] =
-            (self.waiting_cycles[core] - self.exec_estimate(ty)).max(0.0);
-        sf
+        self.waiting_cycles[core] = (self.waiting_cycles[core] - self.exec_estimate(ty)).max(0.0);
+        Some(sf)
     }
 
     /// Steal-same-work-only: take one SuperFunction whose type is mapped
@@ -217,7 +219,9 @@ impl SchedTaskScheduler {
                 .iter()
                 .position(|&sf| my_types.contains(&ctx.sf_type(sf)));
             if let Some(pos) = pos {
-                return Some(self.remove_from_queue(ctx, v, pos));
+                if let Some(sf) = self.remove_from_queue(ctx, v, pos) {
+                    return Some(sf);
+                }
             }
         }
         None
@@ -254,7 +258,10 @@ impl SchedTaskScheduler {
                 };
                 let mut stolen = Vec::with_capacity(take);
                 for &pos in positions.iter().rev().take(take) {
-                    stolen.push(self.remove_from_queue(ctx, v, pos));
+                    stolen.extend(self.remove_from_queue(ctx, v, pos));
+                }
+                if stolen.is_empty() {
+                    continue;
                 }
                 stolen.reverse();
                 let first = stolen.remove(0);
@@ -301,8 +308,7 @@ impl SchedTaskScheduler {
         }
 
         // 3. Re-allocate cores only if the breakup changed enough.
-        let fractions: BTreeMap<SuperFuncType, f64> =
-            system.exec_fractions().into_iter().collect();
+        let fractions: BTreeMap<SuperFuncType, f64> = system.exec_fractions().into_iter().collect();
         let keys: Vec<SuperFuncType> = fractions
             .keys()
             .chain(self.prev_fractions.keys())
@@ -310,7 +316,10 @@ impl SchedTaskScheduler {
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
-        let cur: Vec<f64> = keys.iter().map(|k| *fractions.get(k).unwrap_or(&0.0)).collect();
+        let cur: Vec<f64> = keys
+            .iter()
+            .map(|k| *fractions.get(k).unwrap_or(&0.0))
+            .collect();
         let prev: Vec<f64> = keys
             .iter()
             .map(|k| *self.prev_fractions.get(k).unwrap_or(&0.0))
@@ -340,18 +349,14 @@ impl SchedTaskScheduler {
         if self.cfg.collect_ranking_validation {
             if let Some(v) = &self.validation {
                 let mut epoch: EpochRankings = Vec::new();
-                let types: Vec<SuperFuncType> = system.iter().map(|(t, _)| *t).collect();
-                for &a in &types {
-                    let sa = system.get(a).expect("present");
+                for (&a, sa) in system.iter() {
                     let mut row = Vec::new();
-                    for &b in &types {
+                    for (&b, sb) in system.iter() {
                         if a == b || a.is_os() != b.is_os() {
                             continue;
                         }
-                        let sb = system.get(b).expect("present");
                         let bloom = sa.heatmap.overlap(&sb.heatmap);
-                        let exact =
-                            sa.exact_pages.intersection(&sb.exact_pages).count() as u32;
+                        let exact = sa.exact_pages.intersection(&sb.exact_pages).count() as u32;
                         row.push((b, bloom, exact));
                     }
                     if !row.is_empty() {
@@ -376,13 +381,19 @@ impl Scheduler for SchedTaskScheduler {
         "SchedTask"
     }
 
-    fn init(&mut self, ctx: &mut EngineCore) {
+    fn init(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         if self.cfg.use_exact_overlap || self.cfg.collect_ranking_validation {
             ctx.exact_pages_enable(true);
         }
+        Ok(())
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         let ty = ctx.sf_type(sf);
         let cores = self.alloc.cores_for(ty);
         let target = if cores.is_empty() {
@@ -408,7 +419,9 @@ impl Scheduler for SchedTaskScheduler {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.cmp(&b))
                 })
-                .expect("non-empty core list");
+                .ok_or_else(|| SchedError::NoCandidate {
+                    detail: format!("allocation entry for {ty:?} lists no cores"),
+                })?;
             match ctx.thread_last_core(ctx.sf_tid(sf)) {
                 Some(last)
                     if cores.contains(&last)
@@ -421,13 +434,18 @@ impl Scheduler for SchedTaskScheduler {
             }
         };
         self.push_queue(ctx, target, sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         if let Some(sf) = self.pop_queue(ctx, core.0) {
-            return Some(sf);
+            return Ok(Some(sf));
         }
-        match self.cfg.steal_policy {
+        Ok(match self.cfg.steal_policy {
             StealPolicy::Nothing => None,
             StealPolicy::SameWorkOnly => self.steal_same(ctx, core.0),
             StealPolicy::SimilarWorkAlso => self
@@ -440,7 +458,14 @@ impl Scheduler for SchedTaskScheduler {
                 // for the default strategy is ≈0 %.
                 .or_else(|| self.steal_max_waiting(ctx, core.0)),
             StealPolicy::MaxWaitingTime => self.steal_max_waiting(ctx, core.0),
+        })
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        for q in &self.queues {
+            out.extend(q.iter().copied());
         }
+        true
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId) {
@@ -450,7 +475,13 @@ impl Scheduler for SchedTaskScheduler {
         ctx.heatmap_load(core, PageHeatmap::new(self.cfg.heatmap_bits));
     }
 
-    fn on_switch_out(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId, _reason: SwitchReason) {
+    fn on_switch_out(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+        sf: SfId,
+        _reason: SwitchReason,
+    ) {
         // stopStatsCollection: account execution time, OR the register
         // into this core's stats-table entry.
         let start = self.dispatch_cycles_at.remove(&sf).unwrap_or(0);
@@ -464,16 +495,12 @@ impl Scheduler for SchedTaskScheduler {
             None
         };
         let ty = ctx.sf_type(sf);
-        self.per_core_stats[core.0].record_execution(
-            ty,
-            segment,
-            heatmap.as_ref(),
-            exact.as_ref(),
-        );
+        self.per_core_stats[core.0].record_execution(ty, segment, heatmap.as_ref(), exact.as_ref());
     }
 
-    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+    fn on_epoch(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         self.talloc(ctx);
+        Ok(())
     }
 
     fn route_interrupt(&mut self, _ctx: &mut EngineCore, irq: u64) -> CoreId {
@@ -490,12 +517,7 @@ impl Scheduler for SchedTaskScheduler {
         ctx.thread_last_core(tid).unwrap_or(CoreId(0))
     }
 
-    fn overhead_for(
-        &self,
-        ctx: &EngineCore,
-        event: SchedEvent,
-        sf: Option<SfId>,
-    ) -> u64 {
+    fn overhead_for(&self, ctx: &EngineCore, event: SchedEvent, sf: Option<SfId>) -> u64 {
         let base = self.overhead_instructions(event);
         if !self.cfg.software_rendition {
             return base;
@@ -550,8 +572,9 @@ mod tests {
                 ..SchedTaskConfig::default()
             },
         );
-        let mut engine = Engine::new(cfg, &WorkloadSpec::single(kind, 2.0), Box::new(sched));
-        engine.run().clone()
+        let mut engine = Engine::new(cfg, &WorkloadSpec::single(kind, 2.0), Box::new(sched))
+            .expect("engine builds");
+        engine.run().expect("run succeeds").clone()
     }
 
     #[test]
@@ -585,14 +608,13 @@ mod tests {
             cfg,
             &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
             Box::new(sched),
-        );
-        engine.run();
+        )
+        .expect("engine builds");
+        engine.run().expect("run succeeds");
         // The scheduler was consumed by the engine; re-run with a probe
         // via the inspector API instead.
-        let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
-            cores,
-            SchedTaskConfig::default(),
-        );
+        let (sched, inspector) =
+            SchedTaskScheduler::with_ranking_inspector(cores, SchedTaskConfig::default());
         let cfg = EngineConfig::fast()
             .with_system(SystemConfig::table2().with_cores(cores))
             .with_max_instructions(800_000);
@@ -600,8 +622,9 @@ mod tests {
             cfg,
             &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
             Box::new(sched),
-        );
-        engine.run();
+        )
+        .expect("engine builds");
+        engine.run().expect("run succeeds");
         assert!(
             !inspector.borrow().is_empty(),
             "no TAlloc ranking snapshots recorded"
@@ -620,8 +643,9 @@ mod tests {
             cfg,
             &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
             Box::new(sched),
-        );
-        engine.run();
+        )
+        .expect("engine builds");
+        engine.run().expect("run succeeds");
         let snaps = inspector.borrow();
         assert!(!snaps.is_empty());
         let any_overlap = snaps

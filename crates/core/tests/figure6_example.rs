@@ -42,15 +42,15 @@ fn figure6_worked_example() {
     // figure's exec times (A and D run 10, B and C run 5).
     let exact = |pages: &[u64]| -> HashSet<u64> { pages.iter().copied().collect() };
     let mut cores: Vec<StatsTable> = (0..4).map(|_| StatsTable::new(512)).collect();
-    for c in 0..2 {
-        cores[c].record_execution(sf_a, 10, Some(&heat(&pages_a)), Some(&exact(&pages_a)));
-        cores[c].record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
-        cores[c].record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
+    for core in &mut cores[0..2] {
+        core.record_execution(sf_a, 10, Some(&heat(&pages_a)), Some(&exact(&pages_a)));
+        core.record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
+        core.record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
     }
-    for c in 2..4 {
-        cores[c].record_execution(sf_d, 10, Some(&heat(&pages_d)), Some(&exact(&pages_d)));
-        cores[c].record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
-        cores[c].record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
+    for core in &mut cores[2..4] {
+        core.record_execution(sf_d, 10, Some(&heat(&pages_d)), Some(&exact(&pages_d)));
+        core.record_execution(sf_b, 5, Some(&heat(&pages_b)), Some(&exact(&pages_b)));
+        core.record_execution(sf_c, 5, Some(&heat(&pages_c)), Some(&exact(&pages_c)));
     }
 
     // TAlloc's aggregation (Figure 6's "aggregation operation").

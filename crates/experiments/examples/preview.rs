@@ -9,7 +9,7 @@ fn main() {
     p.max_instructions = (cores as u64) * 500_000;
     p.warmup_instructions = (cores as u64) * 125_000;
     let t0 = std::time::Instant::now();
-    let c = Comparison::run(&p, 2.0);
+    let c = Comparison::run(&p, 2.0).expect("comparison runs");
     println!("{}", c.fig07_performance());
     println!("{}", c.fig08a_throughput());
     println!("{}", c.fig08b_idleness());

@@ -9,10 +9,10 @@
 //! * **"steal half of them"** versus stealing a single SuperFunction;
 //! * the **thread-migration cost** assumption.
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
-use schedtask_kernel::{Engine, SimStats, WorkloadSpec};
+use schedtask_kernel::{SimStats, WorkloadSpec};
 use schedtask_metrics::geometric_mean_pct;
 use schedtask_sim::ReplacementPolicy;
 use schedtask_workload::BenchmarkKind;
@@ -27,35 +27,36 @@ pub fn ablation_benchmarks() -> [BenchmarkKind; 3] {
     ]
 }
 
-fn run_schedtask(params: &ExpParams, cfg: SchedTaskConfig, kind: BenchmarkKind) -> SimStats {
+fn run_schedtask(
+    params: &ExpParams,
+    cfg: SchedTaskConfig,
+    kind: BenchmarkKind,
+) -> Result<SimStats, ExperimentError> {
     let sched = SchedTaskScheduler::new(params.cores, cfg);
     runner::run_with_scheduler(Box::new(sched), params, &WorkloadSpec::single(kind, 2.0))
 }
 
-fn baselines(params: &ExpParams) -> Vec<(BenchmarkKind, SimStats)> {
-    ablation_benchmarks()
-        .into_iter()
-        .map(|k| {
-            (
-                k,
-                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0)),
-            )
-        })
-        .collect()
+fn baselines(params: &ExpParams) -> Result<Vec<(BenchmarkKind, SimStats)>, ExperimentError> {
+    let mut out = Vec::new();
+    for k in ablation_benchmarks() {
+        out.push((
+            k,
+            runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0))?,
+        ));
+    }
+    Ok(out)
 }
 
 fn gmean_against(
     baselines: &[(BenchmarkKind, SimStats)],
-    mut run_one: impl FnMut(BenchmarkKind) -> SimStats,
-) -> f64 {
-    let vals: Vec<f64> = baselines
-        .iter()
-        .map(|(k, base)| {
-            let s = run_one(*k);
-            runner::throughput_change(base, &s)
-        })
-        .collect();
-    geometric_mean_pct(&vals)
+    mut run_one: impl FnMut(BenchmarkKind) -> Result<SimStats, ExperimentError>,
+) -> Result<f64, ExperimentError> {
+    let mut vals = Vec::with_capacity(baselines.len());
+    for (k, base) in baselines {
+        let s = run_one(*k)?;
+        vals.push(runner::throughput_change(base, &s));
+    }
+    Ok(geometric_mean_pct(&vals))
 }
 
 /// Like [`gmean_against`] but on application performance (ops/s) — the
@@ -65,28 +66,26 @@ fn gmean_against(
 fn gmean_perf_against(
     clock_hz: u64,
     baselines: &[(BenchmarkKind, SimStats)],
-    mut run_one: impl FnMut(BenchmarkKind) -> SimStats,
-) -> f64 {
-    let vals: Vec<f64> = baselines
-        .iter()
-        .map(|(k, base)| {
-            let s = run_one(*k);
-            runner::performance_change(base, &s, clock_hz)
-        })
-        .collect();
-    geometric_mean_pct(&vals)
+    mut run_one: impl FnMut(BenchmarkKind) -> Result<SimStats, ExperimentError>,
+) -> Result<f64, ExperimentError> {
+    let mut vals = Vec::with_capacity(baselines.len());
+    for (k, base) in baselines {
+        let s = run_one(*k)?;
+        vals.push(runner::performance_change(base, &s, clock_hz));
+    }
+    Ok(geometric_mean_pct(&vals))
 }
 
 /// Hardware Page-heatmap versus the rejected software rendition.
-pub fn software_rendition_table(params: &ExpParams) -> Table {
-    let base = baselines(params);
+pub fn software_rendition_table(params: &ExpParams) -> Result<Table, ExperimentError> {
+    let base = baselines(params)?;
     let clock = params.clock_hz();
     // Application performance, not raw throughput: the rendition's extra
     // mapping instructions retire (and inflate throughput) without doing
     // application work.
     let hw = gmean_perf_against(clock, &base, |k| {
         run_schedtask(params, SchedTaskConfig::default(), k)
-    });
+    })?;
     let sw = gmean_perf_against(clock, &base, |k| {
         run_schedtask(
             params,
@@ -96,33 +95,36 @@ pub fn software_rendition_table(params: &ExpParams) -> Table {
             },
             k,
         )
-    });
+    })?;
     let mut t = Table::new("Ablation: hardware Page-heatmap vs. software rendition (Section 3.2)")
         .with_note("The software approach must map each instruction's virtual address to its PFN at run time; the paper rejects it for exactly this overhead (and for Rowhammer-style security concerns). Measured on application performance — the mapping instructions inflate raw throughput.")
         .with_headers(["configuration", "gmean Δ app performance vs. Linux (%)"]);
     t.push_row(["hardware register".to_string(), f1(hw)]);
     t.push_row(["software rendition".to_string(), f1(sw)]);
-    t
+    Ok(t)
 }
 
 /// Sensitivity to the scheduling-epoch length.
-pub fn epoch_length_table(params: &ExpParams, epochs: &[u64]) -> Table {
+pub fn epoch_length_table(params: &ExpParams, epochs: &[u64]) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: scheduling-epoch length")
         .with_note("The paper fixes 3 ms epochs; too-short epochs give TAlloc noisy profiles, too-long epochs adapt slowly.")
         .with_headers(["epoch (cycles)", "gmean Δ throughput vs. Linux (%)"]);
     for &epoch in epochs {
         let mut p = params.clone();
         p.epoch_cycles = epoch;
-        let base = baselines(&p);
-        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        let base = baselines(&p)?;
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k))?;
         t.push_row([format!("{epoch}"), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 /// Sensitivity to the TAlloc re-allocation threshold.
-pub fn realloc_threshold_table(params: &ExpParams, thresholds: &[f64]) -> Table {
-    let base = baselines(params);
+pub fn realloc_threshold_table(
+    params: &ExpParams,
+    thresholds: &[f64],
+) -> Result<Table, ExperimentError> {
+    let base = baselines(params)?;
     let mut t = Table::new("Ablation: TAlloc re-allocation trigger (cosine-similarity threshold)")
         .with_note("0.0 allocates once and never adapts; 1.01 re-allocates every epoch; the paper picks 0.98.")
         .with_headers(["threshold", "gmean Δ throughput vs. Linux (%)"]);
@@ -136,18 +138,18 @@ pub fn realloc_threshold_table(params: &ExpParams, thresholds: &[f64]) -> Table 
                 },
                 k,
             )
-        });
+        })?;
         t.push_row([format!("{th:.2}"), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 /// "Steal half of them" versus stealing one SuperFunction per steal.
-pub fn steal_amount_table(params: &ExpParams) -> Table {
-    let base = baselines(params);
+pub fn steal_amount_table(params: &ExpParams) -> Result<Table, ExperimentError> {
+    let base = baselines(params)?;
     let half = gmean_against(&base, |k| {
         run_schedtask(params, SchedTaskConfig::default(), k)
-    });
+    })?;
     let one = gmean_against(&base, |k| {
         run_schedtask(
             params,
@@ -157,53 +159,51 @@ pub fn steal_amount_table(params: &ExpParams) -> Table {
             },
             k,
         )
-    });
+    })?;
     let mut t = Table::new("Ablation: similar-work steal amount")
         .with_note("TMigrate steals half of the matching SuperFunctions to amortize the stolen type's cold i-cache misses (Section 5.3).")
         .with_headers(["steal amount", "gmean Δ throughput vs. Linux (%)"]);
     t.push_row(["half of the matching SFs (paper)".to_string(), f1(half)]);
     t.push_row(["one SF per steal".to_string(), f1(one)]);
-    t
+    Ok(t)
 }
 
 /// Sensitivity to the per-migration context-transfer cost.
-pub fn migration_cost_table(params: &ExpParams, costs: &[u64]) -> Table {
+pub fn migration_cost_table(params: &ExpParams, costs: &[u64]) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: thread-migration context-transfer cost")
         .with_note("Cache-affinity losses are modelled by the memory system; this sweeps only the fixed per-migration cycles.")
         .with_headers(["cycles/migration", "gmean Δ throughput vs. Linux (%)"]);
     for &cost in costs {
-        let base: Vec<(BenchmarkKind, SimStats)> = ablation_benchmarks()
-            .into_iter()
-            .map(|k| {
-                let mut cfg = params.engine_config(Technique::Linux);
-                cfg.migration_cost_cycles = cost;
-                let mut e = Engine::new(
-                    cfg,
-                    &WorkloadSpec::single(k, 2.0),
-                    Technique::Linux.scheduler(params.cores),
-                );
-                (k, e.run().clone())
-            })
-            .collect();
-        let vals: Vec<f64> = base
-            .iter()
-            .map(|(k, b)| {
-                let mut cfg = params.engine_config(Technique::SchedTask);
-                cfg.migration_cost_cycles = cost;
-                let mut e = Engine::new(
-                    cfg,
-                    &WorkloadSpec::single(*k, 2.0),
-                    Box::new(SchedTaskScheduler::new(
-                        params.cores,
-                        SchedTaskConfig::default(),
-                    )),
-                );
-                runner::throughput_change(b, e.run())
-            })
-            .collect();
+        let mut base: Vec<(BenchmarkKind, SimStats)> = Vec::new();
+        for k in ablation_benchmarks() {
+            let mut cfg = params.engine_config(Technique::Linux);
+            cfg.migration_cost_cycles = cost;
+            let stats = runner::run_configured(
+                Technique::Linux.name(),
+                cfg,
+                &WorkloadSpec::single(k, 2.0),
+                Technique::Linux.scheduler(params.cores),
+            )?;
+            base.push((k, stats));
+        }
+        let mut vals = Vec::new();
+        for (k, b) in &base {
+            let mut cfg = params.engine_config(Technique::SchedTask);
+            cfg.migration_cost_cycles = cost;
+            let stats = runner::run_configured(
+                Technique::SchedTask.name(),
+                cfg,
+                &WorkloadSpec::single(*k, 2.0),
+                Box::new(SchedTaskScheduler::new(
+                    params.cores,
+                    SchedTaskConfig::default(),
+                )),
+            )?;
+            vals.push(runner::throughput_change(b, &stats));
+        }
         t.push_row([format!("{cost}"), f1(geometric_mean_pct(&vals))]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -225,7 +225,8 @@ mod tests {
         // same workload. The performance delta is asserted at full scale
         // by `repro ablations`.
         let p = tiny();
-        let hw = run_schedtask(&p, SchedTaskConfig::default(), BenchmarkKind::MailSrvIo);
+        let hw = run_schedtask(&p, SchedTaskConfig::default(), BenchmarkKind::MailSrvIo)
+            .expect("run succeeds");
         let sw = run_schedtask(
             &p,
             SchedTaskConfig {
@@ -233,7 +234,8 @@ mod tests {
                 ..SchedTaskConfig::default()
             },
             BenchmarkKind::MailSrvIo,
-        );
+        )
+        .expect("run succeeds");
         assert!(
             sw.instructions.scheduler as f64 > hw.instructions.scheduler as f64 * 1.5,
             "software rendition scheduler instr {} vs hardware {}",
@@ -241,22 +243,40 @@ mod tests {
             hw.instructions.scheduler
         );
         // And the table renders.
-        assert_eq!(software_rendition_table(&p).rows.len(), 2);
+        assert_eq!(
+            software_rendition_table(&p).expect("table runs").rows.len(),
+            2
+        );
     }
 
     #[test]
     fn ablation_tables_render() {
         let p = tiny();
-        assert_eq!(epoch_length_table(&p, &[40_000]).rows.len(), 1);
-        assert_eq!(realloc_threshold_table(&p, &[0.98]).rows.len(), 1);
-        assert_eq!(steal_amount_table(&p).rows.len(), 2);
-        assert_eq!(migration_cost_table(&p, &[0, 400]).rows.len(), 2);
+        assert_eq!(
+            epoch_length_table(&p, &[40_000]).expect("runs").rows.len(),
+            1
+        );
+        assert_eq!(
+            realloc_threshold_table(&p, &[0.98])
+                .expect("runs")
+                .rows
+                .len(),
+            1
+        );
+        assert_eq!(steal_amount_table(&p).expect("runs").rows.len(), 2);
+        assert_eq!(
+            migration_cost_table(&p, &[0, 400])
+                .expect("runs")
+                .rows
+                .len(),
+            2
+        );
     }
 }
 
 /// L1 replacement-policy ablation: how much of the specialization
 /// benefit survives weaker replacement?
-pub fn replacement_policy_table(params: &ExpParams) -> Table {
+pub fn replacement_policy_table(params: &ExpParams) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: L1 replacement policy")
         .with_note("SchedTask's benefit comes from keeping a type's hot lines resident between invocations; weaker replacement erodes exactly that retention.")
         .with_headers(["policy", "gmean Δ throughput vs. Linux (%)"]);
@@ -267,27 +287,30 @@ pub fn replacement_policy_table(params: &ExpParams) -> Table {
     ] {
         let mut p = params.clone();
         p.system.l1_replacement = policy;
-        let base = baselines(&p);
-        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        let base = baselines(&p)?;
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k))?;
         t.push_row([name.to_string(), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 /// Data-prefetcher ablation: with stride prefetching hiding d-side
 /// misses, how does the benefit shift?
-pub fn data_prefetcher_table(params: &ExpParams) -> Table {
+pub fn data_prefetcher_table(params: &ExpParams) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: stride data prefetcher")
         .with_note("Section 2.2's design argument: d-cache latencies are already largely hidden by modern cores, so i-cache locality is the right scheduling target. A d-side prefetcher strengthens that premise.")
         .with_headers(["machine", "gmean Δ throughput vs. Linux (%)"]);
-    for (name, dp) in [("no data prefetcher (paper)", false), ("with stride data prefetcher", true)] {
+    for (name, dp) in [
+        ("no data prefetcher (paper)", false),
+        ("with stride data prefetcher", true),
+    ] {
         let mut p = params.clone();
         p.system.data_prefetcher = dp;
-        let base = baselines(&p);
-        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        let base = baselines(&p)?;
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k))?;
         t.push_row([name.to_string(), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -300,46 +323,52 @@ mod extra_tests {
         p.cores = 4;
         p.max_instructions = 200_000;
         p.warmup_instructions = 40_000;
-        assert_eq!(replacement_policy_table(&p).rows.len(), 3);
-        assert_eq!(data_prefetcher_table(&p).rows.len(), 2);
+        assert_eq!(replacement_policy_table(&p).expect("runs").rows.len(), 3);
+        assert_eq!(data_prefetcher_table(&p).expect("runs").rows.len(), 2);
     }
 }
 
 /// Branch-modelling ablation: flat base-CPI folding (the default, like
 /// Table 2's "Avg." LLC latency) versus explicit gshare prediction with
 /// per-mispredict penalties.
-pub fn branch_model_table(params: &ExpParams) -> Table {
+pub fn branch_model_table(params: &ExpParams) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: explicit branch modelling (Table 2's TAGE, modelled as gshare)")
         .with_note("Branch penalties hit all techniques roughly equally, so the specialization benefit should survive explicit modelling.")
         .with_headers(["machine", "gmean Δ throughput vs. Linux (%)"]);
-    for (name, on) in [("folded into base CPI (default)", false), ("explicit gshare predictor", true)] {
+    for (name, on) in [
+        ("folded into base CPI (default)", false),
+        ("explicit gshare predictor", true),
+    ] {
         let mut p = params.clone();
         if on {
             p.system = p.system.clone().with_branch_predictor();
         }
-        let base = baselines(&p);
-        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        let base = baselines(&p)?;
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k))?;
         t.push_row([name.to_string(), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 /// NUCA ablation: flat average LLC latency (Table 2's quoted 18-cycle
 /// mean) versus the explicit banked mesh model.
-pub fn nuca_table(params: &ExpParams) -> Table {
+pub fn nuca_table(params: &ExpParams) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Ablation: banked NUCA LLC vs. flat average latency")
         .with_note("Table 2 quotes the L3's *average* latency; the banked model distributes it over a mesh. Distance effects touch all techniques similarly.")
         .with_headers(["LLC model", "gmean Δ throughput vs. Linux (%)"]);
-    for (name, on) in [("flat 18-cycle average (default)", false), ("banked mesh NUCA", true)] {
+    for (name, on) in [
+        ("flat 18-cycle average (default)", false),
+        ("banked mesh NUCA", true),
+    ] {
         let mut p = params.clone();
         if on {
             p.system = p.system.clone().with_nuca();
         }
-        let base = baselines(&p);
-        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k));
+        let base = baselines(&p)?;
+        let g = gmean_against(&base, |k| run_schedtask(&p, SchedTaskConfig::default(), k))?;
         t.push_row([name.to_string(), f1(g)]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -352,7 +381,7 @@ mod machine_ablation_tests {
         p.cores = 4;
         p.max_instructions = 150_000;
         p.warmup_instructions = 30_000;
-        assert_eq!(branch_model_table(&p).rows.len(), 2);
-        assert_eq!(nuca_table(&p).rows.len(), 2);
+        assert_eq!(branch_model_table(&p).expect("runs").rows.len(), 2);
+        assert_eq!(nuca_table(&p).expect("runs").rows.len(), 2);
     }
 }

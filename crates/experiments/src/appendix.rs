@@ -8,7 +8,7 @@
 //! methodology per configuration.
 
 use crate::comparison::Comparison;
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, Table};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::geometric_mean_pct;
@@ -16,7 +16,7 @@ use schedtask_sim::{HierarchyConfig, SystemConfig};
 use schedtask_workload::MultiProgrammedWorkload;
 
 /// Appendix Figure 1: multi-programmed workloads MPW-A .. MPW-F.
-pub fn multiprog_table(params: &ExpParams) -> Table {
+pub fn multiprog_table(params: &ExpParams) -> Result<Table, ExperimentError> {
     let bags = MultiProgrammedWorkload::all();
     let mut headers = vec!["technique".to_string()];
     headers.extend(bags.iter().map(|b| b.name.to_string()));
@@ -27,41 +27,41 @@ pub fn multiprog_table(params: &ExpParams) -> Table {
     .with_note("The paper reports SLICC collapsing here (its per-application collectives cannot share common OS execution across applications).")
     .with_headers(headers);
 
-    let baselines: Vec<_> = bags
-        .iter()
-        .map(|b| runner::run(Technique::Linux, params, &WorkloadSpec::from(b)))
-        .collect();
+    let mut baselines = Vec::new();
+    for b in bags.iter() {
+        baselines.push(runner::run(
+            Technique::Linux,
+            params,
+            &WorkloadSpec::from(b),
+        )?);
+    }
     for tech in Technique::compared() {
-        let vals: Vec<f64> = bags
-            .iter()
-            .zip(baselines.iter())
-            .map(|(b, base)| {
-                let stats = runner::run(tech, params, &WorkloadSpec::from(b));
-                runner::throughput_change(base, &stats)
-            })
-            .collect();
+        let mut vals = Vec::new();
+        for (b, base) in bags.iter().zip(baselines.iter()) {
+            let stats = runner::run(tech, params, &WorkloadSpec::from(b))?;
+            vals.push(runner::throughput_change(base, &stats));
+        }
         let mut row = vec![tech.name().to_string()];
         row.extend(vals.iter().map(|&v| f1(v)));
         row.push(f1(geometric_mean_pct(&vals)));
         t.push_row(row);
     }
-    t
+    Ok(t)
 }
 
 /// Appendix Table 2: i-cache size sweep (16 / 32 / 64 KB). Returns one
 /// comparison per size.
-pub fn icache_size_sweep(params: &ExpParams) -> Vec<(u64, Comparison)> {
-    [16u64, 32, 64]
-        .into_iter()
-        .map(|kb| {
-            let system = params
-                .system
-                .clone()
-                .with_hierarchy(params.system.hierarchy.clone().with_icache_size(kb * 1024));
-            let p = params.clone().with_system(system);
-            (kb, Comparison::run(&p, 2.0))
-        })
-        .collect()
+pub fn icache_size_sweep(params: &ExpParams) -> Result<Vec<(u64, Comparison)>, ExperimentError> {
+    let mut sweep = Vec::new();
+    for kb in [16u64, 32, 64] {
+        let system = params
+            .system
+            .clone()
+            .with_hierarchy(params.system.hierarchy.clone().with_icache_size(kb * 1024));
+        let p = params.clone().with_system(system);
+        sweep.push((kb, Comparison::run(&p, 2.0)?));
+    }
+    Ok(sweep)
 }
 
 /// Formats the i-cache sweep as throughput-change tables.
@@ -70,28 +70,28 @@ pub fn icache_size_tables(sweep: &[(u64, Comparison)]) -> Vec<Table> {
         .iter()
         .map(|(kb, c)| {
             let mut t = c.fig08a_throughput();
-            t.title = format!(
-                "Appendix Table 2 ({kb} KB i-cache): change in instruction throughput (%)"
-            );
+            t.title =
+                format!("Appendix Table 2 ({kb} KB i-cache): change in instruction throughput (%)");
             t
         })
         .collect()
 }
 
 /// Appendix Table 3: cache configurations Config1 / Config2 / Config3.
-pub fn cache_config_sweep(params: &ExpParams) -> Vec<(&'static str, Comparison)> {
-    [
+pub fn cache_config_sweep(
+    params: &ExpParams,
+) -> Result<Vec<(&'static str, Comparison)>, ExperimentError> {
+    let mut sweep = Vec::new();
+    for (name, h) in [
         ("Config1", HierarchyConfig::config1()),
         ("Config2", HierarchyConfig::config2()),
         ("Config3", HierarchyConfig::config3()),
-    ]
-    .into_iter()
-    .map(|(name, h)| {
+    ] {
         let system = params.system.clone().with_hierarchy(h);
         let p = params.clone().with_system(system);
-        (name, Comparison::run(&p, 2.0))
-    })
-    .collect()
+        sweep.push((name, Comparison::run(&p, 2.0)?));
+    }
+    Ok(sweep)
 }
 
 /// Formats the cache-configuration sweep.
@@ -100,26 +100,26 @@ pub fn cache_config_tables(sweep: &[(&'static str, Comparison)]) -> Vec<Table> {
         .iter()
         .map(|(name, c)| {
             let mut t = c.fig08a_throughput();
-            t.title =
-                format!("Appendix Table 3 ({name}): change in instruction throughput (%)");
+            t.title = format!("Appendix Table 3 ({name}): change in instruction throughput (%)");
             t
         })
         .collect()
 }
 
 /// Appendix Table 4: core-count sweep (8 / 16 / 24 / 32).
-pub fn core_count_sweep(params: &ExpParams, counts: &[usize]) -> Vec<(usize, Comparison)> {
-    counts
-        .iter()
-        .map(|&cores| {
-            let mut p = params.clone().with_cores(cores);
-            // Keep the per-core instruction budget constant across sizes.
-            p.max_instructions = params.max_instructions * cores as u64 / params.cores as u64;
-            p.warmup_instructions =
-                params.warmup_instructions * cores as u64 / params.cores as u64;
-            (cores, Comparison::run(&p, 2.0))
-        })
-        .collect()
+pub fn core_count_sweep(
+    params: &ExpParams,
+    counts: &[usize],
+) -> Result<Vec<(usize, Comparison)>, ExperimentError> {
+    let mut sweep = Vec::new();
+    for &cores in counts {
+        let mut p = params.clone().with_cores(cores);
+        // Keep the per-core instruction budget constant across sizes.
+        p.max_instructions = params.max_instructions * cores as u64 / params.cores as u64;
+        p.warmup_instructions = params.warmup_instructions * cores as u64 / params.cores as u64;
+        sweep.push((cores, Comparison::run(&p, 2.0)?));
+    }
+    Ok(sweep)
 }
 
 /// Formats the core-count sweep.
@@ -137,14 +137,14 @@ pub fn core_count_tables(sweep: &[(usize, Comparison)]) -> Vec<Table> {
 
 /// Appendix Figure 2: rerun with a CGP-like instruction prefetcher in the
 /// baseline machine.
-pub fn prefetcher_comparison(params: &ExpParams) -> Comparison {
+pub fn prefetcher_comparison(params: &ExpParams) -> Result<Comparison, ExperimentError> {
     let system: SystemConfig = params.system.clone().with_call_graph_prefetcher();
     let p = params.clone().with_system(system);
     Comparison::run(&p, 2.0)
 }
 
 /// Appendix Figure 3: rerun with a trace cache.
-pub fn trace_cache_comparison(params: &ExpParams) -> Comparison {
+pub fn trace_cache_comparison(params: &ExpParams) -> Result<Comparison, ExperimentError> {
     let system: SystemConfig = params.system.clone().with_trace_cache();
     let p = params.clone().with_system(system);
     Comparison::run(&p, 2.0)
@@ -177,7 +177,8 @@ mod tests {
                 let pp = p.clone().with_system(system);
                 (
                     kb,
-                    Comparison::run_subset(&pp, 1.0, &[BenchmarkKind::Find]),
+                    Comparison::run_subset(&pp, 1.0, &[BenchmarkKind::Find])
+                        .expect("comparison runs"),
                 )
             })
             .collect();
@@ -188,7 +189,7 @@ mod tests {
 
     #[test]
     fn multiprog_table_renders() {
-        let t = multiprog_table(&tiny());
+        let t = multiprog_table(&tiny()).expect("table runs");
         assert_eq!(t.rows.len(), 5);
         assert_eq!(t.headers.len(), 8); // technique + 6 bags + gmean
     }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]
+//!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
 //!
 //! experiments:
 //!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
@@ -20,13 +21,33 @@
 //!   cores       Appendix Table 4 core-count sweep
 //!   prefetch    Appendix Figure 2 instruction prefetcher
 //!   tracecache  Appendix Figure 3 trace cache
+//!   sweep       resilient technique × benchmark sweep (per-cell isolation)
 //!   all         everything above, in order
 //! ```
+//!
+//! Robustness options:
+//!
+//! * `--faults SPEC` injects a deterministic fault plan into every run.
+//!   `SPEC` is `none`, `light`, `heavy`, optionally `@SEED`
+//!   (e.g. `light@7`), or a comma list of `rate` overrides (see
+//!   `FaultPlan::parse`).
+//! * `--sanitize` runs the engine's invariant sanitizer on every run.
+//! * `--force-fail TECH:BENCH[:N]` breaks one sweep cell on purpose after
+//!   `N` dispatches (default 100) — demonstrates per-cell isolation.
+//!
+//! Failures never abort a sweep or `all`: each failed experiment is
+//! recorded with a structured diagnosis, partial results still print,
+//! a failure summary follows, and the exit code stays 0.
 
 use schedtask::StealPolicy;
-use schedtask_experiments::{ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload};
-use schedtask_experiments::{Comparison, ExpParams, Table};
+use schedtask_experiments::runner::run_sweep;
+use schedtask_experiments::{
+    ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
+};
+use schedtask_experiments::{Comparison, ExpParams, ExperimentError, Table, Technique};
+use schedtask_kernel::FaultPlan;
 use schedtask_workload::BenchmarkKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 struct Opts {
@@ -35,6 +56,9 @@ struct Opts {
     markdown: bool,
     cores: Option<usize>,
     seed: Option<u64>,
+    faults: Option<String>,
+    sanitize: bool,
+    force_fail: Option<(Technique, BenchmarkKind, u64)>,
 }
 
 fn parse_args() -> Opts {
@@ -44,12 +68,16 @@ fn parse_args() -> Opts {
         markdown: false,
         cores: None,
         seed: None,
+        faults: None,
+        sanitize: false,
+        force_fail: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--markdown" => opts.markdown = true,
+            "--sanitize" => opts.sanitize = true,
             "--cores" => {
                 opts.cores = args
                     .next()
@@ -62,6 +90,15 @@ fn parse_args() -> Opts {
                     .and_then(|v| v.parse().ok())
                     .or_else(|| die("--seed needs a number"))
             }
+            "--faults" => {
+                opts.faults = Some(args.next().unwrap_or_else(|| die("--faults needs a spec")));
+            }
+            "--force-fail" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--force-fail needs TECH:BENCH[:N]"));
+                opts.force_fail = Some(parse_force_fail(&spec));
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -70,7 +107,7 @@ fn parse_args() -> Opts {
                 opts.experiment = other.to_string();
             }
             other => {
-                die::<()>(&format!("unknown argument {other:?}"));
+                die(&format!("unknown argument {other:?}"));
             }
         }
     }
@@ -81,7 +118,29 @@ fn parse_args() -> Opts {
     opts
 }
 
-fn die<T>(msg: &str) -> Option<T> {
+fn parse_force_fail(spec: &str) -> (Technique, BenchmarkKind, u64) {
+    let mut parts = spec.split(':');
+    let tech = parts
+        .next()
+        .and_then(Technique::parse)
+        .unwrap_or_else(|| die("--force-fail: unknown technique"));
+    let bench_name = parts
+        .next()
+        .unwrap_or_else(|| die("--force-fail needs TECH:BENCH[:N]"));
+    let bench = BenchmarkKind::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(bench_name))
+        .unwrap_or_else(|| die("--force-fail: unknown benchmark"));
+    let after = match parts.next() {
+        Some(n) => n
+            .parse()
+            .unwrap_or_else(|_| die("--force-fail: N must be a number")),
+        None => 100,
+    };
+    (tech, bench, after)
+}
+
+fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
 }
@@ -89,9 +148,12 @@ fn die<T>(msg: &str) -> Option<T> {
 fn print_help() {
     println!(
         "repro — regenerate the SchedTask paper's tables and figures\n\n\
-         usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\n\
+         usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\
+                [--faults none|light|heavy[@SEED]] [--sanitize]\n\
+                [--force-fail TECH:BENCH[:N]]\n\n\
          experiments: fig4 fig7 fig8 fig9 fig10 fig11 overheads table4 mpw\n\
-                      icache cacheconfig cores prefetch tracecache ablations all"
+                      icache cacheconfig cores prefetch tracecache ablations\n\
+                      sweep all"
     );
 }
 
@@ -109,6 +171,17 @@ fn params(opts: &Opts) -> ExpParams {
     if let Some(s) = opts.seed {
         p.seed = s;
     }
+    if let Some(spec) = &opts.faults {
+        match FaultPlan::parse(spec, p.seed) {
+            Ok(plan) => p = p.with_faults(plan),
+            Err(e) => {
+                die(&format!("--faults: {e}"));
+            }
+        }
+    }
+    if opts.sanitize {
+        p = p.with_sanitize();
+    }
     p
 }
 
@@ -120,142 +193,257 @@ fn emit(t: &Table, markdown: bool) {
     }
 }
 
+/// One experiment's failure, for the end-of-run summary.
+struct Failure {
+    experiment: String,
+    detail: String,
+}
+
+fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
+    let techniques: Vec<Technique> = Technique::all().to_vec();
+    let benchmarks = if opts.quick {
+        vec![BenchmarkKind::Find, BenchmarkKind::MailSrvIo]
+    } else {
+        BenchmarkKind::all().to_vec()
+    };
+    let report = run_sweep(p, &techniques, &benchmarks, 2.0, opts.force_fail);
+
+    let mut t = Table::new("Sweep: instruction throughput (G instr / G cycles) per cell")
+        .with_note("Failed cells print their diagnosis below instead of a value.");
+    let mut headers = vec!["technique".to_string()];
+    headers.extend(benchmarks.iter().map(|b| b.name().to_string()));
+    t = t.with_headers(headers);
+    for &tech in &techniques {
+        let mut row = vec![tech.name().to_string()];
+        for &bench in &benchmarks {
+            let cell = report
+                .cells
+                .iter()
+                .find(|c| c.technique == tech && c.benchmark == bench);
+            row.push(match cell.map(|c| &c.result) {
+                Some(Ok(s)) => format!("{:.3}", s.instruction_throughput()),
+                Some(Err(_)) => "FAILED".to_string(),
+                None => "-".to_string(),
+            });
+        }
+        t.push_row(row);
+    }
+    emit(&t, md);
+
+    let mut failures = Vec::new();
+    for e in report.failures() {
+        failures.push(Failure {
+            experiment: format!("sweep cell {}:{}", e.technique, e.workload),
+            detail: e.to_string(),
+        });
+    }
+    eprintln!(
+        "[repro] sweep: {} cells ok, {} failed",
+        report.succeeded(),
+        report.failed()
+    );
+    failures
+}
+
 fn main() {
     let opts = parse_args();
     let p = params(&opts);
     let started = Instant::now();
     let md = opts.markdown;
 
-    let run_experiment = |name: &str| match name {
-        "fig4" => {
-            let results = fig04_breakup::run(&p);
-            emit(&fig04_breakup::breakup_table(&results), md);
-            emit(&fig04_breakup::epoch_similarity_table(&results), md);
-        }
-        "fig7" => {
-            let c = Comparison::run(&p, 2.0);
-            emit(&c.fig07_performance(), md);
-        }
-        "fig8" => {
-            let c = Comparison::run(&p, 2.0);
-            for t in c.fig08_all() {
+    let run_experiment = |name: &str| -> Result<(), ExperimentError> {
+        match name {
+            "fig4" => {
+                let results = fig04_breakup::run(&p)?;
+                emit(&fig04_breakup::breakup_table(&results), md);
+                emit(&fig04_breakup::epoch_similarity_table(&results), md);
+            }
+            "fig7" => {
+                let c = Comparison::run(&p, 2.0)?;
+                emit(&c.fig07_performance(), md);
+            }
+            "fig8" => {
+                let c = Comparison::run(&p, 2.0)?;
+                for t in c.fig08_all() {
+                    emit(&t, md);
+                }
+                emit(&c.baseline_absolute_table(), md);
+            }
+            "fig9" => {
+                let runs = fig09_stealing::run(&p, &StealPolicy::all())?;
+                emit(&fig09_stealing::throughput_table(&runs), md);
+                emit(&fig09_stealing::idleness_table(&runs), md);
+                emit(&fig09_stealing::icache_table(&runs), md);
+            }
+            "fig10" => {
+                let c = Comparison::run(&p, 2.0)?;
+                emit(&c.fig10_migrations(), md);
+            }
+            "fig11" => {
+                let benches = if opts.quick {
+                    vec![BenchmarkKind::Find, BenchmarkKind::MailSrvIo]
+                } else {
+                    BenchmarkKind::all().to_vec()
+                };
+                let sweep = fig11_heatmap::run(&p, &benches)?;
+                emit(&fig11_heatmap::tau_table(&sweep), md);
+                emit(&fig11_heatmap::perf_table(&sweep), md);
+                // The width gradient needs large application footprints in
+                // the ranking: rerun tau over multi-programmed bags.
+                let bags: Vec<(String, schedtask_kernel::WorkloadSpec)> =
+                    schedtask_workload::MultiProgrammedWorkload::all()
+                        .iter()
+                        .take(if opts.quick { 2 } else { 6 })
+                        .map(|b| (b.name.to_string(), schedtask_kernel::WorkloadSpec::from(b)))
+                        .collect();
+                let mpw = fig11_heatmap::run_tau_on_workloads(&p, &bags)?;
+                emit(&fig11_heatmap::mpw_tau_table(&mpw), md);
+            }
+            "overheads" => {
+                let r = overheads::run(&p)?;
+                emit(&overheads::report_table(&r), md);
+            }
+            "table4" => {
+                let scales: &[f64] = if opts.quick {
+                    &[1.0, 4.0]
+                } else {
+                    &table4_workload::SCALES
+                };
+                for block in table4_workload::run(&p, scales)? {
+                    emit(&table4_workload::block_table(&block), md);
+                }
+            }
+            "mpw" => {
+                emit(&appendix::multiprog_table(&p)?, md);
+            }
+            "icache" => {
+                for t in appendix::icache_size_tables(&appendix::icache_size_sweep(&p)?) {
+                    emit(&t, md);
+                }
+            }
+            "cacheconfig" => {
+                for t in appendix::cache_config_tables(&appendix::cache_config_sweep(&p)?) {
+                    emit(&t, md);
+                }
+            }
+            "cores" => {
+                let counts: &[usize] = if opts.quick {
+                    &[4, 8]
+                } else {
+                    &[8, 16, 24, 32]
+                };
+                for t in appendix::core_count_tables(&appendix::core_count_sweep(&p, counts)?) {
+                    emit(&t, md);
+                }
+            }
+            "prefetch" => {
+                let mut t = appendix::prefetcher_comparison(&p)?.fig08a_throughput();
+                t.title =
+                    "Appendix Figure 2 (with instruction prefetcher): change in instruction throughput (%)"
+                        .to_string();
                 emit(&t, md);
             }
-            emit(&c.baseline_absolute_table(), md);
-        }
-        "fig9" => {
-            let runs = fig09_stealing::run(&p, &StealPolicy::all());
-            emit(&fig09_stealing::throughput_table(&runs), md);
-            emit(&fig09_stealing::idleness_table(&runs), md);
-            emit(&fig09_stealing::icache_table(&runs), md);
-        }
-        "fig10" => {
-            let c = Comparison::run(&p, 2.0);
-            emit(&c.fig10_migrations(), md);
-        }
-        "fig11" => {
-            let benches = if opts.quick {
-                vec![BenchmarkKind::Find, BenchmarkKind::MailSrvIo]
-            } else {
-                BenchmarkKind::all().to_vec()
-            };
-            let sweep = fig11_heatmap::run(&p, &benches);
-            emit(&fig11_heatmap::tau_table(&sweep), md);
-            emit(&fig11_heatmap::perf_table(&sweep), md);
-            // The width gradient needs large application footprints in
-            // the ranking: rerun tau over multi-programmed bags.
-            let bags: Vec<(String, schedtask_kernel::WorkloadSpec)> =
-                schedtask_workload::MultiProgrammedWorkload::all()
-                    .iter()
-                    .take(if opts.quick { 2 } else { 6 })
-                    .map(|b| (b.name.to_string(), schedtask_kernel::WorkloadSpec::from(b)))
-                    .collect();
-            let mpw = fig11_heatmap::run_tau_on_workloads(&p, &bags);
-            emit(&fig11_heatmap::mpw_tau_table(&mpw), md);
-        }
-        "overheads" => {
-            let r = overheads::run(&p);
-            emit(&overheads::report_table(&r), md);
-        }
-        "table4" => {
-            let scales: &[f64] = if opts.quick {
-                &[1.0, 4.0]
-            } else {
-                &table4_workload::SCALES
-            };
-            for block in table4_workload::run(&p, scales) {
-                emit(&table4_workload::block_table(&block), md);
+            "ablations" => {
+                emit(&ablations::software_rendition_table(&p)?, md);
+                let epochs: &[u64] = if opts.quick {
+                    &[30_000, 120_000]
+                } else {
+                    &[15_000, 30_000, 60_000, 120_000, 240_000]
+                };
+                emit(&ablations::epoch_length_table(&p, epochs)?, md);
+                emit(
+                    &ablations::realloc_threshold_table(&p, &[0.0, 0.9, 0.98, 1.01])?,
+                    md,
+                );
+                emit(&ablations::steal_amount_table(&p)?, md);
+                emit(
+                    &ablations::migration_cost_table(&p, &[0, 100, 400, 1_600])?,
+                    md,
+                );
+                emit(&ablations::replacement_policy_table(&p)?, md);
+                emit(&ablations::data_prefetcher_table(&p)?, md);
+                let scales: &[f64] = if opts.quick {
+                    &[2.0, 12.0]
+                } else {
+                    &[2.0, 8.0, 12.0, 16.0]
+                };
+                emit(&table4_workload::beyond_8x_table(&p, scales)?, md);
+                emit(&ablations::branch_model_table(&p)?, md);
+                emit(&ablations::nuca_table(&p)?, md);
             }
-        }
-        "mpw" => {
-            emit(&appendix::multiprog_table(&p), md);
-        }
-        "icache" => {
-            for t in appendix::icache_size_tables(&appendix::icache_size_sweep(&p)) {
+            "tracecache" => {
+                let mut t = appendix::trace_cache_comparison(&p)?.fig08a_throughput();
+                t.title =
+                    "Appendix Figure 3 (with trace cache): change in instruction throughput (%)"
+                        .to_string();
                 emit(&t, md);
             }
-        }
-        "cacheconfig" => {
-            for t in appendix::cache_config_tables(&appendix::cache_config_sweep(&p)) {
-                emit(&t, md);
+            other => {
+                die(&format!("unknown experiment {other:?}"));
             }
         }
-        "cores" => {
-            let counts: &[usize] = if opts.quick { &[4, 8] } else { &[8, 16, 24, 32] };
-            for t in appendix::core_count_tables(&appendix::core_count_sweep(&p, counts)) {
-                emit(&t, md);
-            }
-        }
-        "prefetch" => {
-            let mut t = appendix::prefetcher_comparison(&p).fig08a_throughput();
-            t.title =
-                "Appendix Figure 2 (with instruction prefetcher): change in instruction throughput (%)"
-                    .to_string();
-            emit(&t, md);
-        }
-        "ablations" => {
-            emit(&ablations::software_rendition_table(&p), md);
-            let epochs: &[u64] = if opts.quick {
-                &[30_000, 120_000]
-            } else {
-                &[15_000, 30_000, 60_000, 120_000, 240_000]
-            };
-            emit(&ablations::epoch_length_table(&p, epochs), md);
-            emit(
-                &ablations::realloc_threshold_table(&p, &[0.0, 0.9, 0.98, 1.01]),
-                md,
-            );
-            emit(&ablations::steal_amount_table(&p), md);
-            emit(&ablations::migration_cost_table(&p, &[0, 100, 400, 1_600]), md);
-            emit(&ablations::replacement_policy_table(&p), md);
-            emit(&ablations::data_prefetcher_table(&p), md);
-            let scales: &[f64] = if opts.quick { &[2.0, 12.0] } else { &[2.0, 8.0, 12.0, 16.0] };
-            emit(&table4_workload::beyond_8x_table(&p, scales), md);
-            emit(&ablations::branch_model_table(&p), md);
-            emit(&ablations::nuca_table(&p), md);
-        }
-        "tracecache" => {
-            let mut t = appendix::trace_cache_comparison(&p).fig08a_throughput();
-            t.title =
-                "Appendix Figure 3 (with trace cache): change in instruction throughput (%)"
-                    .to_string();
-            emit(&t, md);
-        }
-        other => {
-            die::<()>(&format!("unknown experiment {other:?}"));
+        Ok(())
+    };
+
+    // Isolate each experiment: a typed error or panic is recorded and the
+    // remaining experiments still run.
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut run_isolated = |name: &str| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(name)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => failures.push(Failure {
+                experiment: name.to_string(),
+                detail: e.to_string(),
+            }),
+            Err(payload) => failures.push(Failure {
+                experiment: name.to_string(),
+                detail: format!(
+                    "panic: {}",
+                    schedtask_experiments::runner::panic_message(payload)
+                ),
+            }),
         }
     };
 
     if opts.experiment == "all" {
         for name in [
-            "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "overheads", "table4", "mpw",
-            "icache", "cacheconfig", "cores", "prefetch", "tracecache", "ablations",
+            "fig4",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "overheads",
+            "table4",
+            "mpw",
+            "icache",
+            "cacheconfig",
+            "cores",
+            "prefetch",
+            "tracecache",
+            "ablations",
         ] {
             eprintln!("[repro] running {name} ({:.0?} elapsed)", started.elapsed());
-            run_experiment(name);
+            run_isolated(name);
         }
+        failures.extend(run_sweep_experiment(&opts, &p, md));
+    } else if opts.experiment == "sweep" {
+        failures.extend(run_sweep_experiment(&opts, &p, md));
     } else {
-        run_experiment(&opts.experiment);
+        run_isolated(&opts.experiment);
     }
-    eprintln!("[repro] done in {:.1?}", started.elapsed());
+
+    if !failures.is_empty() {
+        eprintln!("\n[repro] failure summary ({} failed):", failures.len());
+        for f in &failures {
+            eprintln!("  {}: {}", f.experiment, f.detail);
+        }
+    }
+    eprintln!(
+        "[repro] done in {:.1?} ({} failure{})",
+        started.elapsed(),
+        failures.len(),
+        if failures.len() == 1 { "" } else { "s" }
+    );
 }

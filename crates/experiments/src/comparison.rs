@@ -3,7 +3,7 @@
 //! the appendix experiments (i-cache size, cache configs, core counts,
 //! prefetcher, trace cache) rerun it with different machine templates.
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, Table};
 use schedtask_kernel::{SimStats, WorkloadSpec};
 use schedtask_metrics::geometric_mean_pct;
@@ -34,34 +34,37 @@ pub struct Comparison {
 
 impl Comparison {
     /// Runs the comparison over all 8 benchmarks.
-    pub fn run(params: &ExpParams, scale: f64) -> Self {
+    pub fn run(params: &ExpParams, scale: f64) -> Result<Self, ExperimentError> {
         Self::run_subset(params, scale, &BenchmarkKind::all())
     }
 
     /// Runs the comparison over a subset of benchmarks (used by quick
-    /// benches).
-    pub fn run_subset(params: &ExpParams, scale: f64, kinds: &[BenchmarkKind]) -> Self {
-        let runs = kinds
-            .iter()
-            .map(|&kind| {
-                let w = WorkloadSpec::single(kind, scale);
-                let baseline = runner::run(Technique::Linux, params, &w);
-                let techniques = Technique::compared()
-                    .into_iter()
-                    .map(|t| (t, runner::run(t, params, &w)))
-                    .collect();
-                ComparisonRun {
-                    kind,
-                    baseline,
-                    techniques,
-                }
-            })
-            .collect();
-        Comparison {
+    /// benches). Fails fast on the first broken cell; sweeps that must
+    /// survive individual failures use [`runner::run_sweep`] instead.
+    pub fn run_subset(
+        params: &ExpParams,
+        scale: f64,
+        kinds: &[BenchmarkKind],
+    ) -> Result<Self, ExperimentError> {
+        let mut runs = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let w = WorkloadSpec::single(kind, scale);
+            let baseline = runner::run(Technique::Linux, params, &w)?;
+            let mut techniques = Vec::new();
+            for t in Technique::compared() {
+                techniques.push((t, runner::run(t, params, &w)?));
+            }
+            runs.push(ComparisonRun {
+                kind,
+                baseline,
+                techniques,
+            });
+        }
+        Ok(Comparison {
             params: params.clone(),
             scale,
             runs,
-        }
+        })
     }
 
     fn technique_column<F>(&self, technique: Technique, f: F) -> Vec<f64>
@@ -147,7 +150,9 @@ impl Comparison {
         self.change_table(
             "Figure 8c: change in i-cache hit rate, application (pp)",
             "",
-            |b, s| runner::hit_rate_delta_pp(b.mem.icache_app.hit_rate(), s.mem.icache_app.hit_rate()),
+            |b, s| {
+                runner::hit_rate_delta_pp(b.mem.icache_app.hit_rate(), s.mem.icache_app.hit_rate())
+            },
         )
     }
 
@@ -157,7 +162,9 @@ impl Comparison {
         self.change_table(
             "Figure 8d: change in i-cache hit rate, OS (pp)",
             "",
-            |b, s| runner::hit_rate_delta_pp(b.mem.icache_os.hit_rate(), s.mem.icache_os.hit_rate()),
+            |b, s| {
+                runner::hit_rate_delta_pp(b.mem.icache_os.hit_rate(), s.mem.icache_os.hit_rate())
+            },
         )
     }
 
@@ -167,7 +174,9 @@ impl Comparison {
         self.change_table(
             "Figure 8e: change in d-cache hit rate, application (pp)",
             "",
-            |b, s| runner::hit_rate_delta_pp(b.mem.dcache_app.hit_rate(), s.mem.dcache_app.hit_rate()),
+            |b, s| {
+                runner::hit_rate_delta_pp(b.mem.dcache_app.hit_rate(), s.mem.dcache_app.hit_rate())
+            },
         )
     }
 
@@ -177,7 +186,9 @@ impl Comparison {
         self.change_table(
             "Figure 8f: change in d-cache hit rate, OS (pp)",
             "",
-            |b, s| runner::hit_rate_delta_pp(b.mem.dcache_os.hit_rate(), s.mem.dcache_os.hit_rate()),
+            |b, s| {
+                runner::hit_rate_delta_pp(b.mem.dcache_os.hit_rate(), s.mem.dcache_os.hit_rate())
+            },
         )
     }
 
@@ -230,8 +241,13 @@ impl Comparison {
     pub fn baseline_absolute_table(&self) -> Table {
         let cores = self.params.cores as f64;
         let clock = self.params.clock_hz();
-        let mut t = Table::new("Baseline absolutes (Linux scheduler)")
-            .with_headers(["benchmark", "IPC/core", "ops/s", "i-hit (%)", "d-hit (%)"]);
+        let mut t = Table::new("Baseline absolutes (Linux scheduler)").with_headers([
+            "benchmark",
+            "IPC/core",
+            "ops/s",
+            "i-hit (%)",
+            "d-hit (%)",
+        ]);
         for r in &self.runs {
             t.push_row([
                 r.kind.name().to_string(),
@@ -248,9 +264,7 @@ impl Comparison {
     /// across benchmarks — the paper's headline numbers.
     pub fn gmean_performance(&self, technique: Technique) -> f64 {
         let clock = self.params.clock_hz();
-        let vals = self.technique_column(technique, |b, s| {
-            runner::performance_change(b, s, clock)
-        });
+        let vals = self.technique_column(technique, |b, s| runner::performance_change(b, s, clock));
         geometric_mean_pct(&vals)
     }
 }
@@ -274,6 +288,7 @@ mod tests {
         p.max_instructions = 200_000;
         p.warmup_instructions = 50_000;
         Comparison::run_subset(&p, 1.0, &[BenchmarkKind::Find, BenchmarkKind::MailSrvIo])
+            .expect("comparison runs")
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Figure 4 (instruction breakup per benchmark) and Section 4.4
 //! (cosine similarity of breakups across consecutive epochs).
 
-use crate::runner::{ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, f3, Table};
-use schedtask_kernel::{Engine, WorkloadSpec};
+use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::cosine_similarity;
 use schedtask_workload::BenchmarkKind;
 
@@ -20,27 +20,30 @@ pub struct Characterization {
 }
 
 /// Runs the Figure 4 characterization under the baseline Linux scheduler.
-pub fn run(params: &ExpParams) -> Vec<Characterization> {
-    BenchmarkKind::all()
-        .into_iter()
-        .map(|kind| {
-            let mut cfg = params.engine_config(Technique::Linux);
-            cfg.collect_epoch_breakups = true;
-            let sched = Technique::Linux.scheduler(params.cores);
-            let mut engine = Engine::new(cfg, &WorkloadSpec::single(kind, 1.0), sched);
-            let stats = engine.run();
-            let epochs = &stats.epoch_breakups;
-            let epoch_similarities = epochs
-                .windows(2)
-                .map(|w| cosine_similarity(&w[0], &w[1]))
-                .collect();
-            Characterization {
-                kind,
-                breakup: stats.instructions.breakup_percent(),
-                epoch_similarities,
-            }
-        })
-        .collect()
+pub fn run(params: &ExpParams) -> Result<Vec<Characterization>, ExperimentError> {
+    let mut results = Vec::new();
+    for kind in BenchmarkKind::all() {
+        let mut cfg = params.engine_config(Technique::Linux);
+        cfg.collect_epoch_breakups = true;
+        let sched = Technique::Linux.scheduler(params.cores);
+        let stats = runner::run_configured(
+            Technique::Linux.name(),
+            cfg,
+            &WorkloadSpec::single(kind, 1.0),
+            sched,
+        )?;
+        let epoch_similarities = stats
+            .epoch_breakups
+            .windows(2)
+            .map(|w| cosine_similarity(&w[0], &w[1]))
+            .collect();
+        results.push(Characterization {
+            kind,
+            breakup: stats.instructions.breakup_percent(),
+            epoch_similarities,
+        });
+    }
+    Ok(results)
 }
 
 /// Formats Figure 4.
@@ -98,15 +101,27 @@ mod tests {
         p.cores = 4;
         p.max_instructions = 400_000;
         p.warmup_instructions = 100_000;
-        let results = run(&p);
+        let results = run(&p).expect("characterization runs");
         assert_eq!(results.len(), 8);
         for r in &results {
             let sum: f64 = r.breakup.iter().sum();
-            assert!((sum - 100.0).abs() < 1e-6, "{}: {:?}", r.kind.name(), r.breakup);
-            assert!(!r.epoch_similarities.is_empty(), "{} has no epochs", r.kind.name());
+            assert!(
+                (sum - 100.0).abs() < 1e-6,
+                "{}: {:?}",
+                r.kind.name(),
+                r.breakup
+            );
+            assert!(
+                !r.epoch_similarities.is_empty(),
+                "{} has no epochs",
+                r.kind.name()
+            );
         }
         // DSS is application-dominated; MailSrvIO is syscall-dominated.
-        let dss = results.iter().find(|r| r.kind == BenchmarkKind::Dss).unwrap();
+        let dss = results
+            .iter()
+            .find(|r| r.kind == BenchmarkKind::Dss)
+            .unwrap();
         assert!(dss.breakup[0] > 50.0);
         let mail = results
             .iter()
@@ -127,16 +142,17 @@ mod tests {
         p.max_instructions = 800_000;
         p.warmup_instructions = 100_000;
         p.epoch_cycles = 120_000; // larger epochs give less sampling noise
-        let results = run(&p);
+        let results = run(&p).expect("characterization runs");
         // After warm-up, the workload is repetitive: median similarity
         // should be very high (the paper reports > 0.995 at steady
         // state). FileSrv and Apache are excluded at this miniature
         // scale: their interrupt/bottom-half arrivals come in clumps of
         // tens of thousands of instructions, which only average out at
         // paper-sized (3 ms) epochs.
-        for r in results.iter().filter(|r| {
-            !matches!(r.kind, BenchmarkKind::FileSrv | BenchmarkKind::Apache)
-        }) {
+        for r in results
+            .iter()
+            .filter(|r| !matches!(r.kind, BenchmarkKind::FileSrv | BenchmarkKind::Apache))
+        {
             let mut sorted = r.epoch_similarities.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let median = sorted[sorted.len() / 2];

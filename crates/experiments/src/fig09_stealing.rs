@@ -3,7 +3,7 @@
 //! Section 6.4 "alternate strategy" (always steal from the max-waiting
 //! core).
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
 use schedtask_kernel::{SimStats, WorkloadSpec};
@@ -20,44 +20,42 @@ pub struct StealingRun {
 }
 
 /// Runs Figure 9 for the given strategies.
-pub fn run(params: &ExpParams, policies: &[StealPolicy]) -> Vec<StealingRun> {
-    let baselines: Vec<(BenchmarkKind, SimStats)> = BenchmarkKind::all()
-        .into_iter()
-        .map(|kind| {
-            (
-                kind,
-                runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, 2.0)),
-            )
-        })
-        .collect();
+pub fn run(
+    params: &ExpParams,
+    policies: &[StealPolicy],
+) -> Result<Vec<StealingRun>, ExperimentError> {
+    let mut baselines: Vec<(BenchmarkKind, SimStats)> = Vec::new();
+    for kind in BenchmarkKind::all() {
+        baselines.push((
+            kind,
+            runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, 2.0))?,
+        ));
+    }
 
-    policies
-        .iter()
-        .map(|&policy| {
-            let per_benchmark = baselines
-                .iter()
-                .map(|(kind, base)| {
-                    let sched = SchedTaskScheduler::new(
-                        params.cores,
-                        SchedTaskConfig {
-                            steal_policy: policy,
-                            ..SchedTaskConfig::default()
-                        },
-                    );
-                    let stats = runner::run_with_scheduler(
-                        Box::new(sched),
-                        params,
-                        &WorkloadSpec::single(*kind, 2.0),
-                    );
-                    (*kind, base.clone(), stats)
-                })
-                .collect();
-            StealingRun {
-                policy,
-                per_benchmark,
-            }
-        })
-        .collect()
+    let mut runs = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let mut per_benchmark = Vec::new();
+        for (kind, base) in &baselines {
+            let sched = SchedTaskScheduler::new(
+                params.cores,
+                SchedTaskConfig {
+                    steal_policy: policy,
+                    ..SchedTaskConfig::default()
+                },
+            );
+            let stats = runner::run_with_scheduler(
+                Box::new(sched),
+                params,
+                &WorkloadSpec::single(*kind, 2.0),
+            )?;
+            per_benchmark.push((*kind, base.clone(), stats));
+        }
+        runs.push(StealingRun {
+            policy,
+            per_benchmark,
+        });
+    }
+    Ok(runs)
 }
 
 fn headers(runs: &[StealingRun]) -> Vec<String> {
@@ -141,7 +139,8 @@ mod tests {
         p.cores = 4;
         p.max_instructions = 500_000;
         p.warmup_instructions = 100_000;
-        let runs = run(&p, &[StealPolicy::Nothing, StealPolicy::SimilarWorkAlso]);
+        let runs =
+            run(&p, &[StealPolicy::Nothing, StealPolicy::SimilarWorkAlso]).expect("runs succeed");
         assert_eq!(runs.len(), 2);
         let idle_of = |r: &StealingRun| -> f64 {
             r.per_benchmark

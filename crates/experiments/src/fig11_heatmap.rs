@@ -7,12 +7,15 @@
 //! * the mean performance benefit per register width, plus the ideal
 //!   (exact-ranking) configuration.
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f1, f3, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::{geometric_mean_pct, kendall_tau_b, mean};
 use schedtask_workload::BenchmarkKind;
+
+/// Per-width Kendall τ_B per workload: `(bits, [(workload name, τ_B)])`.
+pub type TauByWidth = Vec<(u32, Vec<(String, f64)>)>;
 
 /// The register widths swept in Figure 11.
 pub const WIDTHS: [u32; 5] = [128, 256, 512, 1024, 2048];
@@ -40,71 +43,28 @@ pub struct HeatmapSweep {
 }
 
 /// Runs the sweep.
-pub fn run(params: &ExpParams, benchmarks: &[BenchmarkKind]) -> HeatmapSweep {
+pub fn run(
+    params: &ExpParams,
+    benchmarks: &[BenchmarkKind],
+) -> Result<HeatmapSweep, ExperimentError> {
     let clock = params.clock_hz();
-    let baselines: Vec<_> = benchmarks
-        .iter()
-        .map(|&k| {
-            (
-                k,
-                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0)),
-            )
-        })
-        .collect();
+    let mut baselines = Vec::new();
+    for &k in benchmarks {
+        baselines.push((
+            k,
+            runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0))?,
+        ));
+    }
 
-    let widths = WIDTHS
-        .iter()
-        .map(|&bits| {
-            let mut tau_per_benchmark = Vec::new();
-            let mut perf_per_benchmark = Vec::new();
-            for (kind, base) in &baselines {
-                let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
-                    params.cores,
-                    SchedTaskConfig {
-                        heatmap_bits: bits,
-                        ..SchedTaskConfig::default()
-                    },
-                );
-                let stats = runner::run_with_scheduler(
-                    Box::new(sched),
-                    params,
-                    &WorkloadSpec::single(*kind, 2.0),
-                );
-                // τ_B: for every TAlloc snapshot and every type with ≥2
-                // candidates, compare the Bloom scores against the exact
-                // scores over the same candidate list.
-                let mut taus = Vec::new();
-                for epoch in inspector.borrow().iter() {
-                    for (_ty, row) in epoch {
-                        if row.len() < 2 {
-                            continue;
-                        }
-                        let bloom: Vec<f64> = row.iter().map(|&(_, b, _)| b as f64).collect();
-                        let exact: Vec<f64> = row.iter().map(|&(_, _, e)| e as f64).collect();
-                        if exact.iter().any(|&e| e > 0.0) {
-                            taus.push(kendall_tau_b(&bloom, &exact));
-                        }
-                    }
-                }
-                tau_per_benchmark.push((*kind, mean(&taus)));
-                perf_per_benchmark
-                    .push((*kind, runner::performance_change(base, &stats, clock)));
-            }
-            WidthResult {
-                bits,
-                tau_per_benchmark,
-                perf_per_benchmark,
-            }
-        })
-        .collect();
-
-    let ideal_perf = baselines
-        .iter()
-        .map(|(kind, base)| {
-            let sched = SchedTaskScheduler::new(
+    let mut widths = Vec::new();
+    for &bits in WIDTHS.iter() {
+        let mut tau_per_benchmark = Vec::new();
+        let mut perf_per_benchmark = Vec::new();
+        for (kind, base) in &baselines {
+            let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
                 params.cores,
                 SchedTaskConfig {
-                    use_exact_overlap: true,
+                    heatmap_bits: bits,
                     ..SchedTaskConfig::default()
                 },
             );
@@ -112,12 +72,48 @@ pub fn run(params: &ExpParams, benchmarks: &[BenchmarkKind]) -> HeatmapSweep {
                 Box::new(sched),
                 params,
                 &WorkloadSpec::single(*kind, 2.0),
-            );
-            (*kind, runner::performance_change(base, &stats, clock))
-        })
-        .collect();
+            )?;
+            // τ_B: for every TAlloc snapshot and every type with ≥2
+            // candidates, compare the Bloom scores against the exact
+            // scores over the same candidate list.
+            let mut taus = Vec::new();
+            for epoch in inspector.borrow().iter() {
+                for (_ty, row) in epoch {
+                    if row.len() < 2 {
+                        continue;
+                    }
+                    let bloom: Vec<f64> = row.iter().map(|&(_, b, _)| b as f64).collect();
+                    let exact: Vec<f64> = row.iter().map(|&(_, _, e)| e as f64).collect();
+                    if exact.iter().any(|&e| e > 0.0) {
+                        taus.push(kendall_tau_b(&bloom, &exact));
+                    }
+                }
+            }
+            tau_per_benchmark.push((*kind, mean(&taus)));
+            perf_per_benchmark.push((*kind, runner::performance_change(base, &stats, clock)));
+        }
+        widths.push(WidthResult {
+            bits,
+            tau_per_benchmark,
+            perf_per_benchmark,
+        });
+    }
 
-    HeatmapSweep { widths, ideal_perf }
+    let mut ideal_perf = Vec::new();
+    for (kind, base) in &baselines {
+        let sched = SchedTaskScheduler::new(
+            params.cores,
+            SchedTaskConfig {
+                use_exact_overlap: true,
+                ..SchedTaskConfig::default()
+            },
+        );
+        let stats =
+            runner::run_with_scheduler(Box::new(sched), params, &WorkloadSpec::single(*kind, 2.0))?;
+        ideal_perf.push((*kind, runner::performance_change(base, &stats, clock)));
+    }
+
+    Ok(HeatmapSweep { widths, ideal_perf })
 }
 
 /// τ_B per register width for arbitrary named workloads. The
@@ -130,42 +126,37 @@ pub fn run(params: &ExpParams, benchmarks: &[BenchmarkKind]) -> HeatmapSweep {
 pub fn run_tau_on_workloads(
     params: &ExpParams,
     workloads: &[(String, schedtask_kernel::WorkloadSpec)],
-) -> Vec<(u32, Vec<(String, f64)>)> {
-    WIDTHS
-        .iter()
-        .map(|&bits| {
-            let taus = workloads
-                .iter()
-                .map(|(name, w)| {
-                    let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
-                        params.cores,
-                        SchedTaskConfig {
-                            heatmap_bits: bits,
-                            ..SchedTaskConfig::default()
-                        },
-                    );
-                    let _stats = runner::run_with_scheduler(Box::new(sched), params, w);
-                    let mut taus = Vec::new();
-                    for epoch in inspector.borrow().iter() {
-                        for (_ty, row) in epoch {
-                            if row.len() < 2 {
-                                continue;
-                            }
-                            let bloom: Vec<f64> =
-                                row.iter().map(|&(_, b, _)| b as f64).collect();
-                            let exact: Vec<f64> =
-                                row.iter().map(|&(_, _, e)| e as f64).collect();
-                            if exact.iter().any(|&e| e > 0.0) {
-                                taus.push(kendall_tau_b(&bloom, &exact));
-                            }
-                        }
+) -> Result<TauByWidth, ExperimentError> {
+    let mut sweep = Vec::new();
+    for &bits in WIDTHS.iter() {
+        let mut per_workload = Vec::new();
+        for (name, w) in workloads {
+            let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
+                params.cores,
+                SchedTaskConfig {
+                    heatmap_bits: bits,
+                    ..SchedTaskConfig::default()
+                },
+            );
+            let _stats = runner::run_with_scheduler(Box::new(sched), params, w)?;
+            let mut taus = Vec::new();
+            for epoch in inspector.borrow().iter() {
+                for (_ty, row) in epoch {
+                    if row.len() < 2 {
+                        continue;
                     }
-                    (name.clone(), mean(&taus))
-                })
-                .collect();
-            (bits, taus)
-        })
-        .collect()
+                    let bloom: Vec<f64> = row.iter().map(|&(_, b, _)| b as f64).collect();
+                    let exact: Vec<f64> = row.iter().map(|&(_, _, e)| e as f64).collect();
+                    if exact.iter().any(|&e| e > 0.0) {
+                        taus.push(kendall_tau_b(&bloom, &exact));
+                    }
+                }
+            }
+            per_workload.push((name.clone(), mean(&taus)));
+        }
+        sweep.push((bits, per_workload));
+    }
+    Ok(sweep)
 }
 
 /// Formats the multi-programmed τ_B sweep.
@@ -234,12 +225,17 @@ mod tests {
         p.cores = 4;
         p.max_instructions = 600_000;
         p.warmup_instructions = 150_000;
-        let sweep = run(&p, &[BenchmarkKind::Find, BenchmarkKind::MailSrvIo]);
+        let sweep = run(&p, &[BenchmarkKind::Find, BenchmarkKind::MailSrvIo]).expect("sweep runs");
         assert_eq!(sweep.widths.len(), 5);
         // τ at 2048 bits should beat τ at 128 bits on average (an
         // exponential width increase raises ranking quality, Fig 11).
         let tau_mean = |w: &WidthResult| {
-            mean(&w.tau_per_benchmark.iter().map(|&(_, v)| v).collect::<Vec<_>>())
+            mean(
+                &w.tau_per_benchmark
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .collect::<Vec<_>>(),
+            )
         };
         let t128 = tau_mean(&sweep.widths[0]);
         let t2048 = tau_mean(&sweep.widths[4]);

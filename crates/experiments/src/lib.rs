@@ -21,12 +21,13 @@
 //! ```no_run
 //! use schedtask_experiments::{Comparison, ExpParams};
 //!
-//! let comparison = Comparison::run(&ExpParams::standard(), 2.0);
+//! let comparison = Comparison::run(&ExpParams::standard(), 2.0).expect("runs succeed");
 //! println!("{}", comparison.fig07_performance());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ablations;
 pub mod appendix;
@@ -40,5 +41,8 @@ pub mod table;
 pub mod table4_workload;
 
 pub use comparison::Comparison;
-pub use runner::{ExpParams, Technique};
+pub use runner::{
+    CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, SweepReport,
+    Technique,
+};
 pub use table::Table;

@@ -1,7 +1,7 @@
 //! Section 6.1's "other statistics": SchedTask-related overheads, TLB hit
 //! rates, interrupt latency, and scheduling fairness.
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::{f2, f3, Table};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::mean;
@@ -26,7 +26,7 @@ pub struct OverheadReport {
 }
 
 /// Runs the overhead characterization.
-pub fn run(params: &ExpParams) -> OverheadReport {
+pub fn run(params: &ExpParams) -> Result<OverheadReport, ExperimentError> {
     let mut sched_pct = Vec::new();
     let mut base_pct = Vec::new();
     let mut itlb = Vec::new();
@@ -35,13 +35,11 @@ pub fn run(params: &ExpParams) -> OverheadReport {
     let mut fairness = Vec::new();
     for kind in BenchmarkKind::all() {
         let w = WorkloadSpec::single(kind, 2.0);
-        let base = runner::run(Technique::Linux, params, &w);
-        let st = runner::run(Technique::SchedTask, params, &w);
-        base_pct.push(
-            base.instructions.scheduler as f64 / base.total_instructions() as f64 * 100.0,
-        );
-        sched_pct
-            .push(st.instructions.scheduler as f64 / st.total_instructions() as f64 * 100.0);
+        let base = runner::run(Technique::Linux, params, &w)?;
+        let st = runner::run(Technique::SchedTask, params, &w)?;
+        base_pct
+            .push(base.instructions.scheduler as f64 / base.total_instructions() as f64 * 100.0);
+        sched_pct.push(st.instructions.scheduler as f64 / st.total_instructions() as f64 * 100.0);
         itlb.push(runner::hit_rate_delta_pp(
             base.mem.itlb.hit_rate(),
             st.mem.itlb.hit_rate(),
@@ -59,14 +57,14 @@ pub fn run(params: &ExpParams) -> OverheadReport {
         }
         fairness.push(st.fairness());
     }
-    OverheadReport {
+    Ok(OverheadReport {
         schedtask_scheduler_pct: mean(&sched_pct),
         baseline_scheduler_pct: mean(&base_pct),
         itlb_delta_pp: mean(&itlb),
         dtlb_delta_pp: mean(&dtlb),
         interrupt_latency_change_pct: mean(&irq_lat),
         fairness: mean(&fairness),
-    }
+    })
 }
 
 /// Formats the report.
@@ -88,7 +86,10 @@ pub fn report_table(r: &OverheadReport) -> Table {
         "mean interrupt latency change (%)".to_string(),
         f2(r.interrupt_latency_change_pct),
     ]);
-    t.push_row(["Jain fairness index (SchedTask)".to_string(), f3(r.fairness)]);
+    t.push_row([
+        "Jain fairness index (SchedTask)".to_string(),
+        f3(r.fairness),
+    ]);
     t
 }
 
@@ -102,7 +103,7 @@ mod tests {
         p.cores = 4;
         p.max_instructions = 500_000;
         p.warmup_instructions = 100_000;
-        let r = run(&p);
+        let r = run(&p).expect("overheads run");
         assert!(
             r.schedtask_scheduler_pct < 10.0,
             "scheduler share {}",

@@ -1,14 +1,81 @@
 //! Shared experiment infrastructure: technique construction, run
-//! execution, and derived metrics.
+//! execution, derived metrics, and the resilient sweep harness.
+//!
+//! Every run returns `Result<SimStats, ExperimentError>`: engine and
+//! scheduler failures surface as structured diagnostics instead of
+//! panics, so a sweep over the full technique × benchmark matrix can
+//! record which cells failed and keep going (see [`run_sweep`]).
 
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_baselines::{
     DisAggregateOsScheduler, FlexScScheduler, LinuxScheduler, SelectiveOffloadScheduler,
     SliccScheduler,
 };
-use schedtask_kernel::{Engine, EngineConfig, Scheduler, SimStats, WorkloadSpec};
+use schedtask_kernel::{
+    CoreId, Engine, EngineConfig, EngineCore, EngineError, FaultPlan, SchedError, SchedEvent,
+    Scheduler, SfId, SimStats, SwitchReason, WorkloadSpec,
+};
 use schedtask_sim::SystemConfig;
 use schedtask_workload::BenchmarkKind;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A failed experiment run: which cell failed and why.
+///
+/// Wraps the engine's typed error with the technique/workload labels a
+/// sweep report needs; panics caught at a cell boundary are folded into
+/// the same shape (see [`run_sweep`]).
+#[derive(Debug)]
+pub struct ExperimentError {
+    /// Technique display name.
+    pub technique: String,
+    /// Workload label (benchmark name or bag name).
+    pub workload: String,
+    /// What went wrong.
+    pub cause: FailureCause,
+}
+
+/// The underlying cause of an [`ExperimentError`].
+#[derive(Debug)]
+pub enum FailureCause {
+    /// The engine returned a typed error (config, scheduler, watchdog,
+    /// invariant violation, ...).
+    Engine(EngineError),
+    /// The cell panicked; the payload message is preserved.
+    Panic(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.cause {
+            FailureCause::Engine(e) => {
+                write!(f, "{} on {}: {e}", self.technique, self.workload)
+            }
+            FailureCause::Panic(msg) => {
+                write!(f, "{} on {}: panic: {msg}", self.technique, self.workload)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            FailureCause::Engine(e) => Some(e),
+            FailureCause::Panic(_) => None,
+        }
+    }
+}
+
+impl ExperimentError {
+    fn engine(technique: &str, workload: &str, source: EngineError) -> Self {
+        ExperimentError {
+            technique: technique.to_string(),
+            workload: workload.to_string(),
+            cause: FailureCause::Engine(source),
+        }
+    }
+}
 
 /// The scheduling techniques of the paper's evaluation, in Figure 7
 /// order (the Linux baseline is the reference everything is measured
@@ -42,6 +109,18 @@ impl Technique {
         ]
     }
 
+    /// Baseline plus the five compared techniques, in report order.
+    pub fn all() -> [Technique; 6] {
+        [
+            Technique::Linux,
+            Technique::SelectiveOffload,
+            Technique::FlexSc,
+            Technique::DisAggregateOs,
+            Technique::Slicc,
+            Technique::SchedTask,
+        ]
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -54,6 +133,13 @@ impl Technique {
         }
     }
 
+    /// Parses a technique from its display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Technique> {
+        Technique::all()
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(s))
+    }
+
     /// True for techniques that double the core count (Table 3).
     pub fn doubles_cores(self) -> bool {
         self == Technique::SelectiveOffload
@@ -63,9 +149,7 @@ impl Technique {
     pub fn scheduler(self, engine_cores: usize) -> Box<dyn Scheduler> {
         match self {
             Technique::Linux => Box::new(LinuxScheduler::new(engine_cores)),
-            Technique::SelectiveOffload => {
-                Box::new(SelectiveOffloadScheduler::new(engine_cores))
-            }
+            Technique::SelectiveOffload => Box::new(SelectiveOffloadScheduler::new(engine_cores)),
             Technique::FlexSc => Box::new(FlexScScheduler::new(engine_cores)),
             Technique::DisAggregateOs => Box::new(DisAggregateOsScheduler::new(engine_cores)),
             Technique::Slicc => Box::new(SliccScheduler::new(engine_cores)),
@@ -93,6 +177,10 @@ pub struct ExpParams {
     pub system: SystemConfig,
     /// Scheduling-epoch length in cycles.
     pub epoch_cycles: u64,
+    /// Optional deterministic fault plan injected into every run.
+    pub faults: Option<FaultPlan>,
+    /// Run the engine's invariant sanitizer on every run.
+    pub sanitize: bool,
 }
 
 impl ExpParams {
@@ -106,6 +194,8 @@ impl ExpParams {
             seed: 0x5EED_5EED,
             system: SystemConfig::table2(),
             epoch_cycles: 60_000,
+            faults: None,
+            sanitize: false,
         }
     }
 
@@ -118,6 +208,8 @@ impl ExpParams {
             seed: 0x5EED_5EED,
             system: SystemConfig::table2(),
             epoch_cycles: 50_000,
+            faults: None,
+            sanitize: false,
         }
     }
 
@@ -130,6 +222,18 @@ impl ExpParams {
     /// Same params with a different machine template.
     pub fn with_system(mut self, system: SystemConfig) -> Self {
         self.system = system;
+        self
+    }
+
+    /// Same params with a fault plan injected into every run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Same params with the invariant sanitizer enabled on every run.
+    pub fn with_sanitize(mut self) -> Self {
+        self.sanitize = true;
         self
     }
 
@@ -147,6 +251,12 @@ impl ExpParams {
         cfg.workload_reference_cores = self.cores;
         cfg.warmup_instructions = self.warmup_instructions;
         cfg.epoch_cycles = self.epoch_cycles;
+        if let Some(plan) = &self.faults {
+            cfg = cfg.with_faults(plan.clone());
+        }
+        if self.sanitize {
+            cfg = cfg.with_sanitizer();
+        }
         cfg
     }
 
@@ -166,11 +276,14 @@ impl ExpParams {
 }
 
 /// Runs `technique` on `workload` and returns the statistics.
-pub fn run(technique: Technique, params: &ExpParams, workload: &WorkloadSpec) -> SimStats {
+pub fn run(
+    technique: Technique,
+    params: &ExpParams,
+    workload: &WorkloadSpec,
+) -> Result<SimStats, ExperimentError> {
     let cfg = params.engine_config(technique);
     let sched = technique.scheduler(params.engine_cores(technique));
-    let mut engine = Engine::new(cfg, workload, sched);
-    engine.run().clone()
+    run_configured(technique.name(), cfg, workload, sched)
 }
 
 /// Runs a custom scheduler (e.g. a SchedTask variant) on `workload`.
@@ -178,10 +291,27 @@ pub fn run_with_scheduler(
     sched: Box<dyn Scheduler>,
     params: &ExpParams,
     workload: &WorkloadSpec,
-) -> SimStats {
+) -> Result<SimStats, ExperimentError> {
     let cfg = params.engine_config(Technique::SchedTask);
-    let mut engine = Engine::new(cfg, workload, sched);
-    engine.run().clone()
+    let name = sched.name().to_string();
+    run_configured(&name, cfg, workload, sched)
+}
+
+/// Runs an already-built configuration, labelling failures with
+/// `technique`.
+pub fn run_configured(
+    technique: &str,
+    cfg: EngineConfig,
+    workload: &WorkloadSpec,
+    sched: Box<dyn Scheduler>,
+) -> Result<SimStats, ExperimentError> {
+    let label = workload_label(workload);
+    let mut engine = Engine::new(cfg, workload, sched)
+        .map_err(|e| ExperimentError::engine(technique, &label, e))?;
+    engine
+        .run()
+        .cloned()
+        .map_err(|e| ExperimentError::engine(technique, &label, e))
 }
 
 /// Runs `technique` on one benchmark at `scale`.
@@ -190,13 +320,25 @@ pub fn run_benchmark(
     params: &ExpParams,
     kind: BenchmarkKind,
     scale: f64,
-) -> SimStats {
+) -> Result<SimStats, ExperimentError> {
     run(technique, params, &WorkloadSpec::single(kind, scale))
+}
+
+fn workload_label(workload: &WorkloadSpec) -> String {
+    let mut names: Vec<&str> = workload.parts.iter().map(|(k, _)| k.name()).collect();
+    for (spec, _) in &workload.custom {
+        names.push(spec.kind.name());
+    }
+    names.dedup();
+    names.join("+")
 }
 
 /// Percentage change of instruction throughput relative to `base`.
 pub fn throughput_change(base: &SimStats, other: &SimStats) -> f64 {
-    schedtask_metrics::pct_change(base.instruction_throughput(), other.instruction_throughput())
+    schedtask_metrics::pct_change(
+        base.instruction_throughput(),
+        other.instruction_throughput(),
+    )
 }
 
 /// Percentage change of application performance (ops/s) relative to
@@ -214,6 +356,212 @@ pub fn hit_rate_delta_pp(base: f64, other: f64) -> f64 {
     (other - base) * 100.0
 }
 
+// ---------------------------------------------------------------------------
+// Forced failures (`repro --force-fail`) and the resilient sweep.
+// ---------------------------------------------------------------------------
+
+/// Wraps any scheduler and makes `pick_next` fail with a [`SchedError`]
+/// after a fixed number of dispatches. The `repro --force-fail` hook:
+/// demonstrates (and tests) that the sweep harness records a failed cell
+/// and continues with the rest of the matrix.
+pub struct FailAfterScheduler {
+    inner: Box<dyn Scheduler>,
+    remaining: u64,
+}
+
+impl FailAfterScheduler {
+    /// Fails the wrapped scheduler's `pick_next` after `after_dispatches`
+    /// successful dispatches.
+    pub fn new(inner: Box<dyn Scheduler>, after_dispatches: u64) -> Self {
+        FailAfterScheduler {
+            inner,
+            remaining: after_dispatches,
+        }
+    }
+}
+
+impl Scheduler for FailAfterScheduler {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn init(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
+        self.inner.init(ctx)
+    }
+
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
+        self.inner.enqueue(ctx, sf, origin)
+    }
+
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
+        if self.remaining == 0 {
+            return Err(SchedError::Internal(
+                "forced failure (--force-fail)".to_string(),
+            ));
+        }
+        self.remaining -= 1;
+        self.inner.pick_next(ctx, core)
+    }
+
+    fn on_dispatch(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId) {
+        self.inner.on_dispatch(ctx, core, sf);
+    }
+
+    fn on_switch_out(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+        sf: SfId,
+        reason: SwitchReason,
+    ) {
+        self.inner.on_switch_out(ctx, core, sf, reason);
+    }
+
+    fn on_complete(&mut self, ctx: &mut EngineCore, sf: SfId) {
+        self.inner.on_complete(ctx, sf);
+    }
+
+    fn on_block(&mut self, ctx: &mut EngineCore, sf: SfId) {
+        self.inner.on_block(ctx, sf);
+    }
+
+    fn on_epoch(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
+        self.inner.on_epoch(ctx)
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        self.inner.queued_sfs(out)
+    }
+
+    fn route_interrupt(&mut self, ctx: &mut EngineCore, irq: u64) -> CoreId {
+        self.inner.route_interrupt(ctx, irq)
+    }
+
+    fn route_completion(&mut self, ctx: &mut EngineCore, irq: u64, waiter: SfId) -> CoreId {
+        self.inner.route_completion(ctx, irq, waiter)
+    }
+
+    fn overhead_for(&self, ctx: &EngineCore, event: SchedEvent, sf: Option<SfId>) -> u64 {
+        self.inner.overhead_for(ctx, event, sf)
+    }
+
+    fn overhead_instructions(&self, event: SchedEvent) -> u64 {
+        self.inner.overhead_instructions(event)
+    }
+}
+
+/// One (technique, benchmark) cell of a sweep.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// The technique.
+    pub technique: Technique,
+    /// The benchmark.
+    pub benchmark: BenchmarkKind,
+    /// Statistics on success, diagnostics on failure.
+    pub result: Result<SimStats, ExperimentError>,
+}
+
+/// A full technique × benchmark sweep with per-cell failure isolation.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Every cell, in (technique-major, benchmark-minor) order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl SweepReport {
+    /// Number of cells that completed.
+    pub fn succeeded(&self) -> usize {
+        self.cells.iter().filter(|c| c.result.is_ok()).count()
+    }
+
+    /// Number of cells that failed.
+    pub fn failed(&self) -> usize {
+        self.cells.len() - self.succeeded()
+    }
+
+    /// The failed cells' diagnostics.
+    pub fn failures(&self) -> impl Iterator<Item = &ExperimentError> {
+        self.cells.iter().filter_map(|c| c.result.as_err())
+    }
+}
+
+/// `Result::as_ref().err()` spelled as a helper so `failures()` can
+/// return references with a clean lifetime.
+trait AsErr<E> {
+    fn as_err(&self) -> Option<&E>;
+}
+
+impl<T, E> AsErr<E> for Result<T, E> {
+    fn as_err(&self) -> Option<&E> {
+        self.as_ref().err()
+    }
+}
+
+/// Runs every technique over every benchmark, isolating each cell: a
+/// typed engine error *or a panic* in one cell is recorded as that
+/// cell's diagnosis and the sweep continues. `scale` is the workload
+/// scale; `force_fail` optionally breaks one cell on purpose after the
+/// given number of dispatches (the `--force-fail` hook).
+pub fn run_sweep(
+    params: &ExpParams,
+    techniques: &[Technique],
+    benchmarks: &[BenchmarkKind],
+    scale: f64,
+    force_fail: Option<(Technique, BenchmarkKind, u64)>,
+) -> SweepReport {
+    let mut cells = Vec::with_capacity(techniques.len() * benchmarks.len());
+    for &technique in techniques {
+        for &benchmark in benchmarks {
+            let w = WorkloadSpec::single(benchmark, scale);
+            let forced = match force_fail {
+                Some((t, b, after)) if t == technique && b == benchmark => Some(after),
+                _ => None,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let cfg = params.engine_config(technique);
+                let mut sched = technique.scheduler(params.engine_cores(technique));
+                if let Some(after) = forced {
+                    sched = Box::new(FailAfterScheduler::new(sched, after));
+                }
+                run_configured(technique.name(), cfg, &w, sched)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ExperimentError {
+                    technique: technique.name().to_string(),
+                    workload: benchmark.name().to_string(),
+                    cause: FailureCause::Panic(panic_message(payload)),
+                })
+            });
+            cells.push(CellOutcome {
+                technique,
+                benchmark,
+                result,
+            });
+        }
+    }
+    SweepReport { cells }
+}
+
+/// Extracts a readable message from a panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +572,9 @@ mod tests {
         assert_eq!(Technique::SchedTask.name(), "SchedTask");
         assert!(Technique::SelectiveOffload.doubles_cores());
         assert!(!Technique::SchedTask.doubles_cores());
+        assert_eq!(Technique::parse("slicc"), Some(Technique::Slicc));
+        assert_eq!(Technique::parse("baseline"), Some(Technique::Linux));
+        assert_eq!(Technique::parse("nope"), None);
     }
 
     #[test]
@@ -237,17 +588,24 @@ mod tests {
     }
 
     #[test]
+    fn engine_config_carries_faults_and_sanitizer() {
+        let p = ExpParams::quick()
+            .with_faults(FaultPlan::light(11))
+            .with_sanitize();
+        let cfg = p.engine_config(Technique::Linux);
+        assert!(cfg.faults.is_some());
+        assert!(cfg.sanitize);
+    }
+
+    #[test]
     fn smoke_run_every_technique() {
         let mut p = ExpParams::quick();
         p.cores = 4;
         p.max_instructions = 150_000;
         p.warmup_instructions = 50_000;
         let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
-        for t in [Technique::Linux]
-            .into_iter()
-            .chain(Technique::compared())
-        {
-            let stats = run(t, &p, &w);
+        for t in [Technique::Linux].into_iter().chain(Technique::compared()) {
+            let stats = run(t, &p, &w).expect("run succeeds");
             assert!(stats.total_instructions() > 0, "{} did not run", t.name());
         }
     }
@@ -255,5 +613,54 @@ mod tests {
     #[test]
     fn derived_metrics() {
         assert!((hit_rate_delta_pp(0.80, 0.85) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_isolates_forced_failure() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 120_000;
+        p.warmup_instructions = 30_000;
+        let report = run_sweep(
+            &p,
+            &[Technique::Linux, Technique::Slicc],
+            &[BenchmarkKind::Find],
+            1.0,
+            Some((Technique::Slicc, BenchmarkKind::Find, 5)),
+        );
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.failed(), 1);
+        let failure = report.failures().next().expect("one failure");
+        assert_eq!(failure.technique, "SLICC");
+        assert!(
+            matches!(
+                &failure.cause,
+                FailureCause::Engine(EngineError::Scheduler(SchedError::Internal(_)))
+            ),
+            "unexpected cause: {:?}",
+            failure.cause
+        );
+    }
+
+    #[test]
+    fn sweep_with_faults_is_deterministic() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 120_000;
+        p.warmup_instructions = 30_000;
+        let p = p.with_faults(FaultPlan::light(9)).with_sanitize();
+        let summarize = |r: &SweepReport| -> Vec<(u64, u64, u64)> {
+            r.cells
+                .iter()
+                .map(|c| {
+                    let s = c.result.as_ref().expect("cell succeeds");
+                    (s.total_instructions(), s.final_cycle, s.faults.total())
+                })
+                .collect()
+        };
+        let a = run_sweep(&p, &[Technique::Linux], &[BenchmarkKind::Find], 1.0, None);
+        let b = run_sweep(&p, &[Technique::Linux], &[BenchmarkKind::Find], 1.0, None);
+        assert_eq!(summarize(&a), summarize(&b));
     }
 }

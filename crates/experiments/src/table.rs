@@ -71,10 +71,7 @@ impl Table {
             out.push_str(&format!("{}\n\n", self.note));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -82,9 +79,10 @@ impl Table {
     }
 
     fn widths(&self) -> Vec<usize> {
-        let cols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut w = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             w[i] = w[i].max(h.len());
@@ -113,7 +111,11 @@ impl fmt::Display for Table {
                 .map(|(i, h)| format!("{:>width$}", h, width = w[i]))
                 .collect();
             writeln!(f, "{}", line.join("  "))?;
-            writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+            writeln!(
+                f,
+                "{}",
+                "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+            )?;
         }
         for row in &self.rows {
             let line: Vec<String> = row

@@ -1,7 +1,7 @@
 //! Table 4: impact of the workload (1X / 2X / 4X / 8X) on instruction
 //! throughput and idle-time fractions.
 
-use crate::runner::{self, ExpParams, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, Technique};
 use crate::table::Table;
 use schedtask_kernel::{SimStats, WorkloadSpec};
 use schedtask_metrics::geometric_mean_pct;
@@ -30,42 +30,34 @@ pub struct ScaleBlock {
 }
 
 /// Runs Table 4 for the given scales.
-pub fn run(params: &ExpParams, scales: &[f64]) -> Vec<ScaleBlock> {
-    scales
-        .iter()
-        .map(|&scale| {
-            let baselines: Vec<(BenchmarkKind, SimStats)> = BenchmarkKind::all()
-                .into_iter()
-                .map(|k| {
-                    (
-                        k,
-                        runner::run(Technique::Linux, params, &WorkloadSpec::single(k, scale)),
-                    )
-                })
-                .collect();
-            let rows = Technique::compared()
-                .into_iter()
-                .map(|t| {
-                    let cells = baselines
-                        .iter()
-                        .map(|(k, base)| {
-                            let stats =
-                                runner::run(t, params, &WorkloadSpec::single(*k, scale));
-                            (
-                                *k,
-                                Cell {
-                                    idle_pct: stats.mean_idle_fraction() * 100.0,
-                                    perf_pct: runner::throughput_change(base, &stats),
-                                },
-                            )
-                        })
-                        .collect();
-                    (t, cells)
-                })
-                .collect();
-            ScaleBlock { scale, rows }
-        })
-        .collect()
+pub fn run(params: &ExpParams, scales: &[f64]) -> Result<Vec<ScaleBlock>, ExperimentError> {
+    let mut blocks = Vec::with_capacity(scales.len());
+    for &scale in scales {
+        let mut baselines: Vec<(BenchmarkKind, SimStats)> = Vec::new();
+        for k in BenchmarkKind::all() {
+            baselines.push((
+                k,
+                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, scale))?,
+            ));
+        }
+        let mut rows = Vec::new();
+        for t in Technique::compared() {
+            let mut cells = Vec::new();
+            for (k, base) in &baselines {
+                let stats = runner::run(t, params, &WorkloadSpec::single(*k, scale))?;
+                cells.push((
+                    *k,
+                    Cell {
+                        idle_pct: stats.mean_idle_fraction() * 100.0,
+                        perf_pct: runner::throughput_change(base, &stats),
+                    },
+                ));
+            }
+            rows.push((t, cells));
+        }
+        blocks.push(ScaleBlock { scale, rows });
+    }
+    Ok(blocks)
 }
 
 /// Formats one block of Table 4 (idle % and Δ throughput per benchmark).
@@ -100,23 +92,23 @@ pub fn block_table(block: &ScaleBlock) -> Table {
 /// threads becomes high. This leads to lower performance and is counter
 /// productive." This table extends the scaling sweep past 8X to show
 /// the benefit rolling off.
-pub fn beyond_8x_table(params: &ExpParams, scales: &[f64]) -> Table {
+pub fn beyond_8x_table(params: &ExpParams, scales: &[f64]) -> Result<Table, ExperimentError> {
     let mut t = Table::new("Section 6.3 (beyond 8X): SchedTask benefit vs. workload scale")
-        .with_headers(["scale", "gmean Δ throughput vs. baseline (%)", "SchedTask idle (%)"]);
+        .with_headers([
+            "scale",
+            "gmean Δ throughput vs. baseline (%)",
+            "SchedTask idle (%)",
+        ]);
     for &scale in scales {
         let mut perfs = Vec::new();
         let mut idles = Vec::new();
         for kind in schedtask_workload::BenchmarkKind::all() {
-            let base = runner::run(
-                Technique::Linux,
-                params,
-                &WorkloadSpec::single(kind, scale),
-            );
+            let base = runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, scale))?;
             let st = runner::run(
                 Technique::SchedTask,
                 params,
                 &WorkloadSpec::single(kind, scale),
-            );
+            )?;
             perfs.push(runner::throughput_change(&base, &st));
             idles.push(st.mean_idle_fraction() * 100.0);
         }
@@ -126,7 +118,7 @@ pub fn beyond_8x_table(params: &ExpParams, scales: &[f64]) -> Table {
             format!("{:.1}", schedtask_metrics::mean(&idles)),
         ]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -140,7 +132,7 @@ mod tests {
         p.max_instructions = 400_000;
         p.warmup_instructions = 100_000;
         // Use a reduced matrix for the test: SLICC only, two scales.
-        let blocks = run(&p, &[0.5, 4.0]);
+        let blocks = run(&p, &[0.5, 4.0]).expect("table 4 runs");
         assert_eq!(blocks.len(), 2);
         let idle_at = |b: &ScaleBlock, tech: Technique| -> f64 {
             let (_, cells) = b.rows.iter().find(|(t, _)| *t == tech).unwrap();

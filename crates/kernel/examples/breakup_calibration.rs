@@ -6,14 +6,22 @@ use schedtask_sim::SystemConfig;
 use schedtask_workload::BenchmarkKind;
 
 fn main() {
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6}  ihit  dhit  idle", "bench", "app%", "sys%", "irq%", "bh%");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6}  ihit  dhit  idle",
+        "bench", "app%", "sys%", "irq%", "bh%"
+    );
     for kind in BenchmarkKind::all() {
         let cfg = EngineConfig::fast()
             .with_system(SystemConfig::table2().with_cores(8))
             .with_max_instructions(2_000_000);
-        let mut e = Engine::new(cfg, &WorkloadSpec::single(kind, 1.0), Box::new(GlobalFifoScheduler::new()));
+        let mut e = Engine::new(
+            cfg,
+            &WorkloadSpec::single(kind, 1.0),
+            Box::new(GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds");
         let t0 = std::time::Instant::now();
-        let s = e.run();
+        let s = e.run().expect("run succeeds");
         let b = s.instructions.breakup_percent();
         println!(
             "{:<10} {:>6.1} {:>6.1} {:>6.1} {:>6.1}  {:.3} {:.3} {:.3}  ({:.2}s, {:.1} Minstr/s, ipc {:.2})",

@@ -1,6 +1,48 @@
 //! Engine configuration.
 
+use crate::error::ConfigError;
+use crate::faults::FaultPlan;
 use schedtask_sim::SystemConfig;
+
+/// Watchdog budgets: the engine's defence against livelock. Each field
+/// set to zero disables that budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Fail with [`crate::EngineError::Livelock`] if this many simulated
+    /// cycles pass without a single workload instruction retiring.
+    pub max_stall_cycles: u64,
+    /// Fail with [`crate::EngineError::EventBudgetExceeded`] after this
+    /// many processed events plus core steps.
+    pub max_events: u64,
+    /// Fail with [`crate::EngineError::WallClockExceeded`] after this
+    /// many wall-clock milliseconds.
+    pub max_wall_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    /// Only the stall budget is armed by default: generous enough that
+    /// no legitimate run (device latencies are well under a million
+    /// cycles) can trip it, tight enough to catch a scheduler that
+    /// stops dispatching work.
+    fn default() -> Self {
+        WatchdogConfig {
+            max_stall_cycles: 500_000_000,
+            max_events: 0,
+            max_wall_ms: 0,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Disables every budget.
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            max_stall_cycles: 0,
+            max_events: 0,
+            max_wall_ms: 0,
+        }
+    }
+}
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +88,16 @@ pub struct EngineConfig {
     /// Retain up to this many SuperFunction lifecycle events in the
     /// engine's [`crate::trace::TraceLog`] (0 disables tracing).
     pub trace_capacity: usize,
+    /// Optional deterministic fault-injection plan (see
+    /// [`crate::faults`]). `None` injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Run the invariant sanitizer after every engine step (placement,
+    /// monotone time, instruction conservation, no lost wakeups). Costs
+    /// roughly 2-4x wall clock; intended for tests and debugging, off by
+    /// default.
+    pub sanitize: bool,
+    /// Livelock watchdog budgets.
+    pub watchdog: WatchdogConfig,
 }
 
 impl EngineConfig {
@@ -70,6 +122,9 @@ impl EngineConfig {
             collect_epoch_breakups: false,
             collect_exact_pages: false,
             trace_capacity: 0,
+            faults: None,
+            sanitize: false,
+            watchdog: WatchdogConfig::default(),
             system,
         }
     }
@@ -109,6 +164,56 @@ impl EngineConfig {
         self.seed = seed;
         self
     }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables the invariant sanitizer.
+    pub fn with_sanitizer(mut self) -> Self {
+        self.sanitize = true;
+        self
+    }
+
+    /// Overrides the watchdog budgets.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Validates the whole configuration. [`crate::Engine::new`] calls
+    /// this, so a bad configuration fails fast with a typed error
+    /// instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.system.validate().map_err(ConfigError::System)?;
+        if self.workload_reference_cores == 0 {
+            return Err(ConfigError::ZeroReferenceCores);
+        }
+        // An epoch shorter than one quantum (at 1 IPC) or longer than ten
+        // simulated minutes at 2 GHz is a unit mistake, not a sweep point.
+        if self.epoch_cycles == 0 || self.epoch_cycles > 1_200_000_000_000 {
+            return Err(ConfigError::EpochOutOfRange {
+                cycles: self.epoch_cycles,
+            });
+        }
+        if self.quantum_instructions == 0 {
+            return Err(ConfigError::ZeroQuantum);
+        }
+        if self.max_instructions == 0 {
+            return Err(ConfigError::ZeroMaxInstructions);
+        }
+        if self.heatmap_bits == 0 || !self.heatmap_bits.is_multiple_of(64) {
+            return Err(ConfigError::BadHeatmapWidth {
+                bits: self.heatmap_bits,
+            });
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -140,5 +245,79 @@ mod tests {
         let cfg = EngineConfig::fast().with_max_instructions(123).with_seed(9);
         assert_eq!(cfg.max_instructions, 123);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(EngineConfig::paper().validate().is_ok());
+        assert!(EngineConfig::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut cfg = EngineConfig::fast();
+        cfg.system.num_cores = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::System(_))));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.epoch_cycles = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::EpochOutOfRange { cycles: 0 })
+        ));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.epoch_cycles = u64::MAX;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::EpochOutOfRange { .. })
+        ));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.quantum_instructions = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroQuantum)));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.max_instructions = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroMaxInstructions)
+        ));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.heatmap_bits = 100;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadHeatmapWidth { bits: 100 })
+        ));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.workload_reference_cores = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroReferenceCores)
+        ));
+
+        let mut cfg = EngineConfig::fast();
+        cfg.faults = Some(crate::faults::FaultPlan {
+            drop_irq_rate: -0.5,
+            ..crate::faults::FaultPlan::none(0)
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadFaultRate { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_and_sanitizer_builders() {
+        let cfg = EngineConfig::fast()
+            .with_faults(crate::faults::FaultPlan::light(3))
+            .with_sanitizer()
+            .with_watchdog(WatchdogConfig::disabled());
+        assert!(cfg.faults.as_ref().is_some_and(|p| p.is_active()));
+        assert!(cfg.sanitize);
+        assert_eq!(cfg.watchdog, WatchdogConfig::disabled());
+        assert!(cfg.validate().is_ok());
     }
 }

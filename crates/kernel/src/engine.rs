@@ -13,7 +13,10 @@
 //! one quantum.
 
 use crate::config::EngineConfig;
+use crate::error::{ConfigError, EngineError};
+use crate::faults::FaultInjector;
 use crate::ids::{CoreId, SfId, SfIdAllocator, ThreadId};
+use crate::sanitizer::SanitizerState;
 use crate::scheduler::{SchedEvent, Scheduler, SwitchReason};
 use crate::stats::SimStats;
 use crate::superfunction::{SfBody, SfState, SuperFunction};
@@ -84,19 +87,19 @@ struct Thread {
 
 /// An interrupt delivered to a core but not yet serviced.
 #[derive(Debug, Clone)]
-struct PendingIrq {
+pub(crate) struct PendingIrq {
     name: &'static str,
-    waiter: Option<SfId>,
+    pub(crate) waiter: Option<SfId>,
     raised_at: u64,
 }
 
 /// Per-core execution state.
 #[derive(Debug)]
-struct CoreState {
-    clock: u64,
-    current: Option<SfId>,
-    preempt_stack: Vec<SfId>,
-    pending_irqs: VecDeque<PendingIrq>,
+pub(crate) struct CoreState {
+    pub(crate) clock: u64,
+    pub(crate) current: Option<SfId>,
+    pub(crate) preempt_stack: Vec<SfId>,
+    pub(crate) pending_irqs: VecDeque<PendingIrq>,
     idle: bool,
     /// The hardware Page-heatmap register (Section 5.4), if armed.
     heatmap: Option<PageHeatmap>,
@@ -108,7 +111,7 @@ struct CoreState {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
+pub(crate) enum EventKind {
     DeviceComplete { device: DeviceKind, waiter: SfId },
     ExternalIrq { bench: usize },
     TimerTick { core: usize },
@@ -116,10 +119,10 @@ enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HeapEvent {
+pub(crate) struct HeapEvent {
     time: u64,
     seq: u64,
-    kind: EventKind,
+    pub(crate) kind: EventKind,
 }
 
 impl Ord for HeapEvent {
@@ -159,14 +162,14 @@ pub struct EngineCore {
     catalog: ServiceCatalog,
     instances: Vec<BenchmarkInstance>,
     threads: Vec<Thread>,
-    sfs: HashMap<SfId, SuperFunction>,
-    cores: Vec<CoreState>,
-    events: BinaryHeap<HeapEvent>,
+    pub(crate) sfs: HashMap<SfId, SuperFunction>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) events: BinaryHeap<HeapEvent>,
     event_seq: u64,
     id_alloc: SfIdAllocator,
-    stats: SimStats,
+    pub(crate) stats: SimStats,
     rng: SmallRng,
-    now: u64,
+    pub(crate) now: u64,
     measure_start: u64,
     warmed_up: bool,
     epoch_prev: crate::stats::CategoryInstructions,
@@ -180,6 +183,9 @@ pub struct EngineCore {
     /// Total completed system calls per benchmark (drives workload phase
     /// shifts).
     syscalls_completed: Vec<u64>,
+    /// Deterministic fault injector, when the configuration has a
+    /// [`crate::faults::FaultPlan`].
+    injector: Option<FaultInjector>,
 }
 
 impl EngineCore {
@@ -333,6 +339,18 @@ impl EngineCore {
             .unwrap_or_else(|| panic!("unknown SuperFunction {id}"))
     }
 
+    fn try_sf(&self, id: SfId) -> Result<&SuperFunction, EngineError> {
+        self.sfs
+            .get(&id)
+            .ok_or(EngineError::UnknownSuperFunction(id))
+    }
+
+    fn try_sf_mut(&mut self, id: SfId) -> Result<&mut SuperFunction, EngineError> {
+        self.sfs
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownSuperFunction(id))
+    }
+
     fn schedule_event(&mut self, time: u64, kind: EventKind) {
         self.event_seq += 1;
         self.events.push(HeapEvent {
@@ -390,12 +408,17 @@ impl EngineCore {
 
     /// Runs one quantum of the core's current SuperFunction. Returns the
     /// boundary reached, if any.
-    fn execute_quantum(&mut self, c: usize) -> Boundary {
-        let sf_id = self.cores[c].current.expect("execute without current SF");
+    fn execute_quantum(&mut self, c: usize) -> Result<Boundary, EngineError> {
+        let sf_id = self.cores[c]
+            .current
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
         let base_cpi = self.cfg.system.base_cpi;
         let quantum = self.cfg.quantum_instructions;
 
-        let sf = self.sfs.get_mut(&sf_id).expect("current SF exists");
+        let sf = self
+            .sfs
+            .get_mut(&sf_id)
+            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
         let domain = if sf.category() == SfCategory::Application {
             CodeDomain::Application
         } else {
@@ -424,8 +447,7 @@ impl EngineCore {
             if let Some(d) = block.data_ref {
                 cycles += self.mem.access_data(c, d.line, d.write, domain);
             }
-            if let (Some(penalty), Some(bp)) =
-                (mispredict_penalty, core.branch_predictor.as_mut())
+            if let (Some(penalty), Some(bp)) = (mispredict_penalty, core.branch_predictor.as_mut())
             {
                 branches += 1;
                 if !bp.predict_and_train(block.line, block.branch_taken) {
@@ -460,7 +482,7 @@ impl EngineCore {
         }
 
         // Advance the body and detect boundaries.
-        match &mut sf.body {
+        let mut boundary = match &mut sf.body {
             SfBody::Application { burst_left } => {
                 *burst_left = burst_left.saturating_sub(executed);
                 if *burst_left == 0 {
@@ -494,13 +516,53 @@ impl EngineCore {
                     Boundary::None
                 }
             }
+        };
+
+        // Fault injection: an SRAM soft error toggles one heatmap bit.
+        // The roll is consumed every quantum so the injector's stream
+        // stays aligned with fault opportunities across techniques.
+        if let Some(bit) = self
+            .injector
+            .as_mut()
+            .and_then(FaultInjector::heatmap_bit_flip)
+        {
+            if let Some(hm) = self.cores[c].heatmap.as_mut() {
+                hm.toggle_bit(bit);
+            }
         }
+
+        // Fault injection: a slow device path delays an OS
+        // SuperFunction's completion by a burst of extra instructions.
+        if boundary == Boundary::Completed {
+            if let Some(extra) = self
+                .injector
+                .as_mut()
+                .and_then(FaultInjector::delay_completion)
+            {
+                let sf = self
+                    .sfs
+                    .get_mut(&sf_id)
+                    .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
+                match &mut sf.body {
+                    SfBody::Syscall { remaining, .. }
+                    | SfBody::Interrupt { remaining, .. }
+                    | SfBody::BottomHalf { remaining, .. } => *remaining += extra,
+                    SfBody::Application { .. } => {}
+                }
+                boundary = Boundary::None;
+            }
+        }
+
+        Ok(boundary)
     }
 
     /// Marks `sf` running on core `c`, counting thread migrations and
     /// resampling the application burst if needed.
-    fn prepare_dispatch(&mut self, c: usize, sf_id: SfId) {
-        let sf = self.sfs.get_mut(&sf_id).expect("dispatch unknown SF");
+    fn prepare_dispatch(&mut self, c: usize, sf_id: SfId) -> Result<(), EngineError> {
+        let sf = self
+            .sfs
+            .get_mut(&sf_id)
+            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
         debug_assert!(
             matches!(sf.state, SfState::Runnable | SfState::Preempted),
             "dispatching SF in state {:?}",
@@ -520,8 +582,7 @@ impl EngineCore {
 
         // Thread-migration accounting (Figure 10): application and
         // system-call SuperFunctions execute in thread context.
-        if tid != KERNEL_TID
-            && matches!(category, SfCategory::Application | SfCategory::SystemCall)
+        if tid != KERNEL_TID && matches!(category, SfCategory::Application | SfCategory::SystemCall)
         {
             let t = &mut self.threads[tid.0 as usize];
             if let Some(prev) = t.last_core {
@@ -544,17 +605,32 @@ impl EngineCore {
 
         self.cores[c].current = Some(sf_id);
         let at = self.cores[c].clock;
-        self.trace
-            .record(TraceEvent::Dispatched { at, sf: sf_id, core: CoreId(c) });
+        self.trace.record(TraceEvent::Dispatched {
+            at,
+            sf: sf_id,
+            core: CoreId(c),
+        });
+        Ok(())
     }
 
     /// Creates a system-call SuperFunction for `tid` on core `c`.
-    fn create_syscall_sf(&mut self, c: usize, tid: ThreadId, parent: SfId) -> SfId {
+    fn create_syscall_sf(
+        &mut self,
+        c: usize,
+        tid: ThreadId,
+        parent: SfId,
+    ) -> Result<SfId, EngineError> {
         let t = &mut self.threads[tid.0 as usize];
         let inst = &self.instances[t.benchmark];
         let progress = self.syscalls_completed[t.benchmark];
         let name = inst.sample_syscall_at(&mut t.rng, progress);
-        let spec = self.catalog.syscall(name);
+        let spec = self
+            .catalog
+            .try_syscall(name)
+            .ok_or_else(|| EngineError::UnknownService {
+                kind: "syscall",
+                name: name.to_string(),
+            })?;
         let len = spec.len.sample(&mut t.rng).max(1);
         let block_mult = inst.spec.blocking_multiplier;
         let block = spec.blocking.and_then(|b| {
@@ -592,17 +668,36 @@ impl EngineCore {
         };
         self.sfs.insert(id, sf);
         let at = self.cores[c].clock;
-        self.trace.record(TraceEvent::Created { at, sf: id, sf_type, tid });
-        id
+        self.trace.record(TraceEvent::Created {
+            at,
+            sf: id,
+            sf_type,
+            tid,
+        });
+        Ok(id)
     }
 
     /// Creates an interrupt SuperFunction on core `c`.
-    fn create_interrupt_sf(&mut self, c: usize, irq_name: &'static str, waiter: Option<SfId>) -> SfId {
-        let spec = self.catalog.interrupt(irq_name);
+    fn create_interrupt_sf(
+        &mut self,
+        c: usize,
+        irq_name: &'static str,
+        waiter: Option<SfId>,
+    ) -> Result<SfId, EngineError> {
+        let spec =
+            self.catalog
+                .try_interrupt(irq_name)
+                .ok_or_else(|| EngineError::UnknownService {
+                    kind: "interrupt",
+                    name: irq_name.to_string(),
+                })?;
         let len = spec.len.sample(&mut self.rng).max(1);
         let id = self.id_alloc.next(CoreId(c));
         let seed = self.cfg.seed ^ id.0.wrapping_mul(0xD134_2543_DE82_EF95);
-        let tid = waiter.map(|w| self.sf(w).tid).unwrap_or(KERNEL_TID);
+        let tid = match waiter {
+            Some(w) => self.try_sf(w)?.tid,
+            None => KERNEL_TID,
+        };
         let walker = FootprintWalker::new(
             Arc::clone(&spec.code),
             Arc::clone(&spec.shared_data),
@@ -627,16 +722,30 @@ impl EngineCore {
             runnable_since: self.cores[c].clock,
         };
         self.sfs.insert(id, sf);
-        id
+        Ok(id)
     }
 
     /// Creates a bottom-half SuperFunction on core `c`.
-    fn create_bottom_half_sf(&mut self, c: usize, name: &'static str, wake: Option<SfId>) -> SfId {
-        let spec = self.catalog.bottom_half(name);
+    fn create_bottom_half_sf(
+        &mut self,
+        c: usize,
+        name: &'static str,
+        wake: Option<SfId>,
+    ) -> Result<SfId, EngineError> {
+        let spec =
+            self.catalog
+                .try_bottom_half(name)
+                .ok_or_else(|| EngineError::UnknownService {
+                    kind: "bottom half",
+                    name: name.to_string(),
+                })?;
         let len = spec.len.sample(&mut self.rng).max(1);
         let id = self.id_alloc.next(CoreId(c));
         let seed = self.cfg.seed ^ id.0.wrapping_mul(0xA076_1D64_78BD_642F);
-        let tid = wake.map(|w| self.sf(w).tid).unwrap_or(KERNEL_TID);
+        let tid = match wake {
+            Some(w) => self.try_sf(w)?.tid,
+            None => KERNEL_TID,
+        };
         let walker = FootprintWalker::new(
             Arc::clone(&spec.code),
             Arc::clone(&spec.shared_data),
@@ -660,7 +769,7 @@ impl EngineCore {
             runnable_since: self.cores[c].clock,
         };
         self.sfs.insert(id, sf);
-        id
+        Ok(id)
     }
 
     fn snapshot_epoch_breakup(&mut self) {
@@ -690,11 +799,26 @@ impl EngineCore {
     }
 }
 
+/// Watchdog bookkeeping for one run.
+#[derive(Debug)]
+struct WatchState {
+    /// Engine steps processed (events plus core quanta).
+    steps: u64,
+    /// Workload-instruction total at the last observed progress.
+    last_instr: u64,
+    /// Simulated cycle of the last observed progress.
+    last_progress_cycle: u64,
+    /// Wall-clock start of the run.
+    started: std::time::Instant,
+}
+
 /// The simulation engine: an [`EngineCore`] plus the scheduling policy.
 pub struct Engine {
     core: EngineCore,
     scheduler: Box<dyn Scheduler>,
     finished: bool,
+    sanitizer: Option<SanitizerState>,
+    watch: WatchState,
 }
 
 impl std::fmt::Debug for Engine {
@@ -709,14 +833,19 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Builds an engine for `workload` under `scheduler`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload is empty.
-    pub fn new(cfg: EngineConfig, workload: &WorkloadSpec, scheduler: Box<dyn Scheduler>) -> Self {
-        assert!(
-            !(workload.parts.is_empty() && workload.custom.is_empty()),
-            "workload must not be empty"
-        );
+    /// Returns [`EngineError::Config`] when the configuration fails
+    /// [`EngineConfig::validate`] or the workload is empty.
+    pub fn new(
+        cfg: EngineConfig,
+        workload: &WorkloadSpec,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        if workload.parts.is_empty() && workload.custom.is_empty() {
+            return Err(ConfigError::EmptyWorkload.into());
+        }
         let mut alloc = PageAllocator::new();
         let catalog = ServiceCatalog::standard(&mut alloc);
         let num_cores = cfg.system.num_cores;
@@ -750,8 +879,7 @@ impl Engine {
             for t in 0..n_threads {
                 let tid = ThreadId(threads.len() as u64);
                 let home = CoreId(threads.len() % num_cores);
-                let private =
-                    Arc::new(inst.private_data(&mut alloc, &format!("b{pi}t{t}")));
+                let private = Arc::new(inst.private_data(&mut alloc, &format!("b{pi}t{t}")));
                 let app_params = WalkParams {
                     hot_fraction: inst.spec.app_hot_fraction,
                     ..WalkParams::default()
@@ -831,7 +959,9 @@ impl Engine {
         stats.per_thread_instructions = vec![0; num_threads];
 
         let cfg_trace_capacity = cfg.trace_capacity;
-        Engine {
+        let injector = cfg.faults.clone().map(FaultInjector::new);
+        let sanitizer = cfg.sanitize.then(|| SanitizerState::new(num_cores));
+        Ok(Engine {
             core: EngineCore {
                 cfg,
                 mem,
@@ -853,10 +983,18 @@ impl Engine {
                 trace: TraceLog::new(cfg_trace_capacity),
                 op_progress: vec![0; num_benchmarks],
                 syscalls_completed: vec![0; num_benchmarks],
+                injector,
             },
             scheduler,
             finished: false,
-        }
+            sanitizer,
+            watch: WatchState {
+                steps: 0,
+                last_instr: 0,
+                last_progress_cycle: 0,
+                started: std::time::Instant::now(),
+            },
+        })
     }
 
     /// Access to the engine state (for inspection in tests and
@@ -872,19 +1010,26 @@ impl Engine {
 
     /// Runs the simulation to completion and returns the statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called twice.
-    pub fn run(&mut self) -> &SimStats {
-        assert!(!self.finished, "engine already ran");
+    /// Returns a typed [`EngineError`] instead of panicking: scheduler
+    /// failures, state corruption, watchdog trips (livelock, event or
+    /// wall-clock budget), and — with [`EngineConfig::sanitize`] —
+    /// invariant violations. Calling it a second time returns
+    /// [`EngineError::AlreadyRan`].
+    pub fn run(&mut self) -> Result<&SimStats, EngineError> {
+        if self.finished {
+            return Err(EngineError::AlreadyRan);
+        }
         self.finished = true;
+        self.watch.started = std::time::Instant::now();
 
-        self.scheduler.init(&mut self.core);
+        self.scheduler.init(&mut self.core)?;
 
         // Enqueue every application SuperFunction.
         let app_sfs: Vec<SfId> = self.core.threads.iter().map(|t| t.app_sf).collect();
         for sf in app_sfs {
-            self.scheduler.enqueue(&mut self.core, sf, None);
+            self.scheduler.enqueue(&mut self.core, sf, None)?;
         }
 
         // Prime periodic events.
@@ -922,19 +1067,61 @@ impl Engine {
                 (None, None) => break,
                 (Some((ct, c)), Some(et)) => {
                     if et <= ct {
-                        self.process_next_event();
+                        self.process_next_event()?;
                     } else {
                         self.core.now = ct;
-                        self.step_core(c);
+                        self.step_core(c)?;
                     }
                 }
                 (Some((ct, c)), None) => {
                     self.core.now = ct;
-                    self.step_core(c);
+                    self.step_core(c)?;
                 }
                 (None, Some(_)) => {
-                    self.process_next_event();
+                    self.process_next_event()?;
                 }
+            }
+
+            // Invariant sanitizer (opt-in): conservation must hold after
+            // every step.
+            if let Some(state) = self.sanitizer.as_mut() {
+                state
+                    .check(&self.core, self.scheduler.as_ref())
+                    .map_err(EngineError::InvariantViolation)?;
+            }
+
+            // Watchdog: convert livelock and runaway runs into structured
+            // errors.
+            self.watch.steps += 1;
+            let instr_now = self.core.stats.instructions.total_workload();
+            if instr_now != self.watch.last_instr {
+                self.watch.last_instr = instr_now;
+                self.watch.last_progress_cycle = self.core.now;
+            } else {
+                let max_stall = self.core.cfg.watchdog.max_stall_cycles;
+                let stalled = self.core.now.saturating_sub(self.watch.last_progress_cycle);
+                if max_stall > 0 && stalled > max_stall {
+                    return Err(EngineError::Livelock {
+                        at_cycle: self.core.now,
+                        stalled_cycles: stalled,
+                        events_processed: self.watch.steps,
+                    });
+                }
+            }
+            let max_events = self.core.cfg.watchdog.max_events;
+            if max_events > 0 && self.watch.steps > max_events {
+                return Err(EngineError::EventBudgetExceeded {
+                    events_processed: self.watch.steps,
+                });
+            }
+            let max_wall_ms = self.core.cfg.watchdog.max_wall_ms;
+            if max_wall_ms > 0
+                && self.watch.steps.is_multiple_of(1024)
+                && self.watch.started.elapsed().as_millis() as u64 > max_wall_ms
+            {
+                return Err(EngineError::WallClockExceeded {
+                    limit_ms: max_wall_ms,
+                });
             }
 
             // Warm-up and stop conditions. After the warm-up reset the
@@ -944,6 +1131,9 @@ impl Engine {
             if !self.core.warmed_up {
                 if workload_instr >= self.core.cfg.warmup_instructions {
                     self.core.reset_for_measurement();
+                    if let Some(state) = self.sanitizer.as_mut() {
+                        state.rebaseline(&self.core);
+                    }
                 }
             } else if workload_instr >= self.core.cfg.max_instructions {
                 break;
@@ -954,7 +1144,7 @@ impl Engine {
         }
 
         self.finalize();
-        &self.core.stats
+        Ok(&self.core.stats)
     }
 
     fn finalize(&mut self) {
@@ -979,11 +1169,38 @@ impl Engine {
         }
         self.core.stats.final_cycle = end.saturating_sub(self.core.measure_start).max(1);
         self.core.stats.mem = self.core.mem.stats().clone();
+        if let Some(inj) = &self.core.injector {
+            self.core.stats.faults = inj.counts();
+        }
+        if let Some(state) = &self.sanitizer {
+            self.core.stats.sanitizer_checks = state.checks;
+        }
     }
 
-    fn process_next_event(&mut self) {
-        let ev = self.core.events.pop().expect("event queue non-empty");
+    fn process_next_event(&mut self) -> Result<(), EngineError> {
+        let ev = self
+            .core
+            .events
+            .pop()
+            .ok_or(EngineError::EventQueueUnderflow)?;
         self.core.now = ev.time;
+
+        // Fault injection: the interrupt carried by this event is lost.
+        // A dropped event is re-raised after the modelled retry delay
+        // (hardware timeout / software re-poll), so wakeups are delayed —
+        // never lost — and slowdown stays bounded.
+        if !matches!(ev.kind, EventKind::Epoch) {
+            if let Some(delay) = self
+                .core
+                .injector
+                .as_mut()
+                .and_then(FaultInjector::drop_irq)
+            {
+                self.core.schedule_event(ev.time + delay, ev.kind);
+                return Ok(());
+            }
+        }
+
         match ev.kind {
             EventKind::DeviceComplete { device, waiter } => {
                 let irq_name = self.core.catalog.interrupt_for_device(device).name;
@@ -994,11 +1211,22 @@ impl Engine {
                 self.deliver_irq(target.0, irq_name, Some(waiter), ev.time);
             }
             EventKind::ExternalIrq { bench } => {
-                let (irq_name, _) = self.core.instances[bench]
-                    .spec
-                    .spontaneous_irq
-                    .expect("external irq only scheduled for rated benchmarks");
-                let irq_id = self.core.catalog.interrupt(irq_name).irq;
+                let Some((irq_name, _)) = self.core.instances[bench].spec.spontaneous_irq else {
+                    return Err(EngineError::StateCorruption {
+                        detail: format!(
+                            "external irq scheduled for benchmark {bench} with no spontaneous rate"
+                        ),
+                    });
+                };
+                let irq_id = self
+                    .core
+                    .catalog
+                    .try_interrupt(irq_name)
+                    .ok_or_else(|| EngineError::UnknownService {
+                        kind: "interrupt",
+                        name: irq_name.to_string(),
+                    })?
+                    .irq;
                 let target = self.scheduler.route_interrupt(&mut self.core, irq_id);
                 self.deliver_irq(target.0, irq_name, None, ev.time);
                 // Re-arm with ±50 % jitter.
@@ -1020,7 +1248,7 @@ impl Engine {
                     self.scheduler
                         .overhead_for(&self.core, SchedEvent::EpochAlloc, None);
                 self.core.charge_sched_overhead(0, overhead);
-                self.scheduler.on_epoch(&mut self.core);
+                self.scheduler.on_epoch(&mut self.core)?;
                 if self.core.cfg.collect_epoch_breakups {
                     self.core.snapshot_epoch_breakup();
                 }
@@ -1028,6 +1256,19 @@ impl Engine {
                     .schedule_event(ev.time + self.core.cfg.epoch_cycles, EventKind::Epoch);
             }
         }
+
+        // Fault injection: a spurious interrupt (no waiting SuperFunction)
+        // lands on a deterministic-random core.
+        let num_cores = self.core.cores.len();
+        let spurious = self
+            .core
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.spurious_irq().then(|| inj.spurious_target(num_cores)));
+        if let Some(target) = spurious {
+            self.deliver_irq(target, "timer_irq", None, self.core.now);
+        }
+        Ok(())
     }
 
     fn deliver_irq(&mut self, c: usize, name: &'static str, waiter: Option<SfId>, raised_at: u64) {
@@ -1039,80 +1280,107 @@ impl Engine {
         self.core.wake_core(c);
     }
 
-    fn step_core(&mut self, c: usize) {
+    fn step_core(&mut self, c: usize) -> Result<(), EngineError> {
+        // 0. Fault injection: the core stalls (SMM excursion / frequency
+        // dip). Queues and pending interrupts stay intact; time is lost.
+        if let Some(stall) = self
+            .core
+            .injector
+            .as_mut()
+            .and_then(FaultInjector::stall_core)
+        {
+            self.core.cores[c].clock += stall;
+            self.core.stats.core_time[c].idle_cycles += stall;
+            return Ok(());
+        }
+
         // 1. Service a pending interrupt: preempt whatever runs.
         if let Some(pending) = self.core.cores[c].pending_irqs.pop_front() {
             if let Some(cur) = self.core.cores[c].current.take() {
                 self.core
                     .sfs
                     .get_mut(&cur)
-                    .expect("current SF exists")
+                    .ok_or(EngineError::UnknownSuperFunction(cur))?
                     .state = SfState::Preempted;
                 self.core.cores[c].preempt_stack.push(cur);
-                self.scheduler
-                    .on_switch_out(&mut self.core, CoreId(c), cur, SwitchReason::Preempted);
+                self.scheduler.on_switch_out(
+                    &mut self.core,
+                    CoreId(c),
+                    cur,
+                    SwitchReason::Preempted,
+                );
             }
             let clock = self.core.cores[c].clock;
             self.core.stats.interrupts_delivered += 1;
-            self.core.stats.interrupt_latency_cycles +=
-                clock.saturating_sub(pending.raised_at);
+            self.core.stats.interrupt_latency_cycles += clock.saturating_sub(pending.raised_at);
             let sf = self
                 .core
-                .create_interrupt_sf(c, pending.name, pending.waiter);
+                .create_interrupt_sf(c, pending.name, pending.waiter)?;
             let overhead = self
                 .scheduler
                 .overhead_for(&self.core, SchedEvent::SfStart, Some(sf));
             self.core.charge_sched_overhead(c, overhead);
-            self.core.prepare_dispatch(c, sf);
+            self.core.prepare_dispatch(c, sf)?;
             self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
-            return;
+            return Ok(());
         }
 
         // 2. Nothing running? Ask the scheduler.
         if self.core.cores[c].current.is_none() {
-            match self.scheduler.pick_next(&mut self.core, CoreId(c)) {
+            match self.scheduler.pick_next(&mut self.core, CoreId(c))? {
                 Some(sf) => {
-                    self.core.prepare_dispatch(c, sf);
+                    self.core.prepare_dispatch(c, sf)?;
                     self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
                 }
                 None => self.core.go_idle(c),
             }
-            return;
+            return Ok(());
         }
 
         // 3. Execute one quantum.
-        match self.core.execute_quantum(c) {
-            Boundary::None => {}
+        match self.core.execute_quantum(c)? {
+            Boundary::None => Ok(()),
             Boundary::AppBurstEnd => self.on_app_burst_end(c),
             Boundary::Blocked(device) => self.on_blocked(c, device),
             Boundary::Completed => self.on_completed(c),
         }
     }
 
-    fn on_app_burst_end(&mut self, c: usize) {
-        let app_sf = self.core.cores[c].current.take().expect("app SF running");
-        let tid = self.core.sf(app_sf).tid;
+    fn on_app_burst_end(&mut self, c: usize) -> Result<(), EngineError> {
+        let app_sf = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        let tid = self.core.try_sf(app_sf)?.tid;
         self.core
             .sfs
             .get_mut(&app_sf)
-            .expect("app SF exists")
+            .ok_or(EngineError::UnknownSuperFunction(app_sf))?
             .state = SfState::PausedForChild;
-        self.scheduler
-            .on_switch_out(&mut self.core, CoreId(c), app_sf, SwitchReason::PausedForChild);
+        self.scheduler.on_switch_out(
+            &mut self.core,
+            CoreId(c),
+            app_sf,
+            SwitchReason::PausedForChild,
+        );
 
-        let syscall_sf = self.core.create_syscall_sf(c, tid, app_sf);
-        let overhead = self
-            .scheduler
-            .overhead_for(&self.core, SchedEvent::SfStart, Some(syscall_sf));
+        let syscall_sf = self.core.create_syscall_sf(c, tid, app_sf)?;
+        let overhead =
+            self.scheduler
+                .overhead_for(&self.core, SchedEvent::SfStart, Some(syscall_sf));
         self.core.charge_sched_overhead(c, overhead);
         self.scheduler
-            .enqueue(&mut self.core, syscall_sf, Some(CoreId(c)));
+            .enqueue(&mut self.core, syscall_sf, Some(CoreId(c)))?;
         self.core.wake_all_idle();
+        Ok(())
     }
 
-    fn on_blocked(&mut self, c: usize, device: DeviceKind) {
-        let sf = self.core.cores[c].current.take().expect("SF running");
-        self.core.sfs.get_mut(&sf).expect("SF exists").state = SfState::Waiting;
+    fn on_blocked(&mut self, c: usize, device: DeviceKind) -> Result<(), EngineError> {
+        let sf = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        self.core.try_sf_mut(sf)?.state = SfState::Waiting;
         let at = self.core.cores[c].clock;
         self.core.trace.record(TraceEvent::Blocked { at, sf });
         self.scheduler
@@ -1131,22 +1399,35 @@ impl Engine {
         let when = self.core.cores[c].clock + latency.max(1);
         self.core
             .schedule_event(when, EventKind::DeviceComplete { device, waiter: sf });
+        Ok(())
     }
 
-    fn on_completed(&mut self, c: usize) {
-        let sf_id = self.core.cores[c].current.take().expect("SF running");
+    fn on_completed(&mut self, c: usize) -> Result<(), EngineError> {
+        let sf_id = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
         let at = self.core.cores[c].clock;
-        self.core.trace.record(TraceEvent::Completed { at, sf: sf_id });
+        self.core
+            .trace
+            .record(TraceEvent::Completed { at, sf: sf_id });
         let overhead = self
             .scheduler
             .overhead_for(&self.core, SchedEvent::SfStop, Some(sf_id));
         self.core.charge_sched_overhead(c, overhead);
-        self.core.sfs.get_mut(&sf_id).expect("SF exists").state = SfState::Done;
+        self.core.try_sf_mut(sf_id)?.state = SfState::Done;
         self.scheduler
             .on_switch_out(&mut self.core, CoreId(c), sf_id, SwitchReason::Completed);
         self.scheduler.on_complete(&mut self.core, sf_id);
 
-        let sf = self.core.sfs.remove(&sf_id).expect("SF exists");
+        let sf = self
+            .core
+            .sfs
+            .remove(&sf_id)
+            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
+        if let Some(state) = self.sanitizer.as_mut() {
+            state.note_completed(sf.instructions_retired);
+        }
         match sf.body {
             SfBody::Syscall { .. } => {
                 // Operation accounting: one application-level operation
@@ -1161,17 +1442,19 @@ impl Engine {
                 }
                 // Return to the parent (the paper's parentSuperFuncPtr
                 // hand-off in TMigrate).
-                let parent = sf.parent.expect("syscalls have a parent");
+                let parent = sf.parent.ok_or_else(|| EngineError::StateCorruption {
+                    detail: format!("syscall {sf_id} completed without a parent"),
+                })?;
                 let p = self
                     .core
                     .sfs
                     .get_mut(&parent)
-                    .expect("parent app SF exists");
+                    .ok_or(EngineError::UnknownSuperFunction(parent))?;
                 debug_assert_eq!(p.state, SfState::PausedForChild);
                 p.state = SfState::Runnable;
                 p.runnable_since = self.core.cores[c].clock;
                 self.scheduler
-                    .enqueue(&mut self.core, parent, Some(CoreId(c)));
+                    .enqueue(&mut self.core, parent, Some(CoreId(c)))?;
             }
             SfBody::Interrupt {
                 bottom_half,
@@ -1179,44 +1462,51 @@ impl Engine {
                 ..
             } => {
                 if let Some(bh_name) = bottom_half {
-                    let bh = self.core.create_bottom_half_sf(c, bh_name, waiter);
+                    let bh = self.core.create_bottom_half_sf(c, bh_name, waiter)?;
                     let overhead =
                         self.scheduler
                             .overhead_for(&self.core, SchedEvent::SfStart, Some(bh));
                     self.core.charge_sched_overhead(c, overhead);
-                    self.scheduler.enqueue(&mut self.core, bh, Some(CoreId(c)));
+                    self.scheduler
+                        .enqueue(&mut self.core, bh, Some(CoreId(c)))?;
                 } else if let Some(w) = waiter {
-                    self.wake_sf(c, w);
+                    self.wake_sf(c, w)?;
                 }
                 // Resume whatever the interrupt preempted.
                 if let Some(prev) = self.core.cores[c].preempt_stack.pop() {
-                    self.core.prepare_dispatch(c, prev);
+                    self.core.prepare_dispatch(c, prev)?;
                     self.scheduler.on_dispatch(&mut self.core, CoreId(c), prev);
                 }
             }
             SfBody::BottomHalf { wake, .. } => {
                 if let Some(w) = wake {
-                    self.wake_sf(c, w);
+                    self.wake_sf(c, w)?;
                 }
             }
             SfBody::Application { .. } => {
-                unreachable!("application SuperFunctions never complete")
+                return Err(EngineError::StateCorruption {
+                    detail: format!("application {sf_id} reached Completed boundary"),
+                });
             }
         }
         self.core.wake_all_idle();
+        Ok(())
     }
 
-    fn wake_sf(&mut self, c: usize, sf: SfId) {
+    fn wake_sf(&mut self, c: usize, sf: SfId) -> Result<(), EngineError> {
         let overhead = self
             .scheduler
             .overhead_for(&self.core, SchedEvent::SfWakeup, Some(sf));
         self.core.charge_sched_overhead(c, overhead);
-        let s = self.core.sfs.get_mut(&sf).expect("woken SF exists");
+        let clock = self.core.cores[c].clock;
+        let s = self.core.try_sf_mut(sf)?;
         debug_assert_eq!(s.state, SfState::Waiting);
         s.state = SfState::Runnable;
-        s.runnable_since = self.core.cores[c].clock;
-        self.scheduler.enqueue(&mut self.core, sf, Some(CoreId(c)));
+        s.runnable_since = clock;
+        self.scheduler
+            .enqueue(&mut self.core, sf, Some(CoreId(c)))?;
         self.core.wake_all_idle();
+        Ok(())
     }
 }
 
@@ -1227,10 +1517,26 @@ mod tests {
     #[test]
     fn heap_events_pop_in_time_order_with_seq_tiebreak() {
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEvent { time: 30, seq: 1, kind: EventKind::Epoch });
-        heap.push(HeapEvent { time: 10, seq: 3, kind: EventKind::Epoch });
-        heap.push(HeapEvent { time: 10, seq: 2, kind: EventKind::TimerTick { core: 0 } });
-        heap.push(HeapEvent { time: 20, seq: 4, kind: EventKind::Epoch });
+        heap.push(HeapEvent {
+            time: 30,
+            seq: 1,
+            kind: EventKind::Epoch,
+        });
+        heap.push(HeapEvent {
+            time: 10,
+            seq: 3,
+            kind: EventKind::Epoch,
+        });
+        heap.push(HeapEvent {
+            time: 10,
+            seq: 2,
+            kind: EventKind::TimerTick { core: 0 },
+        });
+        heap.push(HeapEvent {
+            time: 20,
+            seq: 4,
+            kind: EventKind::Epoch,
+        });
         let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
             .map(|e| (e.time, e.seq))
             .collect();
@@ -1255,14 +1561,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not be empty")]
     fn empty_workload_rejected() {
         let cfg = EngineConfig::fast();
-        let _ = Engine::new(
+        let err = Engine::new(
             cfg,
             &WorkloadSpec::default(),
             Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect_err("empty workload must be rejected");
+        assert_eq!(
+            err,
+            EngineError::Config(crate::error::ConfigError::EmptyWorkload)
         );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = EngineConfig::fast().with_max_instructions(0);
+        let err = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect_err("zero instruction budget must be rejected");
+        assert!(matches!(err, EngineError::Config(_)));
     }
 
     #[test]
@@ -1272,19 +1594,19 @@ mod tests {
 
     #[test]
     fn engine_debug_shows_scheduler_name() {
-        let cfg = EngineConfig::fast()
-            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
+        let cfg =
+            EngineConfig::fast().with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
         let engine = Engine::new(
             cfg,
             &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
             Box::new(crate::scheduler::GlobalFifoScheduler::new()),
-        );
+        )
+        .expect("engine builds");
         let dbg = format!("{engine:?}");
         assert!(dbg.contains("GlobalFifo"));
     }
 
     #[test]
-    #[should_panic(expected = "already ran")]
     fn engine_cannot_run_twice() {
         let cfg = EngineConfig::fast()
             .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
@@ -1293,8 +1615,174 @@ mod tests {
             cfg,
             &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
             Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds");
+        engine.run().expect("first run succeeds");
+        assert_eq!(
+            engine.run().expect_err("second run rejected"),
+            EngineError::AlreadyRan
         );
-        engine.run();
-        engine.run();
+    }
+
+    fn small_engine(cfg: EngineConfig) -> Engine {
+        Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds")
+    }
+
+    #[test]
+    fn sanitized_run_is_clean_and_counts_checks() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000)
+            .with_sanitizer();
+        let mut engine = small_engine(cfg);
+        let stats = engine.run().expect("sanitized run stays clean");
+        assert!(stats.sanitizer_checks > 0, "sanitizer must actually run");
+        assert_eq!(stats.faults.total(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let cfg = EngineConfig::fast()
+                .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+                .with_max_instructions(80_000)
+                .with_faults(crate::faults::FaultPlan::heavy(7));
+            let mut engine = small_engine(cfg);
+            let stats = engine
+                .run()
+                .expect("faulty run degrades gracefully")
+                .clone();
+            (
+                stats.instructions.total_workload(),
+                stats.final_cycle,
+                stats.faults,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + plan must give identical stats");
+        assert!(a.2.total() > 0, "heavy plan must inject something");
+    }
+
+    #[test]
+    fn faulty_run_with_sanitizer_keeps_invariants() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000)
+            .with_faults(crate::faults::FaultPlan::light(3))
+            .with_sanitizer();
+        let mut engine = small_engine(cfg);
+        let stats = engine
+            .run()
+            .expect("fault injection must not break invariants");
+        assert!(stats.sanitizer_checks > 0);
+    }
+
+    /// A scheduler that accepts SuperFunctions and never hands one back:
+    /// time advances through timer ticks but no instructions retire, the
+    /// canonical livelock.
+    #[derive(Debug)]
+    struct BlackHoleScheduler;
+
+    impl crate::scheduler::Scheduler for BlackHoleScheduler {
+        fn name(&self) -> &'static str {
+            "BlackHole"
+        }
+        fn enqueue(
+            &mut self,
+            _ctx: &mut EngineCore,
+            _sf: SfId,
+            _origin: Option<CoreId>,
+        ) -> Result<(), crate::error::SchedError> {
+            Ok(())
+        }
+        fn pick_next(
+            &mut self,
+            _ctx: &mut EngineCore,
+            _core: CoreId,
+        ) -> Result<Option<SfId>, crate::error::SchedError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_livelock() {
+        let mut cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000);
+        cfg.watchdog.max_stall_cycles = 200_000;
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(BlackHoleScheduler),
+        )
+        .expect("engine builds");
+        let err = engine
+            .run()
+            .expect_err("black-hole scheduler must livelock");
+        assert!(
+            matches!(err, EngineError::Livelock { .. }),
+            "expected livelock, got {err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_event_budget() {
+        let mut cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(u64::MAX / 4);
+        cfg.watchdog.max_events = 100;
+        let mut engine = small_engine(cfg);
+        let err = engine.run().expect_err("budget of 100 steps must trip");
+        assert_eq!(
+            err,
+            EngineError::EventBudgetExceeded {
+                events_processed: 101
+            }
+        );
+    }
+
+    #[test]
+    fn scheduler_error_propagates() {
+        #[derive(Debug)]
+        struct FailingScheduler;
+        impl crate::scheduler::Scheduler for FailingScheduler {
+            fn name(&self) -> &'static str {
+                "Failing"
+            }
+            fn enqueue(
+                &mut self,
+                _ctx: &mut EngineCore,
+                _sf: SfId,
+                _origin: Option<CoreId>,
+            ) -> Result<(), crate::error::SchedError> {
+                Err(crate::error::SchedError::CorruptQueue {
+                    core: CoreId(0),
+                    detail: "synthetic".to_string(),
+                })
+            }
+            fn pick_next(
+                &mut self,
+                _ctx: &mut EngineCore,
+                _core: CoreId,
+            ) -> Result<Option<SfId>, crate::error::SchedError> {
+                Ok(None)
+            }
+        }
+        let cfg =
+            EngineConfig::fast().with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(FailingScheduler),
+        )
+        .expect("engine builds");
+        let err = engine.run().expect_err("enqueue failure must propagate");
+        assert!(matches!(err, EngineError::Scheduler(_)));
     }
 }

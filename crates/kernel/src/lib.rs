@@ -14,7 +14,12 @@
 //!   evaluates implements it;
 //! * the [`Engine`], which executes SuperFunctions quantum by quantum
 //!   through the cache hierarchy and collects the statistics every figure
-//!   of the paper reports ([`SimStats`]).
+//!   of the paper reports ([`SimStats`]);
+//! * a robustness layer: typed errors ([`EngineError`], [`SchedError`],
+//!   [`ConfigError`]), a deterministic fault-injection framework
+//!   ([`FaultPlan`]), an opt-in invariant sanitizer
+//!   ([`EngineConfig::sanitize`]), and a per-run watchdog
+//!   ([`WatchdogConfig`]) that converts livelock into a structured error.
 //!
 //! # Examples
 //!
@@ -27,24 +32,31 @@
 //!     .with_system(SystemConfig::table2().with_cores(4))
 //!     .with_max_instructions(200_000);
 //! let workload = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
-//! let mut engine = Engine::new(cfg, &workload, Box::new(GlobalFifoScheduler::new()));
-//! let stats = engine.run();
+//! let mut engine = Engine::new(cfg, &workload, Box::new(GlobalFifoScheduler::new()))
+//!     .expect("valid config");
+//! let stats = engine.run().expect("run succeeds");
 //! assert!(stats.total_instructions() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod ids;
+pub(crate) mod sanitizer;
 pub mod scheduler;
 pub mod stats;
 pub mod superfunction;
 pub mod trace;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, WatchdogConfig};
 pub use engine::{Engine, EngineCore, WorkloadSpec, KERNEL_TID};
+pub use error::{ConfigError, EngineError, SchedError, Violation};
+pub use faults::{FaultCounts, FaultPlan};
 pub use ids::{CoreId, SfId, ThreadId};
 pub use scheduler::{GlobalFifoScheduler, SchedEvent, Scheduler, SwitchReason};
 pub use stats::{CategoryInstructions, CoreTime, SimStats};

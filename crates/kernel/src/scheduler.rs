@@ -8,6 +8,7 @@
 //! TAlloc/TMigrate.
 
 use crate::engine::EngineCore;
+use crate::error::SchedError;
 use crate::ids::{CoreId, SfId};
 
 /// Scheduling events for which a technique may charge an instruction
@@ -51,13 +52,21 @@ pub enum SwitchReason {
 /// and tables it needs. All methods receive the [`EngineCore`] context for
 /// querying SuperFunction metadata, reading the hardware Page-heatmap
 /// registers, and probing caches.
+///
+/// The queue-mutating hooks (`init`, `enqueue`, `pick_next`, `on_epoch`)
+/// are fallible: an implementation that finds its own tables corrupt
+/// returns a [`SchedError`] and the engine aborts that run with a
+/// structured [`crate::EngineError::Scheduler`] instead of panicking —
+/// sweep harnesses then record the diagnosis and continue with the next
+/// cell.
 pub trait Scheduler {
     /// Technique name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
     /// Called once before simulation starts, after all threads exist.
-    fn init(&mut self, ctx: &mut EngineCore) {
+    fn init(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         let _ = ctx;
+        Ok(())
     }
 
     /// A SuperFunction became runnable (newly created or woken). The
@@ -66,11 +75,17 @@ pub trait Scheduler {
     /// triggering event happened (`None` for initial thread creation) —
     /// the paper runs SuperFunctions with no allocation-table entry on
     /// the local core.
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>);
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError>;
 
     /// The core is free; return the next SuperFunction it should run
     /// (possibly stolen from another queue), or `None` to idle.
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId>;
+    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId)
+        -> Result<Option<SfId>, SchedError>;
 
     /// `sf` is about to start or resume executing on `core`.
     fn on_dispatch(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId) {
@@ -78,7 +93,13 @@ pub trait Scheduler {
     }
 
     /// `sf` is leaving `core` for the given reason.
-    fn on_switch_out(&mut self, ctx: &mut EngineCore, core: CoreId, sf: SfId, reason: SwitchReason) {
+    fn on_switch_out(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+        sf: SfId,
+        reason: SwitchReason,
+    ) {
         let _ = (ctx, core, sf, reason);
     }
 
@@ -93,8 +114,22 @@ pub trait Scheduler {
     }
 
     /// An epoch boundary passed.
-    fn on_epoch(&mut self, ctx: &mut EngineCore) {
+    fn on_epoch(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
         let _ = ctx;
+        Ok(())
+    }
+
+    /// Appends every SuperFunction currently held runnable in the
+    /// scheduler's queues to `out` (each exactly once) and returns
+    /// `true`. The invariant sanitizer uses this to check conservation —
+    /// every `Runnable` SuperFunction must sit in exactly one queue and
+    /// on no core. Implementations that keep queues should override; the
+    /// default returns `false`, which tells the sanitizer this scheduler
+    /// does not expose its queues and queue-conservation checks must be
+    /// skipped.
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        let _ = out;
+        false
     }
 
     /// Which core should service interrupts with this IRQ id right now
@@ -163,11 +198,26 @@ impl Scheduler for GlobalFifoScheduler {
         "GlobalFifo"
     }
 
-    fn enqueue(&mut self, _ctx: &mut EngineCore, sf: SfId, _origin: Option<CoreId>) {
+    fn enqueue(
+        &mut self,
+        _ctx: &mut EngineCore,
+        sf: SfId,
+        _origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
         self.queue.push_back(sf);
+        Ok(())
     }
 
-    fn pick_next(&mut self, _ctx: &mut EngineCore, _core: CoreId) -> Option<SfId> {
-        self.queue.pop_front()
+    fn pick_next(
+        &mut self,
+        _ctx: &mut EngineCore,
+        _core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
+        Ok(self.queue.pop_front())
+    }
+
+    fn queued_sfs(&self, out: &mut Vec<SfId>) -> bool {
+        out.extend(self.queue.iter().copied());
+        true
     }
 }

@@ -110,6 +110,14 @@ pub struct SimStats {
     pub final_cycle: u64,
     /// Snapshot of the memory-system statistics.
     pub mem: MemStats,
+    /// Faults actually injected over the whole run (zero unless the run
+    /// had a [`crate::faults::FaultPlan`]). Filled at finalization, so it
+    /// covers warm-up too.
+    pub faults: crate::faults::FaultCounts,
+    /// Invariant-sanitizer passes executed (zero unless
+    /// [`crate::EngineConfig::sanitize`] was set). A successful run with
+    /// a positive count certifies every pass found zero violations.
+    pub sanitizer_checks: u64,
 }
 
 impl SimStats {
@@ -143,7 +151,10 @@ impl SimStats {
         if self.core_time.is_empty() {
             return 0.0;
         }
-        self.core_time.iter().map(CoreTime::idle_fraction).sum::<f64>()
+        self.core_time
+            .iter()
+            .map(CoreTime::idle_fraction)
+            .sum::<f64>()
             / self.core_time.len() as f64
     }
 

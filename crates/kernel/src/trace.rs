@@ -77,7 +77,12 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            TraceEvent::Created { at, sf, sf_type, tid } => {
+            TraceEvent::Created {
+                at,
+                sf,
+                sf_type,
+                tid,
+            } => {
                 write!(f, "{at} CREATE {sf} type={sf_type} {tid}")
             }
             TraceEvent::Dispatched { at, sf, core } => {

@@ -1,8 +1,8 @@
 //! Behavioural tests for the discrete-event engine.
 
 use schedtask_kernel::{
-    CoreId, Engine, EngineConfig, EngineCore, GlobalFifoScheduler, Scheduler, SfId, SimStats,
-    WorkloadSpec,
+    CoreId, Engine, EngineConfig, EngineCore, GlobalFifoScheduler, SchedError, Scheduler, SfId,
+    SimStats, WorkloadSpec,
 };
 use schedtask_sim::{PageHeatmap, SystemConfig};
 use schedtask_workload::{BenchmarkKind, SfCategory};
@@ -18,8 +18,9 @@ fn run_fifo(kind: BenchmarkKind, cores: usize, max_instr: u64) -> SimStats {
         small_cfg(cores, max_instr),
         &WorkloadSpec::single(kind, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    engine.run().clone()
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds").clone()
 }
 
 #[test]
@@ -46,10 +47,14 @@ fn different_seeds_change_timing() {
     let cfg_b = small_cfg(4, 200_000).with_seed(2);
     let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
     let a = Engine::new(cfg_a, &w, Box::new(GlobalFifoScheduler::new()))
+        .expect("engine builds")
         .run()
+        .expect("run succeeds")
         .clone();
     let b = Engine::new(cfg_b, &w, Box::new(GlobalFifoScheduler::new()))
+        .expect("engine builds")
         .run()
+        .expect("run succeeds")
         .clone();
     assert_ne!(a.final_cycle, b.final_cycle);
 }
@@ -57,11 +62,23 @@ fn different_seeds_change_timing() {
 #[test]
 fn all_four_categories_execute() {
     let stats = run_fifo(BenchmarkKind::FileSrv, 4, 800_000);
-    assert!(stats.instructions.application > 0, "no application instructions");
+    assert!(
+        stats.instructions.application > 0,
+        "no application instructions"
+    );
     assert!(stats.instructions.syscall > 0, "no syscall instructions");
-    assert!(stats.instructions.interrupt > 0, "no interrupt instructions");
-    assert!(stats.instructions.bottom_half > 0, "no bottom-half instructions");
-    assert!(stats.instructions.scheduler > 0, "no scheduler instructions");
+    assert!(
+        stats.instructions.interrupt > 0,
+        "no interrupt instructions"
+    );
+    assert!(
+        stats.instructions.bottom_half > 0,
+        "no bottom-half instructions"
+    );
+    assert!(
+        stats.instructions.scheduler > 0,
+        "no scheduler instructions"
+    );
 }
 
 #[test]
@@ -99,8 +116,9 @@ fn epoch_breakups_collected_when_enabled() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    let stats = engine.run();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds");
     assert!(stats.epoch_breakups.len() >= 3, "need several epochs");
     for b in &stats.epoch_breakups {
         let sum: f64 = b.iter().sum();
@@ -127,8 +145,9 @@ fn idle_time_exists_with_single_thread_on_many_cores() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    let stats = engine.run();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds");
     assert!(
         stats.mean_idle_fraction() > 0.5,
         "idle = {}",
@@ -155,11 +174,20 @@ impl Scheduler for HeatmapProbe {
         "HeatmapProbe"
     }
 
-    fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
-        self.inner.enqueue(ctx, sf, origin);
+    fn enqueue(
+        &mut self,
+        ctx: &mut EngineCore,
+        sf: SfId,
+        origin: Option<CoreId>,
+    ) -> Result<(), SchedError> {
+        self.inner.enqueue(ctx, sf, origin)
     }
 
-    fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+    fn pick_next(
+        &mut self,
+        ctx: &mut EngineCore,
+        core: CoreId,
+    ) -> Result<Option<SfId>, SchedError> {
         self.inner.pick_next(ctx, core)
     }
 
@@ -191,8 +219,9 @@ fn heatmap_register_fills_during_execution() {
         small_cfg(2, 150_000),
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(sched),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     assert!(*collected.borrow() > 0, "heatmap register never filled");
 }
 
@@ -206,13 +235,23 @@ fn exact_page_collection_works() {
         fn name(&self) -> &'static str {
             "ExactProbe"
         }
-        fn init(&mut self, ctx: &mut EngineCore) {
+        fn init(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
             ctx.exact_pages_enable(true);
+            Ok(())
         }
-        fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
-            self.inner.enqueue(ctx, sf, origin);
+        fn enqueue(
+            &mut self,
+            ctx: &mut EngineCore,
+            sf: SfId,
+            origin: Option<CoreId>,
+        ) -> Result<(), SchedError> {
+            self.inner.enqueue(ctx, sf, origin)
         }
-        fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+        fn pick_next(
+            &mut self,
+            ctx: &mut EngineCore,
+            core: CoreId,
+        ) -> Result<Option<SfId>, SchedError> {
             self.inner.pick_next(ctx, core)
         }
         fn on_switch_out(
@@ -233,8 +272,9 @@ fn exact_page_collection_works() {
             inner: GlobalFifoScheduler::new(),
             pages: pages.clone(),
         }),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     assert!(*pages.borrow() > 0, "no exact pages collected");
 }
 
@@ -244,8 +284,13 @@ fn multiprogrammed_workload_runs_all_parts() {
         parts: vec![(BenchmarkKind::Find, 0.5), (BenchmarkKind::MailSrvIo, 0.5)],
         custom: Vec::new(),
     };
-    let mut engine = Engine::new(small_cfg(4, 400_000), &w, Box::new(GlobalFifoScheduler::new()));
-    let stats = engine.run();
+    let mut engine = Engine::new(
+        small_cfg(4, 400_000),
+        &w,
+        Box::new(GlobalFifoScheduler::new()),
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds");
     assert_eq!(stats.ops_per_benchmark.len(), 2);
     assert!(stats.ops_per_benchmark.iter().all(|&n| n > 0));
 }
@@ -297,8 +342,9 @@ fn trace_log_captures_lifecycle_when_enabled() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     let trace = engine.engine_core().trace();
     assert!(!trace.is_empty(), "no trace events captured");
     let mut created = 0;
@@ -306,7 +352,17 @@ fn trace_log_captures_lifecycle_when_enabled() {
     let mut completed = 0;
     let mut last_at = 0;
     for e in trace.events() {
-        assert!(e.at() >= last_at || matches!(e, TraceEvent::Dispatched { .. } | TraceEvent::Created { .. } | TraceEvent::Blocked { .. } | TraceEvent::Completed { .. } | TraceEvent::Migrated { .. }));
+        assert!(
+            e.at() >= last_at
+                || matches!(
+                    e,
+                    TraceEvent::Dispatched { .. }
+                        | TraceEvent::Created { .. }
+                        | TraceEvent::Blocked { .. }
+                        | TraceEvent::Completed { .. }
+                        | TraceEvent::Migrated { .. }
+                )
+        );
         last_at = last_at.max(e.at());
         match e {
             TraceEvent::Created { .. } => created += 1,
@@ -329,8 +385,9 @@ fn trace_disabled_by_default() {
         small_cfg(2, 100_000),
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     assert!(engine.engine_core().trace().is_empty());
 }
 
@@ -342,10 +399,14 @@ fn explicit_branch_modelling_charges_mispredictions() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    let stats = engine.run();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds");
     assert!(stats.branches > 0, "no branches counted");
-    assert!(stats.branch_mispredictions > 0, "perfect prediction is implausible");
+    assert!(
+        stats.branch_mispredictions > 0,
+        "perfect prediction is implausible"
+    );
     let acc = stats.branch_accuracy();
     assert!((0.5..1.0).contains(&acc), "accuracy {acc}");
 }
@@ -360,8 +421,9 @@ fn branch_modelling_off_by_default_and_slower_when_on() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    let with_bp = engine.run();
+    )
+    .expect("engine builds");
+    let with_bp = engine.run().expect("run succeeds");
     assert!(
         with_bp.instruction_throughput() < base.instruction_throughput(),
         "mispredict penalties must cost cycles"
@@ -377,8 +439,9 @@ fn nuca_model_runs_and_costs_versus_flat() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Dss, 1.0),
         Box::new(GlobalFifoScheduler::new()),
-    );
-    let nuca = engine.run();
+    )
+    .expect("engine builds");
+    let nuca = engine.run().expect("run succeeds");
     // Both complete; NUCA changes timing but not instruction counts.
     assert_eq!(nuca.total_instructions() > 0, flat.total_instructions() > 0);
     assert_ne!(nuca.final_cycle, flat.final_cycle);
@@ -397,10 +460,19 @@ fn interrupts_run_on_the_routed_core() {
         fn name(&self) -> &'static str {
             "PinnedIrq"
         }
-        fn enqueue(&mut self, ctx: &mut EngineCore, sf: SfId, origin: Option<CoreId>) {
-            self.0.enqueue(ctx, sf, origin);
+        fn enqueue(
+            &mut self,
+            ctx: &mut EngineCore,
+            sf: SfId,
+            origin: Option<CoreId>,
+        ) -> Result<(), SchedError> {
+            self.0.enqueue(ctx, sf, origin)
         }
-        fn pick_next(&mut self, ctx: &mut EngineCore, core: CoreId) -> Option<SfId> {
+        fn pick_next(
+            &mut self,
+            ctx: &mut EngineCore,
+            core: CoreId,
+        ) -> Result<Option<SfId>, SchedError> {
             self.0.pick_next(ctx, core)
         }
         fn on_switch_out(&mut self, _: &mut EngineCore, _: CoreId, _: SfId, _: SwitchReason) {}
@@ -418,8 +490,9 @@ fn interrupts_run_on_the_routed_core() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::FileSrv, 1.0),
         Box::new(PinnedIrq(GlobalFifoScheduler::new())),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     let core_of_irq: Vec<usize> = engine
         .engine_core()
         .trace()

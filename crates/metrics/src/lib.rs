@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod summary;
 
@@ -51,7 +52,11 @@ pub use summary::Summary;
 /// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
 /// ```
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "cosine similarity needs equal-length vectors");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cosine similarity needs equal-length vectors"
+    );
     let mut dot = 0.0;
     let mut norm_a = 0.0;
     let mut norm_b = 0.0;
@@ -98,7 +103,11 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
 /// assert!((kendall_tau_b(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
 /// ```
 pub fn kendall_tau_b(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "kendall tau needs equal-length score slices");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "kendall tau needs equal-length score slices"
+    );
     let n = a.len();
     if n < 2 {
         return 0.0;

@@ -10,11 +10,19 @@ fn main() {
         let code = Arc::new(Footprint::from_regions([&r]));
         let empty = Arc::new(Footprint::new());
         let mut w = FootprintWalker::new(
-            code, empty.clone(), empty.clone(),
-            WalkParams { hot_fraction: hot, ..WalkParams::default() }, 42,
+            code,
+            empty.clone(),
+            empty.clone(),
+            WalkParams {
+                hot_fraction: hot,
+                ..WalkParams::default()
+            },
+            42,
         );
-        let mut l1 = SetAssocCache::new(CacheParams::new(32*1024, 4, 64, 3));
-        for _ in 0..200_000 { l1.access(w.next_block().line); }
+        let mut l1 = SetAssocCache::new(CacheParams::new(32 * 1024, 4, 64, 3));
+        for _ in 0..200_000 {
+            l1.access(w.next_block().line);
+        }
         println!("pages {pages} hot {hot}: i-hit {:.3}", l1.hit_rate());
     }
 }

@@ -128,7 +128,11 @@ mod tests {
         for i in 0..20_000u64 {
             bp.predict_and_train(i % 64, rng.gen_bool(0.5));
         }
-        assert!((0.4..0.6).contains(&bp.accuracy()), "accuracy {}", bp.accuracy());
+        assert!(
+            (0.4..0.6).contains(&bp.accuracy()),
+            "accuracy {}",
+            bp.accuracy()
+        );
     }
 
     #[test]

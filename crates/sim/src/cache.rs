@@ -394,8 +394,14 @@ mod policy_tests {
 
     #[test]
     fn policy_accessor() {
-        assert_eq!(tiny_with(ReplacementPolicy::Fifo).policy(), ReplacementPolicy::Fifo);
-        assert_eq!(SetAssocCache::new(CacheParams::new(256, 2, 64, 1)).policy(), ReplacementPolicy::Lru);
+        assert_eq!(
+            tiny_with(ReplacementPolicy::Fifo).policy(),
+            ReplacementPolicy::Fifo
+        );
+        assert_eq!(
+            SetAssocCache::new(CacheParams::new(256, 2, 64, 1)).policy(),
+            ReplacementPolicy::Lru
+        );
     }
 
     #[test]

@@ -112,7 +112,12 @@ impl HierarchyConfig {
     /// Same hierarchy with a different L1 i-cache capacity (appendix
     /// Table 2 sweeps 16 KB / 32 KB / 64 KB at 4 ways).
     pub fn with_icache_size(mut self, size_bytes: u64) -> Self {
-        self.l1i = CacheParams::new(size_bytes, self.l1i.associativity, self.l1i.line_bytes, self.l1i.latency_cycles);
+        self.l1i = CacheParams::new(
+            size_bytes,
+            self.l1i.associativity,
+            self.l1i.line_bytes,
+            self.l1i.latency_cycles,
+        );
         self
     }
 }
@@ -267,6 +272,34 @@ impl SystemConfig {
     pub fn cycles_in(&self, seconds: f64) -> u64 {
         (seconds * self.clock_hz as f64) as u64
     }
+
+    /// Checks the machine description for nonsense that would otherwise
+    /// surface as a panic deep inside a run (zero cores, a stopped
+    /// clock, non-probability timing fractions). Construction-time
+    /// builders already reject most bad shapes; this covers structs
+    /// assembled field by field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("num_cores must be positive".into());
+        }
+        if self.clock_hz == 0 {
+            return Err("clock_hz must be positive".into());
+        }
+        if !(self.base_cpi.is_finite() && self.base_cpi > 0.0) {
+            return Err(format!(
+                "base_cpi {} must be a positive finite number",
+                self.base_cpi
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.data_overlap_hidden) || !self.data_overlap_hidden.is_finite()
+        {
+            return Err(format!(
+                "data_overlap_hidden {} must be in [0, 1]",
+                self.data_overlap_hidden
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -347,6 +380,20 @@ mod tests {
     fn cycles_conversion() {
         let cfg = SystemConfig::table2();
         assert_eq!(cfg.cycles_in(0.003), 6_000_000);
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_nonsense() {
+        assert!(SystemConfig::table2().validate().is_ok());
+        let mut cfg = SystemConfig::table2();
+        cfg.num_cores = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::table2();
+        cfg.data_overlap_hidden = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::table2();
+        cfg.base_cpi = 0.0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

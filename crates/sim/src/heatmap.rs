@@ -46,7 +46,10 @@ impl PageHeatmap {
     /// is manipulated in word-sized chunks, as the paper's sixteen 32-bit
     /// AND operations suggest).
     pub fn new(num_bits: u32) -> Self {
-        assert!(num_bits > 0 && num_bits.is_multiple_of(64), "width must be a positive multiple of 64");
+        assert!(
+            num_bits > 0 && num_bits.is_multiple_of(64),
+            "width must be a positive multiple of 64"
+        );
         PageHeatmap {
             bits: vec![0; (num_bits / 64) as usize],
             num_bits,
@@ -106,6 +109,17 @@ impl PageHeatmap {
         for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
             *a |= *b;
         }
+    }
+
+    /// Toggles one bit of the register, as an SRAM soft error would.
+    /// `bit` is reduced modulo the register width, so any `u32` is a
+    /// valid input. Used by the kernel's fault injector to model
+    /// heatmap corruption; Bloom semantics degrade (a cleared bit can
+    /// produce a false negative) which is exactly the degradation the
+    /// robustness experiments measure.
+    pub fn toggle_bit(&mut self, bit: u32) {
+        let bit = bit % self.num_bits;
+        self.bits[(bit / 64) as usize] ^= 1u64 << (bit % 64);
     }
 
     /// Number of set bits.
@@ -180,7 +194,10 @@ mod tests {
             a.insert_pfn(pfn);
             b.insert_pfn(pfn + 1000);
         }
-        assert!(a.overlap(&b) <= 1, "collision noise should be tiny at 2048 bits");
+        assert!(
+            a.overlap(&b) <= 1,
+            "collision noise should be tiny at 2048 bits"
+        );
     }
 
     #[test]
@@ -202,6 +219,20 @@ mod tests {
         a.clear();
         assert!(a.is_empty());
         assert_eq!(a.popcount(), 0);
+    }
+
+    #[test]
+    fn toggle_flips_and_restores() {
+        let mut hm = PageHeatmap::new(512);
+        hm.insert_pfn(42);
+        let before = hm.clone();
+        hm.toggle_bit(7);
+        assert_ne!(hm, before);
+        hm.toggle_bit(7);
+        assert_eq!(hm, before);
+        // Out-of-range indices wrap instead of panicking.
+        hm.toggle_bit(u32::MAX);
+        assert_ne!(hm, before);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod branch;
 pub mod cache;
@@ -47,9 +48,7 @@ pub mod trace_cache;
 pub use branch::GshareBranchPredictor;
 pub use cache::{ReplacementPolicy, SetAssocCache};
 pub use coherence::{Directory, LineState, ReadOutcome, WriteOutcome};
-pub use config::{
-    CacheParams, HierarchyConfig, PrefetcherConfig, SystemConfig, TraceCacheConfig,
-};
+pub use config::{CacheParams, HierarchyConfig, PrefetcherConfig, SystemConfig, TraceCacheConfig};
 pub use heatmap::PageHeatmap;
 pub use memory::{MemorySystem, PAGE_BYTES};
 pub use nuca::NucaModel;

@@ -161,16 +161,18 @@ impl MemorySystem {
         }
 
         // Train and trigger the instruction prefetcher.
-        if self.cores[core].prefetcher.is_some() {
-            let predictions = {
-                let p = self.cores[core].prefetcher.as_mut().expect("checked");
+        let predictions = match self.cores[core].prefetcher.as_mut() {
+            Some(p) => {
                 p.observe(line);
                 if l1_hit {
                     Vec::new()
                 } else {
                     p.predict(line)
                 }
-            };
+            }
+            None => Vec::new(),
+        };
+        if !predictions.is_empty() {
             let mut fills = 0;
             for pline in predictions {
                 if !self.cores[core].l1i.probe(pline) {
@@ -184,11 +186,9 @@ impl MemorySystem {
             }
             if fills > 0 {
                 self.stats.prefetch_fills += fills;
-                self.cores[core]
-                    .prefetcher
-                    .as_mut()
-                    .expect("checked")
-                    .note_issued(fills);
+                if let Some(p) = self.cores[core].prefetcher.as_mut() {
+                    p.note_issued(fills);
+                }
             }
         }
 
@@ -262,21 +262,17 @@ impl MemorySystem {
 
         // Stride data prefetcher: train on the demand stream and fill
         // predicted lines into the private hierarchy.
-        if self.cores[core].data_prefetcher.is_some() {
-            let predicted = self
-                .cores[core]
-                .data_prefetcher
-                .as_mut()
-                .expect("checked")
-                .observe(line);
-            for pline in predicted {
-                self.cores[core].l1d.fill(pline);
-                if let Some(l2) = self.cores[core].l2.as_mut() {
-                    l2.fill(pline);
-                }
-                self.llc.fill(pline);
-                self.stats.prefetch_fills += 1;
+        let predicted = match self.cores[core].data_prefetcher.as_mut() {
+            Some(p) => p.observe(line),
+            None => Vec::new(),
+        };
+        for pline in predicted {
+            self.cores[core].l1d.fill(pline);
+            if let Some(l2) = self.cores[core].l2.as_mut() {
+                l2.fill(pline);
             }
+            self.llc.fill(pline);
+            self.stats.prefetch_fills += 1;
         }
 
         let hidden = self.cfg.data_overlap_hidden.clamp(0.0, 1.0);
@@ -299,11 +295,13 @@ impl MemorySystem {
     /// Refills an instruction line from L2/LLC/memory; returns added
     /// cycles.
     fn refill_from_outer(&mut self, core: usize, line: u64) -> u64 {
-        if let Some(l2) = self.cores[core].l2.as_mut() {
+        // Per-core L2s are built from `hierarchy.l2`, so the config is
+        // present whenever the cache is; fall through to the LLC if not.
+        if let (Some(l2), Some(l2_cfg)) = (self.cores[core].l2.as_mut(), self.cfg.hierarchy.l2) {
             let l2_hit = l2.access(line);
             self.stats.l2.record(l2_hit);
             if l2_hit {
-                return self.cfg.hierarchy.l2.expect("l2 exists").latency_cycles;
+                return l2_cfg.latency_cycles;
             }
         }
         let llc_hit = self.llc.access(line);

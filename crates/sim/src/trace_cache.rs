@@ -73,13 +73,17 @@ impl TraceCache {
 
         // Are we in the middle of following a trace?
         if let Some((head, idx)) = self.following {
-            let pos = self.find_trace(head).expect("followed trace must exist");
-            let matches = self.traces[pos].1.get(idx) == Some(&line);
-            if matches {
-                let done = idx + 1 >= self.traces[pos].1.len();
-                self.following = if done { None } else { Some((head, idx + 1)) };
-                self.covered += 1;
-                return true;
+            // A followed trace can only vanish through eviction, which
+            // clears `following`; treat a miss as a divergence anyway.
+            debug_assert!(self.find_trace(head).is_some(), "followed trace must exist");
+            if let Some(pos) = self.find_trace(head) {
+                let matches = self.traces[pos].1.get(idx) == Some(&line);
+                if matches {
+                    let done = idx + 1 >= self.traces[pos].1.len();
+                    self.following = if done { None } else { Some((head, idx + 1)) };
+                    self.covered += 1;
+                    return true;
+                }
             }
             // Diverged from the recorded trace.
             self.following = None;
@@ -89,10 +93,11 @@ impl TraceCache {
         if let Some(pos) = self.find_trace(line) {
             // Refresh LRU and start following (the head itself still costs
             // one i-cache access — only subsequent lines are covered).
-            let t = self.traces.remove(pos).expect("position valid");
-            self.traces.push_front(t);
-            if self.traces[0].1.len() > 1 {
-                self.following = Some((line, 1));
+            if let Some(t) = self.traces.remove(pos) {
+                self.traces.push_front(t);
+                if self.traces[0].1.len() > 1 {
+                    self.following = Some((line, 1));
+                }
             }
             self.record(line);
             return false;

@@ -136,11 +136,26 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 0,
                 app_burst: LenDist::uniform(1_200, 3_400),
                 syscall_mix: vec![
-                    SyscallMix { name: "getdents", weight: 0.30 },
-                    SyscallMix { name: "stat", weight: 0.30 },
-                    SyscallMix { name: "open", weight: 0.15 },
-                    SyscallMix { name: "close", weight: 0.15 },
-                    SyscallMix { name: "read", weight: 0.10 },
+                    SyscallMix {
+                        name: "getdents",
+                        weight: 0.30,
+                    },
+                    SyscallMix {
+                        name: "stat",
+                        weight: 0.30,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.15,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.15,
+                    },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.10,
+                    },
                 ],
                 op_syscalls: 4,
                 blocking_multiplier: 0.15,
@@ -158,11 +173,26 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 0,
                 app_burst: LenDist::uniform(10_000, 22_000),
                 syscall_mix: vec![
-                    SyscallMix { name: "sock_read", weight: 0.50 },
-                    SyscallMix { name: "write", weight: 0.35 },
-                    SyscallMix { name: "open", weight: 0.05 },
-                    SyscallMix { name: "close", weight: 0.05 },
-                    SyscallMix { name: "futex", weight: 0.05 },
+                    SyscallMix {
+                        name: "sock_read",
+                        weight: 0.50,
+                    },
+                    SyscallMix {
+                        name: "write",
+                        weight: 0.35,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "futex",
+                        weight: 0.05,
+                    },
                 ],
                 op_syscalls: 2,
                 blocking_multiplier: 0.5,
@@ -180,11 +210,26 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 0,
                 app_burst: LenDist::uniform(9_000, 20_000),
                 syscall_mix: vec![
-                    SyscallMix { name: "sendto", weight: 0.50 },
-                    SyscallMix { name: "read", weight: 0.35 },
-                    SyscallMix { name: "open", weight: 0.05 },
-                    SyscallMix { name: "close", weight: 0.05 },
-                    SyscallMix { name: "futex", weight: 0.05 },
+                    SyscallMix {
+                        name: "sendto",
+                        weight: 0.50,
+                    },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.35,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "futex",
+                        weight: 0.05,
+                    },
                 ],
                 op_syscalls: 2,
                 blocking_multiplier: 0.5,
@@ -202,14 +247,38 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 16,
                 app_burst: LenDist::uniform(3_500, 7_500),
                 syscall_mix: vec![
-                    SyscallMix { name: "accept", weight: 0.15 },
-                    SyscallMix { name: "recvfrom", weight: 0.25 },
-                    SyscallMix { name: "sendto", weight: 0.25 },
-                    SyscallMix { name: "read", weight: 0.10 },
-                    SyscallMix { name: "stat", weight: 0.10 },
-                    SyscallMix { name: "open", weight: 0.05 },
-                    SyscallMix { name: "close", weight: 0.05 },
-                    SyscallMix { name: "epoll_wait", weight: 0.05 },
+                    SyscallMix {
+                        name: "accept",
+                        weight: 0.15,
+                    },
+                    SyscallMix {
+                        name: "recvfrom",
+                        weight: 0.25,
+                    },
+                    SyscallMix {
+                        name: "sendto",
+                        weight: 0.25,
+                    },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "stat",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "epoll_wait",
+                        weight: 0.05,
+                    },
                 ],
                 op_syscalls: 6,
                 blocking_multiplier: 0.8,
@@ -227,10 +296,22 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 64,
                 app_burst: LenDist::uniform(14_000, 26_000),
                 syscall_mix: vec![
-                    SyscallMix { name: "read", weight: 0.45 },
-                    SyscallMix { name: "pread", weight: 0.35 },
-                    SyscallMix { name: "write", weight: 0.10 },
-                    SyscallMix { name: "futex", weight: 0.10 },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.45,
+                    },
+                    SyscallMix {
+                        name: "pread",
+                        weight: 0.35,
+                    },
+                    SyscallMix {
+                        name: "write",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "futex",
+                        weight: 0.10,
+                    },
                 ],
                 op_syscalls: 12,
                 blocking_multiplier: 0.2,
@@ -248,14 +329,38 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 8,
                 app_burst: LenDist::uniform(2_200, 4_600),
                 syscall_mix: vec![
-                    SyscallMix { name: "read", weight: 0.25 },
-                    SyscallMix { name: "write", weight: 0.25 },
-                    SyscallMix { name: "creat", weight: 0.10 },
-                    SyscallMix { name: "unlink", weight: 0.10 },
-                    SyscallMix { name: "open", weight: 0.10 },
-                    SyscallMix { name: "close", weight: 0.10 },
-                    SyscallMix { name: "fsync", weight: 0.05 },
-                    SyscallMix { name: "stat", weight: 0.05 },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.25,
+                    },
+                    SyscallMix {
+                        name: "write",
+                        weight: 0.25,
+                    },
+                    SyscallMix {
+                        name: "creat",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "unlink",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "fsync",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "stat",
+                        weight: 0.05,
+                    },
                 ],
                 op_syscalls: 5,
                 blocking_multiplier: 1.4,
@@ -273,14 +378,38 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 8,
                 app_burst: LenDist::uniform(500, 1_400),
                 syscall_mix: vec![
-                    SyscallMix { name: "read", weight: 0.30 },
-                    SyscallMix { name: "write", weight: 0.30 },
-                    SyscallMix { name: "open", weight: 0.10 },
-                    SyscallMix { name: "close", weight: 0.10 },
-                    SyscallMix { name: "creat", weight: 0.05 },
-                    SyscallMix { name: "unlink", weight: 0.05 },
-                    SyscallMix { name: "fsync", weight: 0.05 },
-                    SyscallMix { name: "stat", weight: 0.05 },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.30,
+                    },
+                    SyscallMix {
+                        name: "write",
+                        weight: 0.30,
+                    },
+                    SyscallMix {
+                        name: "open",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "close",
+                        weight: 0.10,
+                    },
+                    SyscallMix {
+                        name: "creat",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "unlink",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "fsync",
+                        weight: 0.05,
+                    },
+                    SyscallMix {
+                        name: "stat",
+                        weight: 0.05,
+                    },
                 ],
                 op_syscalls: 4,
                 blocking_multiplier: 0.12,
@@ -298,10 +427,22 @@ impl BenchmarkSpec {
                 app_shared_data_pages: 64,
                 app_burst: LenDist::uniform(11_000, 21_000),
                 syscall_mix: vec![
-                    SyscallMix { name: "pread", weight: 0.40 },
-                    SyscallMix { name: "read", weight: 0.20 },
-                    SyscallMix { name: "write", weight: 0.20 },
-                    SyscallMix { name: "futex", weight: 0.20 },
+                    SyscallMix {
+                        name: "pread",
+                        weight: 0.40,
+                    },
+                    SyscallMix {
+                        name: "read",
+                        weight: 0.20,
+                    },
+                    SyscallMix {
+                        name: "write",
+                        weight: 0.20,
+                    },
+                    SyscallMix {
+                        name: "futex",
+                        weight: 0.20,
+                    },
                 ],
                 op_syscalls: 10,
                 blocking_multiplier: 0.2,
@@ -433,7 +574,10 @@ impl BenchmarkInstance {
                 return name;
             }
         }
-        cdf.last().expect("mix is non-empty").1
+        // Static mixes are never empty; fall back to a name the kernel
+        // maps to a typed UnknownService error rather than panicking.
+        debug_assert!(!cdf.is_empty(), "syscall mix must be non-empty");
+        cdf.last().map_or("<empty-mix>", |&(_, name)| name)
     }
 
     /// Allocates a fresh per-thread private data footprint.
@@ -488,11 +632,26 @@ mod tests {
     fn paper_thread_counts_at_32_cores() {
         // Apache: 96 simultaneous requests = 3 per core; FileSrv: 400
         // threads; MailSrvIO and OLTP: 96 threads.
-        assert_eq!(BenchmarkSpec::for_kind(BenchmarkKind::Apache).threads(32, 1.0), 96);
-        assert_eq!(BenchmarkSpec::for_kind(BenchmarkKind::FileSrv).threads(32, 1.0), 400);
-        assert_eq!(BenchmarkSpec::for_kind(BenchmarkKind::MailSrvIo).threads(32, 1.0), 96);
-        assert_eq!(BenchmarkSpec::for_kind(BenchmarkKind::Oltp).threads(32, 1.0), 96);
-        assert_eq!(BenchmarkSpec::for_kind(BenchmarkKind::Find).threads(32, 1.0), 32);
+        assert_eq!(
+            BenchmarkSpec::for_kind(BenchmarkKind::Apache).threads(32, 1.0),
+            96
+        );
+        assert_eq!(
+            BenchmarkSpec::for_kind(BenchmarkKind::FileSrv).threads(32, 1.0),
+            400
+        );
+        assert_eq!(
+            BenchmarkSpec::for_kind(BenchmarkKind::MailSrvIo).threads(32, 1.0),
+            96
+        );
+        assert_eq!(
+            BenchmarkSpec::for_kind(BenchmarkKind::Oltp).threads(32, 1.0),
+            96
+        );
+        assert_eq!(
+            BenchmarkSpec::for_kind(BenchmarkKind::Find).threads(32, 1.0),
+            32
+        );
     }
 
     #[test]

@@ -157,7 +157,12 @@ impl Footprint {
 
 impl std::fmt::Display for Footprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} pages ({} KB)", self.num_pages(), self.num_pages() * 4)
+        write!(
+            f,
+            "{} pages ({} KB)",
+            self.num_pages(),
+            self.num_pages() * 4
+        )
     }
 }
 

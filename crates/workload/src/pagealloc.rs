@@ -54,7 +54,11 @@ impl PageAllocator {
 
     /// Allocates fresh anonymous pages (never shared, never reused).
     pub fn anonymous(&mut self, tag: &str, pages: u64) -> Region {
-        let r = Region::new(format!("anon:{tag}:{}", self.next_page), self.next_page, pages);
+        let r = Region::new(
+            format!("anon:{tag}:{}", self.next_page),
+            self.next_page,
+            pages,
+        );
         self.next_page += pages;
         r
     }

@@ -560,6 +560,23 @@ impl ServiceCatalog {
             .unwrap_or_else(|| panic!("unknown bottom half {name:?}"))
     }
 
+    /// Looks up a system call by name, returning `None` if unknown (the
+    /// engine's typed-error path; the panicking accessors remain for
+    /// callers with static names).
+    pub fn try_syscall(&self, name: &str) -> Option<&SyscallSpec> {
+        self.syscalls.get(name)
+    }
+
+    /// Looks up an interrupt handler by name, returning `None` if unknown.
+    pub fn try_interrupt(&self, name: &str) -> Option<&InterruptSpec> {
+        self.interrupts.get(name)
+    }
+
+    /// Looks up a bottom-half handler by name, returning `None` if unknown.
+    pub fn try_bottom_half(&self, name: &str) -> Option<&BottomHalfSpec> {
+        self.bottom_halves.get(name)
+    }
+
     /// The interrupt raised when `device` completes a request.
     pub fn interrupt_for_device(&self, device: DeviceKind) -> &InterruptSpec {
         match device {

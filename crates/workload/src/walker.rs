@@ -230,7 +230,13 @@ mod tests {
     }
 
     fn walker(seed: u64) -> FootprintWalker {
-        FootprintWalker::new(fp(0, 8), fp(100, 4), fp(200, 2), WalkParams::default(), seed)
+        FootprintWalker::new(
+            fp(0, 8),
+            fp(100, 4),
+            fp(200, 2),
+            WalkParams::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -246,7 +252,10 @@ mod tests {
         for _ in 0..1000 {
             let b = w.next_block();
             let page = b.line / LINES_PER_PAGE;
-            assert!(code.pages().contains(&page), "page {page} outside footprint");
+            assert!(
+                code.pages().contains(&page),
+                "page {page} outside footprint"
+            );
         }
     }
 
@@ -338,7 +347,13 @@ mod tests {
     #[should_panic(expected = "empty code footprint")]
     fn empty_code_rejected() {
         let empty = Arc::new(Footprint::new());
-        FootprintWalker::new(empty.clone(), empty.clone(), empty, WalkParams::default(), 1);
+        FootprintWalker::new(
+            empty.clone(),
+            empty.clone(),
+            empty,
+            WalkParams::default(),
+            1,
+        );
     }
 
     #[test]

@@ -19,14 +19,16 @@ fn any_params() -> impl Strategy<Value = WalkParams> {
         0.0f64..1.0,
         0.0f64..0.9,
     )
-        .prop_map(|(instr, p_jump, hot_fraction, hot_bias, p_data)| WalkParams {
-            instr_per_line: instr,
-            p_jump,
-            hot_fraction,
-            hot_bias,
-            p_data,
-            ..WalkParams::default()
-        })
+        .prop_map(
+            |(instr, p_jump, hot_fraction, hot_bias, p_data)| WalkParams {
+                instr_per_line: instr,
+                p_jump,
+                hot_fraction,
+                hot_bias,
+                p_data,
+                ..WalkParams::default()
+            },
+        )
 }
 
 proptest! {
@@ -127,7 +129,10 @@ mod phase_shift {
         let mut alloc = PageAllocator::new();
         let spec = BenchmarkSpec::for_kind(BenchmarkKind::Find).with_phase_shift(
             100,
-            vec![SyscallMix { name: "sendto", weight: 1.0 }],
+            vec![SyscallMix {
+                name: "sendto",
+                weight: 1.0,
+            }],
         );
         let inst = BenchmarkInstance::new(spec, &mut alloc);
         let mut rng = SmallRng::seed_from_u64(1);

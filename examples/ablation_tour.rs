@@ -17,22 +17,39 @@ fn main() {
 
     println!("Design-choice ablations (8 cores, reduced budget)\n");
 
-    println!("{}", ablations::software_rendition_table(&p));
+    println!(
+        "{}",
+        ablations::software_rendition_table(&p).expect("table runs")
+    );
     println!("→ The hardware register is what makes the Page-heatmap viable.\n");
 
-    println!("{}", ablations::realloc_threshold_table(&p, &[0.0, 0.9, 0.98, 1.01]));
+    println!(
+        "{}",
+        ablations::realloc_threshold_table(&p, &[0.0, 0.9, 0.98, 1.01]).expect("table runs")
+    );
     println!("→ The paper's 0.98 trigger sits at the sweet spot between\n  adapting to drift and churning core allocations.\n");
 
-    println!("{}", ablations::migration_cost_table(&p, &[0, 100, 400, 1_600]));
+    println!(
+        "{}",
+        ablations::migration_cost_table(&p, &[0, 100, 400, 1_600]).expect("table runs")
+    );
     println!("→ SchedTask's migrations must be cheap — the hardware assist matters.\n");
 
-    println!("{}", ablations::replacement_policy_table(&p));
+    println!(
+        "{}",
+        ablations::replacement_policy_table(&p).expect("table runs")
+    );
     println!("→ The benefit is about which lines compete, not replacement details.\n");
 
-    println!("{}", ablations::branch_model_table(&p));
-    println!("{}", ablations::nuca_table(&p));
-    println!("→ Explicit branch and NUCA modelling shift absolute numbers, not\n  the conclusion.\n");
+    println!("{}", ablations::branch_model_table(&p).expect("table runs"));
+    println!("{}", ablations::nuca_table(&p).expect("table runs"));
+    println!(
+        "→ Explicit branch and NUCA modelling shift absolute numbers, not\n  the conclusion.\n"
+    );
 
-    println!("{}", table4_workload::beyond_8x_table(&p, &[2.0, 8.0, 12.0]));
+    println!(
+        "{}",
+        table4_workload::beyond_8x_table(&p, &[2.0, 8.0, 12.0]).expect("table runs")
+    );
     println!("→ Past 8X the machine saturates and the benefit rolls off\n  (Section 6.3's closing observation).");
 }

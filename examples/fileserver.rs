@@ -24,7 +24,10 @@ fn main() {
     params.warmup_instructions = 3_000_000;
     for kind in [BenchmarkKind::FileSrv, BenchmarkKind::Find] {
         let workload = WorkloadSpec::single(kind, 2.0);
-        println!("{}, 2X workload, 32 cores — SchedTask stealing strategies\n", kind.name());
+        println!(
+            "{}, 2X workload, 32 cores — SchedTask stealing strategies\n",
+            kind.name()
+        );
         println!(
             "{:<28} {:>8} {:>12} {:>12}",
             "strategy", "idle(%)", "IPC/core", "i-hit(%)"
@@ -37,7 +40,8 @@ fn main() {
                     ..SchedTaskConfig::default()
                 },
             );
-            let stats = runner::run_with_scheduler(Box::new(sched), &params, &workload);
+            let stats = runner::run_with_scheduler(Box::new(sched), &params, &workload)
+                .expect("run succeeds");
             println!(
                 "{:<28} {:>8.1} {:>12.3} {:>12.1}",
                 policy.to_string(),

@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_suite::baselines::LinuxScheduler;
+use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_suite::kernel::{Engine, EngineConfig, Scheduler, SimStats, WorkloadSpec};
 use schedtask_suite::sim::SystemConfig;
 use schedtask_suite::workload::BenchmarkKind;
@@ -21,8 +21,9 @@ fn run(name: &str, scheduler: Box<dyn Scheduler>, cores: usize) -> SimStats {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Apache, 2.0),
         scheduler,
-    );
-    let stats = engine.run().clone();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds").clone();
     println!(
         "{name:<10}  IPC/core {:.3}   i-hit app {:.1}% / OS {:.1}%   idle {:.1}%   pages served/s {:.0}",
         stats.instruction_throughput() / cores as f64,

@@ -29,8 +29,12 @@ fn main() {
     params.warmup_instructions = 125_000 * cores as u64;
     let workload = WorkloadSpec::single(kind, 2.0);
 
-    println!("{} at 2X on {cores} cores (SelectiveOffload uses {} cores)\n", kind.name(), cores * 2);
-    let base = runner::run(Technique::Linux, &params, &workload);
+    println!(
+        "{} at 2X on {cores} cores (SelectiveOffload uses {} cores)\n",
+        kind.name(),
+        cores * 2
+    );
+    let base = runner::run(Technique::Linux, &params, &workload).expect("baseline run succeeds");
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>9} {:>12}",
         "technique", "Δperf%", "Δipc%", "idle%", "i-hit%", "migr/Binstr"
@@ -45,7 +49,7 @@ fn main() {
         base.migrations_per_billion_instructions(),
     );
     for t in Technique::compared() {
-        let s = runner::run(t, &params, &workload);
+        let s = runner::run(t, &params, &workload).expect("run succeeds");
         println!(
             "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>12.0}",
             t.name(),

@@ -25,24 +25,31 @@ fn main() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
         Technique::Linux.scheduler(params.cores),
-    );
-    let stats = engine.run();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds");
     let b = stats.instructions.breakup_percent();
     println!("Apache instruction breakup (cf. Figure 4):");
-    println!("  application   {:>5.1}%   (request parsing, page generation)", b[0]);
-    println!("  system calls  {:>5.1}%   (accept/recv/send/read...)", b[1]);
+    println!(
+        "  application   {:>5.1}%   (request parsing, page generation)",
+        b[0]
+    );
+    println!(
+        "  system calls  {:>5.1}%   (accept/recv/send/read...)",
+        b[1]
+    );
     println!("  interrupts    {:>5.1}%   (network card)", b[2]);
     println!("  bottom halves {:>5.1}%   (net_rx softirq)", b[3]);
     println!();
 
     // 2. Compare all techniques.
-    let base = runner::run(Technique::Linux, &params, &workload);
+    let base = runner::run(Technique::Linux, &params, &workload).expect("run succeeds");
     println!(
         "{:<18} {:>9} {:>8} {:>10} {:>10}",
         "technique", "Δperf(%)", "idle(%)", "i-OS(pp)", "d-OS(pp)"
     );
     for t in Technique::compared() {
-        let s = runner::run(t, &params, &workload);
+        let s = runner::run(t, &params, &workload).expect("run succeeds");
         println!(
             "{:<18} {:>9.1} {:>8.1} {:>10.1} {:>10.1}",
             t.name(),

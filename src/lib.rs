@@ -36,12 +36,15 @@
 //!     cfg,
 //!     &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
 //!     Box::new(SchedTaskScheduler::new(cores, SchedTaskConfig::default())),
-//! );
-//! assert!(engine.run().total_instructions() > 0);
+//! )
+//! .expect("valid config");
+//! let stats = engine.run().expect("run succeeds");
+//! assert!(stats.total_instructions() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 /// The paper's contribution: the SchedTask scheduler.
 pub use schedtask as core;

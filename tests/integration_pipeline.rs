@@ -68,14 +68,19 @@ fn check_invariants(name: &str, kind: &str, stats: &SimStats) {
 
 #[test]
 fn every_technique_runs_every_workload_shape() {
-    for kind in [BenchmarkKind::Find, BenchmarkKind::Apache, BenchmarkKind::FileSrv] {
+    for kind in [
+        BenchmarkKind::Find,
+        BenchmarkKind::Apache,
+        BenchmarkKind::FileSrv,
+    ] {
         for (name, sched) in schedulers() {
             let mut engine = Engine::new(
                 engine_config(400_000),
                 &WorkloadSpec::single(kind, 1.0),
                 sched,
-            );
-            let stats = engine.run().clone();
+            )
+            .expect("engine builds");
+            let stats = engine.run().expect("run succeeds").clone();
             check_invariants(name, kind.name(), &stats);
         }
     }
@@ -88,8 +93,9 @@ fn multiprogrammed_bags_run_under_schedtask() {
             engine_config(400_000),
             &WorkloadSpec::from(bag),
             Box::new(SchedTaskScheduler::new(CORES, SchedTaskConfig::default())),
-        );
-        let stats = engine.run().clone();
+        )
+        .expect("engine builds");
+        let stats = engine.run().expect("run succeeds").clone();
         check_invariants("SchedTask", bag.name, &stats);
         assert_eq!(stats.ops_per_benchmark.len(), bag.parts.len());
     }
@@ -103,8 +109,9 @@ fn full_pipeline_is_deterministic_per_technique() {
                 engine_config(200_000),
                 &WorkloadSpec::single(BenchmarkKind::MailSrvIo, 1.0),
                 sched,
-            );
-            engine.run().clone()
+            )
+            .expect("engine builds");
+            engine.run().expect("run succeeds").clone()
         };
         let (a, b) = {
             let mut s = schedulers();
@@ -137,14 +144,16 @@ fn schedtask_beats_baseline_on_oscillating_workloads() {
         engine_config(1_500_000),
         &WorkloadSpec::single(BenchmarkKind::MailSrvIo, 2.0),
         Box::new(LinuxScheduler::new(CORES)),
-    );
-    let base = base_engine.run().clone();
+    )
+    .expect("engine builds");
+    let base = base_engine.run().expect("run succeeds").clone();
     let mut st_engine = Engine::new(
         engine_config(1_500_000),
         &WorkloadSpec::single(BenchmarkKind::MailSrvIo, 2.0),
         Box::new(SchedTaskScheduler::new(CORES, SchedTaskConfig::default())),
-    );
-    let st = st_engine.run().clone();
+    )
+    .expect("engine builds");
+    let st = st_engine.run().expect("run succeeds").clone();
     assert!(
         st.instruction_throughput() > base.instruction_throughput() * 0.98,
         "SchedTask {:.3} should not trail Linux {:.3}",
@@ -171,8 +180,9 @@ fn selective_offload_runs_with_doubled_cores() {
         cfg,
         &WorkloadSpec::single(BenchmarkKind::Apache, 1.0),
         Box::new(SelectiveOffloadScheduler::new(CORES * 2)),
-    );
-    let stats = engine.run().clone();
+    )
+    .expect("engine builds");
+    let stats = engine.run().expect("run succeeds").clone();
     check_invariants("SelectiveOffload2x", "Apache", &stats);
     assert_eq!(stats.core_time.len(), CORES * 2);
 }

@@ -16,8 +16,9 @@ fn run_with(cfg: SchedTaskConfig, kind: BenchmarkKind, max_instr: u64) -> SimSta
         ecfg,
         &WorkloadSpec::single(kind, 2.0),
         Box::new(SchedTaskScheduler::new(CORES, cfg)),
-    );
-    engine.run().clone()
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds").clone()
 }
 
 #[test]
@@ -90,9 +91,14 @@ fn schedtask_separates_footprints() {
         ecfg.clone(),
         &WorkloadSpec::single(BenchmarkKind::MailSrvIo, 2.0),
         Box::new(LinuxScheduler::new(CORES)),
+    )
+    .expect("engine builds");
+    let base = base_engine.run().expect("run succeeds").clone();
+    let st = run_with(
+        SchedTaskConfig::default(),
+        BenchmarkKind::MailSrvIo,
+        1_200_000,
     );
-    let base = base_engine.run().clone();
-    let st = run_with(SchedTaskConfig::default(), BenchmarkKind::MailSrvIo, 1_200_000);
     assert!(
         st.mem.icache_overall_hit_rate() > base.mem.icache_overall_hit_rate(),
         "SchedTask i-hit {:.3} vs baseline {:.3}",
@@ -114,8 +120,9 @@ fn schedtask_migrates_threads_aggressively() {
         ecfg,
         &WorkloadSpec::single(BenchmarkKind::Apache, 2.0),
         Box::new(LinuxScheduler::new(CORES)),
-    );
-    let base = base_engine.run().clone();
+    )
+    .expect("engine builds");
+    let base = base_engine.run().expect("run succeeds").clone();
     let st = run_with(SchedTaskConfig::default(), BenchmarkKind::Apache, 600_000);
     assert!(
         st.migrations_per_billion_instructions()
@@ -145,8 +152,9 @@ fn ranking_inspector_collects_epochs() {
         ecfg,
         &WorkloadSpec::single(BenchmarkKind::FileSrv, 1.0),
         Box::new(sched),
-    );
-    engine.run();
+    )
+    .expect("engine builds");
+    engine.run().expect("run succeeds");
     let snaps = inspector.borrow();
     assert!(!snaps.is_empty(), "no TAlloc snapshots");
     // Every recorded row pairs a Bloom score with an exact score.
@@ -171,8 +179,14 @@ fn talloc_reallocates_when_the_workload_phase_shifts() {
             spec = spec.with_phase_shift(
                 120,
                 vec![
-                    SyscallMix { name: "sendto", weight: 0.5 },
-                    SyscallMix { name: "recvfrom", weight: 0.5 },
+                    SyscallMix {
+                        name: "sendto",
+                        weight: 0.5,
+                    },
+                    SyscallMix {
+                        name: "recvfrom",
+                        weight: 0.5,
+                    },
                 ],
             );
         }
@@ -183,12 +197,9 @@ fn talloc_reallocates_when_the_workload_phase_shifts() {
         ecfg.epoch_cycles = 40_000;
         ecfg.collect_epoch_breakups = true;
         let sched = SchedTaskScheduler::new(CORES, SchedTaskConfig::default());
-        let mut engine = Engine::new(
-            ecfg,
-            &WorkloadSpec::custom(spec, 2.0),
-            Box::new(sched),
-        );
-        engine.run().clone()
+        let mut engine = Engine::new(ecfg, &WorkloadSpec::custom(spec, 2.0), Box::new(sched))
+            .expect("engine builds");
+        engine.run().expect("run succeeds").clone()
     };
 
     let stable = run(false);

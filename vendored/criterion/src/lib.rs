@@ -1,0 +1,131 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides just enough API for the repository's `[[bench]]` targets to
+//! compile and produce useful wall-clock numbers without network access:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. No statistical analysis, plots, or saved
+//! baselines — each benchmark runs a calibrated number of iterations and
+//! prints the mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub mod measurement {
+    //! Measurement markers (only wall-clock time exists here).
+
+    /// Wall-clock time measurement marker.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:>12.3?} per iter ({} iters, {:.3?} total)",
+            self.name, id, per_iter, b.iters, b.elapsed
+        );
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,352 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace-local
+//! crate re-implements the subset of proptest's API that the repository's
+//! property tests use: the [`proptest!`] macro, range/tuple/collection
+//! strategies, `prop_map`, `prop::sample::select`, `prop::bool::ANY`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the case index and seed; the
+//!   whole run is deterministic, so re-running reproduces it exactly.
+//! * **Deterministic by default.** Case `i` of every test draws from a
+//!   fixed seed derived from `i`, so results never flake.
+//! * Only the strategy combinators listed above exist.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Runner configuration and failure plumbing for the [`proptest!`] macro.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` (only `cases` matters here).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default (256) is overkill without shrinking; 48 keeps
+            // the full suite fast while still exploring the space.
+            Config { cases: 48 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    /// Deterministic per-case source of randomness.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of a test.
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                inner: SmallRng::seed_from_u64(
+                    0xC0FF_EE00u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            }
+        }
+
+        /// Access the underlying generator.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.inner
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` — vec and hash_set strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specification accepted by [`vec`] and [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet<S::Value>` with exactly a size drawn from
+    /// `size` (element distinctness permitting).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(n);
+            // Bounded retries so a narrow element domain cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n.saturating_mul(1000) + 1000 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample` — choosing from a fixed set of values.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from `values`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select: empty value set");
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().gen_range(0..self.values.len());
+            self.values[i].clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! `prop::bool` — boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported subset (`#![proptest_config(..)]`, `pat in strategy` args).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case}: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fail the case
+/// (not the process) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a), stringify!($b), left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Skip the current case when its inputs do not satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
