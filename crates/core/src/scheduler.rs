@@ -9,9 +9,8 @@ use schedtask_kernel::{CoreId, EngineCore, SchedError, SchedEvent, Scheduler, Sf
 use schedtask_metrics::cosine_similarity;
 use schedtask_sim::PageHeatmap;
 use schedtask_workload::{SfCategory, SuperFuncType};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the SchedTask technique.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +64,47 @@ pub type EpochRankings = Vec<(SuperFuncType, Vec<(SuperFuncType, u32, u32)>)>;
 
 /// Shared handle through which experiments read ranking-validation data
 /// after a run (Figure 11).
-pub type RankingInspector = Rc<RefCell<Vec<EpochRankings>>>;
+///
+/// `Send`-safe by construction (`Arc<Mutex<...>>`): the scheduler half
+/// lives inside an engine that parallel sweeps move onto worker threads,
+/// while the experiment half reads the snapshots after `run()` returns.
+#[derive(Debug, Clone, Default)]
+pub struct RankingInspector {
+    shared: Arc<Mutex<Vec<EpochRankings>>>,
+}
+
+impl RankingInspector {
+    /// A fresh, empty inspector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one TAlloc pass's rankings (scheduler side).
+    fn push(&self, epoch: EpochRankings) {
+        self.shared
+            .lock()
+            .expect("ranking inspector lock")
+            .push(epoch);
+    }
+
+    /// True if no TAlloc pass recorded rankings yet.
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .lock()
+            .expect("ranking inspector lock")
+            .is_empty()
+    }
+
+    /// Number of recorded TAlloc passes.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("ranking inspector lock").len()
+    }
+
+    /// A copy of every recorded epoch's rankings (experiment side).
+    pub fn snapshots(&self) -> Vec<EpochRankings> {
+        self.shared.lock().expect("ranking inspector lock").clone()
+    }
+}
 
 /// The SchedTask scheduler.
 ///
@@ -147,8 +186,8 @@ impl SchedTaskScheduler {
     ) -> (Self, RankingInspector) {
         cfg.collect_ranking_validation = true;
         let mut s = Self::new(num_cores, cfg);
-        let inspector: RankingInspector = Rc::new(RefCell::new(Vec::new()));
-        s.validation = Some(Rc::clone(&inspector));
+        let inspector = RankingInspector::new();
+        s.validation = Some(inspector.clone());
         (s, inspector)
     }
 
@@ -364,7 +403,7 @@ impl SchedTaskScheduler {
                     }
                 }
                 if !epoch.is_empty() {
-                    v.borrow_mut().push(epoch);
+                    v.push(epoch);
                 }
             }
         }
@@ -626,7 +665,7 @@ mod tests {
         .expect("engine builds");
         engine.run().expect("run succeeds");
         assert!(
-            !inspector.borrow().is_empty(),
+            !inspector.is_empty(),
             "no TAlloc ranking snapshots recorded"
         );
     }
@@ -646,7 +685,7 @@ mod tests {
         )
         .expect("engine builds");
         engine.run().expect("run succeeds");
-        let snaps = inspector.borrow();
+        let snaps = inspector.snapshots();
         assert!(!snaps.is_empty());
         let any_overlap = snaps
             .iter()

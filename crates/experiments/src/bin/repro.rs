@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]
+//! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S] [--jobs N]
 //!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
 //!
 //! experiments:
@@ -34,13 +34,16 @@
 //! * `--sanitize` runs the engine's invariant sanitizer on every run.
 //! * `--force-fail TECH:BENCH[:N]` breaks one sweep cell on purpose after
 //!   `N` dispatches (default 100) — demonstrates per-cell isolation.
+//! * `--jobs N` runs sweep cells on up to `N` worker threads. Per-cell
+//!   `SimStats` are bit-identical to the serial run (each cell's seed is
+//!   a pure function of the parameters); only wall-clock time changes.
 //!
 //! Failures never abort a sweep or `all`: each failed experiment is
 //! recorded with a structured diagnosis, partial results still print,
 //! a failure summary follows, and the exit code stays 0.
 
 use schedtask::StealPolicy;
-use schedtask_experiments::runner::run_sweep;
+use schedtask_experiments::runner::run_sweep_jobs;
 use schedtask_experiments::{
     ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
 };
@@ -59,6 +62,7 @@ struct Opts {
     faults: Option<String>,
     sanitize: bool,
     force_fail: Option<(Technique, BenchmarkKind, u64)>,
+    jobs: usize,
 }
 
 fn parse_args() -> Opts {
@@ -71,6 +75,7 @@ fn parse_args() -> Opts {
         faults: None,
         sanitize: false,
         force_fail: None,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +97,13 @@ fn parse_args() -> Opts {
             }
             "--faults" => {
                 opts.faults = Some(args.next().unwrap_or_else(|| die("--faults needs a spec")));
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a number >= 1"));
             }
             "--force-fail" => {
                 let spec = args
@@ -149,7 +161,7 @@ fn print_help() {
     println!(
         "repro — regenerate the SchedTask paper's tables and figures\n\n\
          usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\
-                [--faults none|light|heavy[@SEED]] [--sanitize]\n\
+                [--jobs N] [--faults none|light|heavy[@SEED]] [--sanitize]\n\
                 [--force-fail TECH:BENCH[:N]]\n\n\
          experiments: fig4 fig7 fig8 fig9 fig10 fig11 overheads table4 mpw\n\
                       icache cacheconfig cores prefetch tracecache ablations\n\
@@ -206,7 +218,7 @@ fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
     } else {
         BenchmarkKind::all().to_vec()
     };
-    let report = run_sweep(p, &techniques, &benchmarks, 2.0, opts.force_fail);
+    let report = run_sweep_jobs(p, &techniques, &benchmarks, 2.0, opts.force_fail, opts.jobs);
 
     let mut t = Table::new("Sweep: instruction throughput (G instr / G cycles) per cell")
         .with_note("Failed cells print their diagnosis below instead of a value.");

@@ -77,7 +77,7 @@ pub fn run(
             // candidates, compare the Bloom scores against the exact
             // scores over the same candidate list.
             let mut taus = Vec::new();
-            for epoch in inspector.borrow().iter() {
+            for epoch in inspector.snapshots().iter() {
                 for (_ty, row) in epoch {
                     if row.len() < 2 {
                         continue;
@@ -140,7 +140,7 @@ pub fn run_tau_on_workloads(
             );
             let _stats = runner::run_with_scheduler(Box::new(sched), params, w)?;
             let mut taus = Vec::new();
-            for epoch in inspector.borrow().iter() {
+            for epoch in inspector.snapshots().iter() {
                 for (_ty, row) in epoch {
                     if row.len() < 2 {
                         continue;

@@ -511,6 +511,8 @@ impl<T, E> AsErr<E> for Result<T, E> {
 /// cell's diagnosis and the sweep continues. `scale` is the workload
 /// scale; `force_fail` optionally breaks one cell on purpose after the
 /// given number of dispatches (the `--force-fail` hook).
+///
+/// Serial convenience wrapper over [`run_sweep_jobs`] with `jobs = 1`.
 pub fn run_sweep(
     params: &ExpParams,
     techniques: &[Technique],
@@ -518,36 +520,56 @@ pub fn run_sweep(
     scale: f64,
     force_fail: Option<(Technique, BenchmarkKind, u64)>,
 ) -> SweepReport {
-    let mut cells = Vec::with_capacity(techniques.len() * benchmarks.len());
-    for &technique in techniques {
-        for &benchmark in benchmarks {
-            let w = WorkloadSpec::single(benchmark, scale);
-            let forced = match force_fail {
-                Some((t, b, after)) if t == technique && b == benchmark => Some(after),
-                _ => None,
-            };
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                let cfg = params.engine_config(technique);
-                let mut sched = technique.scheduler(params.engine_cores(technique));
-                if let Some(after) = forced {
-                    sched = Box::new(FailAfterScheduler::new(sched, after));
-                }
-                run_configured(technique.name(), cfg, &w, sched)
-            }))
-            .unwrap_or_else(|payload| {
-                Err(ExperimentError {
-                    technique: technique.name().to_string(),
-                    workload: benchmark.name().to_string(),
-                    cause: FailureCause::Panic(panic_message(payload)),
-                })
-            });
-            cells.push(CellOutcome {
-                technique,
-                benchmark,
-                result,
-            });
+    run_sweep_jobs(params, techniques, benchmarks, scale, force_fail, 1)
+}
+
+/// [`run_sweep`] on up to `jobs` worker threads.
+///
+/// Cells are independent simulations: each one builds its own engine
+/// from the same [`ExpParams`] (the per-cell seed is a pure function of
+/// the parameters, never of scheduling order), so the per-cell
+/// `SimStats` are **bit-identical** to a serial sweep — parallelism only
+/// changes wall-clock time. Per-cell `catch_unwind` isolation and fault
+/// plans carry over unchanged; `jobs <= 1` is exactly the serial sweep.
+pub fn run_sweep_jobs(
+    params: &ExpParams,
+    techniques: &[Technique],
+    benchmarks: &[BenchmarkKind],
+    scale: f64,
+    force_fail: Option<(Technique, BenchmarkKind, u64)>,
+    jobs: usize,
+) -> SweepReport {
+    let pairs: Vec<(Technique, BenchmarkKind)> = techniques
+        .iter()
+        .flat_map(|&t| benchmarks.iter().map(move |&b| (t, b)))
+        .collect();
+    let cells = scoped_pool::scoped_map(&pairs, jobs, |&(technique, benchmark)| {
+        let w = WorkloadSpec::single(benchmark, scale);
+        let forced = match force_fail {
+            Some((t, b, after)) if t == technique && b == benchmark => Some(after),
+            _ => None,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let cfg = params.engine_config(technique);
+            let mut sched = technique.scheduler(params.engine_cores(technique));
+            if let Some(after) = forced {
+                sched = Box::new(FailAfterScheduler::new(sched, after));
+            }
+            run_configured(technique.name(), cfg, &w, sched)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ExperimentError {
+                technique: technique.name().to_string(),
+                workload: benchmark.name().to_string(),
+                cause: FailureCause::Panic(panic_message(payload)),
+            })
+        });
+        CellOutcome {
+            technique,
+            benchmark,
+            result,
         }
-    }
+    });
     SweepReport { cells }
 }
 

@@ -1,0 +1,350 @@
+//! The dispatch subsystem: the TMigrate/TAlloc hook sites.
+//!
+//! A core step is "service an interrupt, else ask the scheduler, else run
+//! one quantum"; quantum boundaries (application burst end, blocking
+//! system call, SuperFunction completion) land here, and every one of
+//! them is a point where the paper's scheduler hooks fire — enqueue,
+//! pick_next, on_switch_out, on_complete, and the overhead charges.
+
+use super::machine::Boundary;
+use super::{Engine, EngineCore, EventKind, KERNEL_TID};
+use crate::error::EngineError;
+use crate::faults::FaultInjector;
+use crate::ids::{CoreId, SfId, ThreadId};
+use crate::scheduler::{SchedEvent, SwitchReason};
+use crate::superfunction::{SfBody, SfState, SuperFunction};
+use crate::trace::TraceEvent;
+use schedtask_workload::{DeviceKind, FootprintWalker, SfCategory, WalkParams};
+use std::sync::Arc;
+
+impl EngineCore {
+    /// Marks `sf` running on core `c`, counting thread migrations and
+    /// resampling the application burst if needed.
+    pub(super) fn prepare_dispatch(&mut self, c: usize, sf_id: SfId) -> Result<(), EngineError> {
+        let sf = self
+            .sfs
+            .get_mut(&sf_id)
+            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
+        debug_assert!(
+            matches!(sf.state, SfState::Runnable | SfState::Preempted),
+            "dispatching SF in state {:?}",
+            sf.state
+        );
+        sf.state = SfState::Running;
+        let tid = sf.tid;
+        let category = sf.category();
+
+        if let SfBody::Application { burst_left } = &mut sf.body {
+            if *burst_left == 0 {
+                let t = &mut self.threads[tid.0 as usize];
+                let spec = &self.instances[t.benchmark].spec;
+                *burst_left = spec.app_burst.sample(&mut t.rng).max(1);
+            }
+        }
+
+        // Thread-migration accounting (Figure 10): application and
+        // system-call SuperFunctions execute in thread context.
+        if tid != KERNEL_TID && matches!(category, SfCategory::Application | SfCategory::SystemCall)
+        {
+            let t = &mut self.threads[tid.0 as usize];
+            if let Some(prev) = t.last_core {
+                if prev.0 != c {
+                    self.stats.thread_migrations += 1;
+                    let cost = self.cfg.migration_cost_cycles;
+                    self.cores[c].clock += cost;
+                    self.stats.core_time[c].busy_cycles += cost;
+                    let at = self.cores[c].clock;
+                    self.trace.record(TraceEvent::Migrated {
+                        at,
+                        tid,
+                        from: prev,
+                        to: CoreId(c),
+                    });
+                }
+            }
+            self.threads[tid.0 as usize].last_core = Some(CoreId(c));
+        }
+
+        self.cores[c].current = Some(sf_id);
+        let at = self.cores[c].clock;
+        self.trace.record(TraceEvent::Dispatched {
+            at,
+            sf: sf_id,
+            core: CoreId(c),
+        });
+        Ok(())
+    }
+
+    /// Creates a system-call SuperFunction for `tid` on core `c`.
+    pub(super) fn create_syscall_sf(
+        &mut self,
+        c: usize,
+        tid: ThreadId,
+        parent: SfId,
+    ) -> Result<SfId, EngineError> {
+        let t = &mut self.threads[tid.0 as usize];
+        let inst = &self.instances[t.benchmark];
+        let progress = self.syscalls_completed[t.benchmark];
+        let name = inst.sample_syscall_at(&mut t.rng, progress);
+        let spec = self
+            .catalog
+            .try_syscall(name)
+            .ok_or_else(|| EngineError::UnknownService {
+                kind: "syscall",
+                name: name.to_string(),
+            })?;
+        let len = spec.len.sample(&mut t.rng).max(1);
+        let block_mult = inst.spec.blocking_multiplier;
+        let block = spec.blocking.and_then(|b| {
+            use rand::Rng;
+            if t.rng.gen_bool((b.probability * block_mult).clamp(0.0, 1.0)) {
+                let at = (len as f64 * (1.0 - b.at_fraction)) as u64;
+                Some((at.min(len - 1), b.device))
+            } else {
+                None
+            }
+        });
+        let id = self.id_alloc.next(CoreId(c));
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let walker = FootprintWalker::new(
+            Arc::clone(&spec.code),
+            Arc::clone(&spec.shared_data),
+            Arc::clone(&t.private_data),
+            WalkParams::default(),
+            seed,
+        );
+        let sf_type = spec.super_func_type();
+        let sf = SuperFunction {
+            id,
+            sf_type,
+            parent: Some(parent),
+            tid,
+            state: SfState::Runnable,
+            body: SfBody::Syscall {
+                remaining: len,
+                block,
+            },
+            walker,
+            cycles_used: 0,
+            instructions_retired: 0,
+            runnable_since: self.cores[c].clock,
+        };
+        self.sfs.insert(id, sf);
+        let at = self.cores[c].clock;
+        self.trace.record(TraceEvent::Created {
+            at,
+            sf: id,
+            sf_type,
+            tid,
+        });
+        Ok(id)
+    }
+}
+
+impl Engine {
+    /// Advances core `c` by one step: service an interrupt, else ask the
+    /// scheduler for work, else execute one quantum and handle whatever
+    /// boundary it reached.
+    pub(super) fn step_core(&mut self, c: usize) -> Result<(), EngineError> {
+        // 0. Fault injection: the core stalls (SMM excursion / frequency
+        // dip). Queues and pending interrupts stay intact; time is lost.
+        if let Some(stall) = self
+            .core
+            .injector
+            .as_mut()
+            .and_then(FaultInjector::stall_core)
+        {
+            self.core.cores[c].clock += stall;
+            self.core.stats.core_time[c].idle_cycles += stall;
+            return Ok(());
+        }
+
+        // 1. Service a pending interrupt: preempt whatever runs.
+        if self.service_pending_irq(c)? {
+            return Ok(());
+        }
+
+        // 2. Nothing running? Ask the scheduler.
+        if self.core.cores[c].current.is_none() {
+            match self.scheduler.pick_next(&mut self.core, CoreId(c))? {
+                Some(sf) => {
+                    self.core.prepare_dispatch(c, sf)?;
+                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
+                }
+                None => self.core.go_idle(c),
+            }
+            return Ok(());
+        }
+
+        // 3. Execute one quantum.
+        match self.core.execute_quantum(c)? {
+            Boundary::None => Ok(()),
+            Boundary::AppBurstEnd => self.on_app_burst_end(c),
+            Boundary::Blocked(device) => self.on_blocked(c, device),
+            Boundary::Completed => self.on_completed(c),
+        }
+    }
+
+    fn on_app_burst_end(&mut self, c: usize) -> Result<(), EngineError> {
+        let app_sf = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        let tid = self.core.try_sf(app_sf)?.tid;
+        self.core
+            .sfs
+            .get_mut(&app_sf)
+            .ok_or(EngineError::UnknownSuperFunction(app_sf))?
+            .state = SfState::PausedForChild;
+        self.scheduler.on_switch_out(
+            &mut self.core,
+            CoreId(c),
+            app_sf,
+            SwitchReason::PausedForChild,
+        );
+
+        let syscall_sf = self.core.create_syscall_sf(c, tid, app_sf)?;
+        let overhead =
+            self.scheduler
+                .overhead_for(&self.core, SchedEvent::SfStart, Some(syscall_sf));
+        self.core.charge_sched_overhead(c, overhead);
+        self.scheduler
+            .enqueue(&mut self.core, syscall_sf, Some(CoreId(c)))?;
+        self.core.wake_all_idle();
+        Ok(())
+    }
+
+    fn on_blocked(&mut self, c: usize, device: DeviceKind) -> Result<(), EngineError> {
+        let sf = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        self.core.try_sf_mut(sf)?.state = SfState::Waiting;
+        let at = self.core.cores[c].clock;
+        self.core.trace.record(TraceEvent::Blocked { at, sf });
+        self.scheduler
+            .on_switch_out(&mut self.core, CoreId(c), sf, SwitchReason::Blocked);
+        self.scheduler.on_block(&mut self.core, sf);
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfPause, Some(sf));
+        self.core.charge_sched_overhead(c, overhead);
+
+        let latency = match device {
+            DeviceKind::Disk => self.core.cfg.disk_latency_cycles,
+            DeviceKind::Network => self.core.cfg.network_latency_cycles,
+            DeviceKind::Timer => self.core.cfg.timer_sleep_cycles,
+        };
+        let when = self.core.cores[c].clock + latency.max(1);
+        self.core
+            .schedule_event(when, EventKind::DeviceComplete { device, waiter: sf });
+        Ok(())
+    }
+
+    fn on_completed(&mut self, c: usize) -> Result<(), EngineError> {
+        let sf_id = self.core.cores[c]
+            .current
+            .take()
+            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        let at = self.core.cores[c].clock;
+        self.core
+            .trace
+            .record(TraceEvent::Completed { at, sf: sf_id });
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfStop, Some(sf_id));
+        self.core.charge_sched_overhead(c, overhead);
+        self.core.try_sf_mut(sf_id)?.state = SfState::Done;
+        self.scheduler
+            .on_switch_out(&mut self.core, CoreId(c), sf_id, SwitchReason::Completed);
+        self.scheduler.on_complete(&mut self.core, sf_id);
+
+        let sf = self
+            .core
+            .sfs
+            .remove(&sf_id)
+            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
+        if let Some(state) = self.sanitizer.as_mut() {
+            state.note_completed(sf.instructions_retired);
+        }
+        match sf.body {
+            SfBody::Syscall { .. } => {
+                // Operation accounting: one application-level operation
+                // per `op_syscalls` completed system calls of the
+                // benchmark.
+                let bench = self.core.threads[sf.tid.0 as usize].benchmark;
+                self.core.op_progress[bench] += 1;
+                self.core.syscalls_completed[bench] += 1;
+                if self.core.op_progress[bench] >= self.core.instances[bench].spec.op_syscalls {
+                    self.core.op_progress[bench] = 0;
+                    self.core.stats.ops_per_benchmark[bench] += 1;
+                }
+                // Return to the parent (the paper's parentSuperFuncPtr
+                // hand-off in TMigrate).
+                let parent = sf.parent.ok_or_else(|| EngineError::StateCorruption {
+                    detail: format!("syscall {sf_id} completed without a parent"),
+                })?;
+                let p = self
+                    .core
+                    .sfs
+                    .get_mut(&parent)
+                    .ok_or(EngineError::UnknownSuperFunction(parent))?;
+                debug_assert_eq!(p.state, SfState::PausedForChild);
+                p.state = SfState::Runnable;
+                p.runnable_since = self.core.cores[c].clock;
+                self.scheduler
+                    .enqueue(&mut self.core, parent, Some(CoreId(c)))?;
+            }
+            SfBody::Interrupt {
+                bottom_half,
+                waiter,
+                ..
+            } => {
+                if let Some(bh_name) = bottom_half {
+                    let bh = self.core.create_bottom_half_sf(c, bh_name, waiter)?;
+                    let overhead =
+                        self.scheduler
+                            .overhead_for(&self.core, SchedEvent::SfStart, Some(bh));
+                    self.core.charge_sched_overhead(c, overhead);
+                    self.scheduler
+                        .enqueue(&mut self.core, bh, Some(CoreId(c)))?;
+                } else if let Some(w) = waiter {
+                    self.wake_sf(c, w)?;
+                }
+                // Resume whatever the interrupt preempted.
+                if let Some(prev) = self.core.cores[c].preempt_stack.pop() {
+                    self.core.prepare_dispatch(c, prev)?;
+                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), prev);
+                }
+            }
+            SfBody::BottomHalf { wake, .. } => {
+                if let Some(w) = wake {
+                    self.wake_sf(c, w)?;
+                }
+            }
+            SfBody::Application { .. } => {
+                return Err(EngineError::StateCorruption {
+                    detail: format!("application {sf_id} reached Completed boundary"),
+                });
+            }
+        }
+        self.core.wake_all_idle();
+        Ok(())
+    }
+
+    fn wake_sf(&mut self, c: usize, sf: SfId) -> Result<(), EngineError> {
+        let overhead = self
+            .scheduler
+            .overhead_for(&self.core, SchedEvent::SfWakeup, Some(sf));
+        self.core.charge_sched_overhead(c, overhead);
+        let clock = self.core.cores[c].clock;
+        let s = self.core.try_sf_mut(sf)?;
+        debug_assert_eq!(s.state, SfState::Waiting);
+        s.state = SfState::Runnable;
+        s.runnable_since = clock;
+        self.scheduler
+            .enqueue(&mut self.core, sf, Some(CoreId(c)))?;
+        self.core.wake_all_idle();
+        Ok(())
+    }
+}

@@ -1,0 +1,234 @@
+//! The events subsystem: the global timer/epoch/device event queue and
+//! its deterministic ordering, plus the dispatch of popped events to the
+//! interrupt and scheduling subsystems.
+//!
+//! The queue is a max-[`BinaryHeap`] over a reversed ordering, so the
+//! *earliest* event pops first; ties break on insertion sequence, which
+//! keeps runs bit-reproducible regardless of heap internals.
+
+use super::Engine;
+use crate::error::EngineError;
+use crate::faults::FaultInjector;
+use crate::ids::SfId;
+use crate::scheduler::SchedEvent;
+use schedtask_workload::DeviceKind;
+use std::cmp::Ordering;
+
+/// A simulation event: something that happens at an absolute cycle,
+/// independent of any core's private clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A device finished the request `waiter` blocked on.
+    DeviceComplete {
+        /// Which device class completed.
+        device: DeviceKind,
+        /// The SuperFunction waiting for the completion.
+        waiter: SfId,
+    },
+    /// A spontaneous external interrupt attributed to benchmark `bench`.
+    ExternalIrq {
+        /// Index of the benchmark whose device raises the interrupt.
+        bench: usize,
+    },
+    /// The periodic per-core timer interrupt.
+    TimerTick {
+        /// Target core.
+        core: usize,
+    },
+    /// The scheduler's TAlloc epoch boundary.
+    Epoch,
+}
+
+/// An entry in the global event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HeapEvent {
+    pub(super) time: u64,
+    pub(super) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl super::EngineCore {
+    /// Enqueues `kind` at absolute cycle `time`.
+    pub(super) fn schedule_event(&mut self, time: u64, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(HeapEvent {
+            time,
+            seq: self.event_seq,
+            kind,
+        });
+    }
+}
+
+impl Engine {
+    /// Seeds the queue with the recurring events every run starts from:
+    /// staggered per-core timer ticks, the first TAlloc epoch, and each
+    /// benchmark's spontaneous-interrupt stream.
+    pub(super) fn prime_periodic_events(&mut self) {
+        let tick = self.core.cfg.timer_tick_cycles;
+        if tick > 0 {
+            for c in 0..self.core.num_cores() {
+                let stagger = tick / self.core.num_cores() as u64 * c as u64;
+                self.core
+                    .schedule_event(tick + stagger, EventKind::TimerTick { core: c });
+            }
+        }
+        self.core
+            .schedule_event(self.core.cfg.epoch_cycles, EventKind::Epoch);
+        for bench in 0..self.core.instances.len() {
+            if self.core.instances[bench].spec.spontaneous_irq.is_some() {
+                let interval = self.core.irq_rate_interval[bench];
+                self.core
+                    .schedule_event(interval, EventKind::ExternalIrq { bench });
+            }
+        }
+    }
+
+    /// Pops the earliest event and dispatches it to the owning subsystem.
+    pub(super) fn process_next_event(&mut self) -> Result<(), EngineError> {
+        let ev = self
+            .core
+            .events
+            .pop()
+            .ok_or(EngineError::EventQueueUnderflow)?;
+        self.core.now = ev.time;
+
+        // Fault injection: the interrupt carried by this event is lost.
+        // A dropped event is re-raised after the modelled retry delay
+        // (hardware timeout / software re-poll), so wakeups are delayed —
+        // never lost — and slowdown stays bounded.
+        if !matches!(ev.kind, EventKind::Epoch) {
+            if let Some(delay) = self
+                .core
+                .injector
+                .as_mut()
+                .and_then(FaultInjector::drop_irq)
+            {
+                self.core.schedule_event(ev.time + delay, ev.kind);
+                return Ok(());
+            }
+        }
+
+        match ev.kind {
+            EventKind::DeviceComplete { device, waiter } => {
+                let irq_name = self.core.catalog.interrupt_for_device(device).name;
+                let irq_id = self.core.catalog.interrupt_for_device(device).irq;
+                let target = self
+                    .scheduler
+                    .route_completion(&mut self.core, irq_id, waiter);
+                self.deliver_irq(target.0, irq_name, Some(waiter), ev.time);
+            }
+            EventKind::ExternalIrq { bench } => {
+                let Some((irq_name, _)) = self.core.instances[bench].spec.spontaneous_irq else {
+                    return Err(EngineError::StateCorruption {
+                        detail: format!(
+                            "external irq scheduled for benchmark {bench} with no spontaneous rate"
+                        ),
+                    });
+                };
+                let irq_id = self
+                    .core
+                    .catalog
+                    .try_interrupt(irq_name)
+                    .ok_or_else(|| EngineError::UnknownService {
+                        kind: "interrupt",
+                        name: irq_name.to_string(),
+                    })?
+                    .irq;
+                let target = self.scheduler.route_interrupt(&mut self.core, irq_id);
+                self.deliver_irq(target.0, irq_name, None, ev.time);
+                // Re-arm with ±50 % jitter.
+                let base = self.core.irq_rate_interval[bench];
+                let jitter = {
+                    use rand::Rng;
+                    self.core.rng.gen_range(base / 2..=base + base / 2)
+                };
+                self.core
+                    .schedule_event(ev.time + jitter.max(1), EventKind::ExternalIrq { bench });
+            }
+            EventKind::TimerTick { core } => {
+                let irq_name = "timer_irq";
+                self.deliver_irq(core, irq_name, None, ev.time);
+                self.core.schedule_event(
+                    ev.time + self.core.cfg.timer_tick_cycles,
+                    EventKind::TimerTick { core },
+                );
+            }
+            EventKind::Epoch => {
+                let overhead =
+                    self.scheduler
+                        .overhead_for(&self.core, SchedEvent::EpochAlloc, None);
+                self.core.charge_sched_overhead(0, overhead);
+                self.scheduler.on_epoch(&mut self.core)?;
+                if self.core.cfg.collect_epoch_breakups {
+                    self.core.snapshot_epoch_breakup();
+                }
+                self.core
+                    .schedule_event(ev.time + self.core.cfg.epoch_cycles, EventKind::Epoch);
+            }
+        }
+
+        // Fault injection: a spurious interrupt (no waiting SuperFunction)
+        // lands on a deterministic-random core.
+        let num_cores = self.core.cores.len();
+        let spurious = self
+            .core
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.spurious_irq().then(|| inj.spurious_target(num_cores)));
+        if let Some(target) = spurious {
+            self.deliver_irq(target, "timer_irq", None, self.core.now);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_events_pop_in_time_order_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEvent {
+            time: 30,
+            seq: 1,
+            kind: EventKind::Epoch,
+        });
+        heap.push(HeapEvent {
+            time: 10,
+            seq: 3,
+            kind: EventKind::Epoch,
+        });
+        heap.push(HeapEvent {
+            time: 10,
+            seq: 2,
+            kind: EventKind::TimerTick { core: 0 },
+        });
+        heap.push(HeapEvent {
+            time: 20,
+            seq: 4,
+            kind: EventKind::Epoch,
+        });
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time, e.seq))
+            .collect();
+        assert_eq!(order, vec![(10, 2), (10, 3), (20, 4), (30, 1)]);
+    }
+}

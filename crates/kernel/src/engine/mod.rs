@@ -1,0 +1,607 @@
+//! The discrete-event simulation engine, decomposed into subsystems.
+//!
+//! The engine owns the machine ([`schedtask_sim::MemorySystem`] plus
+//! per-core state including the hardware Page-heatmap registers), the OS
+//! object model (threads, SuperFunctions, devices, the interrupt
+//! controller), and global time. The scheduling *policy* is a plug-in
+//! ([`crate::Scheduler`]); the engine invokes it at exactly the points
+//! where the paper's TMigrate/TAlloc hooks run.
+//!
+//! Cores advance private clocks; the engine always processes whichever is
+//! earliest — the next device/timer/epoch event or the lowest-clock busy
+//! core — so execution is deterministic and causally consistent to within
+//! one quantum.
+//!
+//! # Subsystem layering
+//!
+//! This module is an orchestrator over four subsystems, each behind a
+//! narrow internal API, so the main loop reads as "pop the earliest
+//! event → dispatch it to the owning subsystem":
+//!
+//! * [`machine`] — per-core execution state (clocks, preempt stacks, the
+//!   hardware Page-heatmap registers), the [`EngineCore`] context passed
+//!   to every scheduler hook, and quantum execution through the cache
+//!   hierarchy;
+//! * [`events`] — the global timer/epoch/device event queue and its
+//!   deterministic ordering;
+//! * [`interrupts`] — the device/IRQ/bottom-half model: delivery,
+//!   pending queues, and interrupt/bottom-half SuperFunction creation;
+//! * [`dispatch`] — the TMigrate/TAlloc hook sites: quantum boundaries,
+//!   system-call creation, blocking, completion, and wakeups.
+//!
+//! Everything in the pipeline is [`Send`]: an [`Engine`] can be built on
+//! one thread and run on another, which is what lets sweep harnesses run
+//! independent (technique × benchmark) cells on worker threads while
+//! keeping every cell's statistics bit-identical to a serial run.
+
+pub(crate) mod dispatch;
+pub(crate) mod events;
+pub(crate) mod interrupts;
+pub(crate) mod machine;
+
+pub use machine::EngineCore;
+
+pub(crate) use events::EventKind;
+
+use crate::config::EngineConfig;
+use crate::error::{ConfigError, EngineError};
+use crate::ids::ThreadId;
+use crate::sanitizer::SanitizerState;
+use crate::scheduler::Scheduler;
+use crate::stats::SimStats;
+use schedtask_workload::{BenchmarkKind, BenchmarkSpec, MultiProgrammedWorkload};
+
+/// The `tid` used for kernel contexts that no thread created (external
+/// interrupts and their bottom halves).
+pub const KERNEL_TID: ThreadId = ThreadId(u64::MAX);
+
+/// What benchmarks run, and at which per-benchmark scale (Section 6.3's
+/// 1X/2X/... and the appendix's multi-programmed bags).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// (benchmark, scale) pairs.
+    pub parts: Vec<(BenchmarkKind, f64)>,
+    /// Fully custom benchmark specs (e.g. phase-shifted variants built
+    /// with [`BenchmarkSpec::with_phase_shift`]), each with a scale.
+    pub custom: Vec<(BenchmarkSpec, f64)>,
+}
+
+impl WorkloadSpec {
+    /// A single benchmark at the given scale.
+    pub fn single(kind: BenchmarkKind, scale: f64) -> Self {
+        WorkloadSpec {
+            parts: vec![(kind, scale)],
+            custom: Vec::new(),
+        }
+    }
+
+    /// A single custom benchmark spec at the given scale.
+    pub fn custom(spec: BenchmarkSpec, scale: f64) -> Self {
+        WorkloadSpec {
+            parts: Vec::new(),
+            custom: vec![(spec, scale)],
+        }
+    }
+}
+
+impl From<&MultiProgrammedWorkload> for WorkloadSpec {
+    fn from(w: &MultiProgrammedWorkload) -> Self {
+        WorkloadSpec {
+            parts: w.parts.clone(),
+            custom: Vec::new(),
+        }
+    }
+}
+
+/// Watchdog bookkeeping for one run.
+#[derive(Debug)]
+struct WatchState {
+    /// Engine steps processed (events plus core quanta).
+    steps: u64,
+    /// Workload-instruction total at the last observed progress.
+    last_instr: u64,
+    /// Simulated cycle of the last observed progress.
+    last_progress_cycle: u64,
+    /// Wall-clock start of the run.
+    started: std::time::Instant,
+}
+
+/// The simulation engine: an [`EngineCore`] plus the scheduling policy.
+pub struct Engine {
+    pub(crate) core: EngineCore,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    finished: bool,
+    pub(crate) sanitizer: Option<SanitizerState>,
+    watch: WatchState,
+}
+
+// The whole run pipeline is `Send` by contract: a sweep harness moves
+// each cell's engine onto a worker thread. Compile-time proof, so a
+// non-`Send` field can never sneak back in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<EngineCore>();
+    assert_send::<Box<dyn Scheduler>>();
+};
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scheduler", &self.scheduler.name())
+            .field("now", &self.core.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine for `workload` under `scheduler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when the configuration fails
+    /// [`EngineConfig::validate`] or the workload is empty.
+    pub fn new(
+        cfg: EngineConfig,
+        workload: &WorkloadSpec,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        if workload.parts.is_empty() && workload.custom.is_empty() {
+            return Err(ConfigError::EmptyWorkload.into());
+        }
+        let sanitize = cfg.sanitize;
+        let core = EngineCore::build(cfg, workload);
+        let sanitizer = sanitize.then(|| SanitizerState::new(core.num_cores()));
+        Ok(Engine {
+            core,
+            scheduler,
+            finished: false,
+            sanitizer,
+            watch: WatchState {
+                steps: 0,
+                last_instr: 0,
+                last_progress_cycle: 0,
+                started: std::time::Instant::now(),
+            },
+        })
+    }
+
+    /// Access to the engine state (for inspection in tests and
+    /// experiments).
+    pub fn engine_core(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// The scheduling technique's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`EngineError`] instead of panicking: scheduler
+    /// failures, state corruption, watchdog trips (livelock, event or
+    /// wall-clock budget), and — with [`EngineConfig::sanitize`] —
+    /// invariant violations. Calling it a second time returns
+    /// [`EngineError::AlreadyRan`].
+    pub fn run(&mut self) -> Result<&SimStats, EngineError> {
+        if self.finished {
+            return Err(EngineError::AlreadyRan);
+        }
+        self.finished = true;
+        self.watch.started = std::time::Instant::now();
+
+        self.scheduler.init(&mut self.core)?;
+
+        // Enqueue every application SuperFunction.
+        let app_sfs: Vec<_> = self.core.threads.iter().map(|t| t.app_sf).collect();
+        for sf in app_sfs {
+            self.scheduler.enqueue(&mut self.core, sf, None)?;
+        }
+
+        self.prime_periodic_events();
+
+        // Main loop: process whichever is earliest — the next queued
+        // event or the lowest-clock busy core — and hand it to the
+        // owning subsystem.
+        loop {
+            let core_next = self
+                .core
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, cs)| !cs.idle)
+                .min_by_key(|(i, cs)| (cs.clock, *i))
+                .map(|(i, cs)| (cs.clock, i));
+            let event_next = self.core.events.peek().map(|e| e.time);
+
+            match (core_next, event_next) {
+                (None, None) => break,
+                (Some((ct, c)), Some(et)) => {
+                    if et <= ct {
+                        self.process_next_event()?;
+                    } else {
+                        self.core.now = ct;
+                        self.step_core(c)?;
+                    }
+                }
+                (Some((ct, c)), None) => {
+                    self.core.now = ct;
+                    self.step_core(c)?;
+                }
+                (None, Some(_)) => {
+                    self.process_next_event()?;
+                }
+            }
+
+            // Invariant sanitizer (opt-in): conservation must hold after
+            // every step.
+            if let Some(state) = self.sanitizer.as_mut() {
+                state
+                    .check(&self.core, self.scheduler.as_ref())
+                    .map_err(EngineError::InvariantViolation)?;
+            }
+
+            self.watchdog_check()?;
+
+            // Warm-up and stop conditions. After the warm-up reset the
+            // counters restart, so the stop check must not see the stale
+            // pre-reset count.
+            let workload_instr = self.core.stats.instructions.total_workload();
+            if !self.core.warmed_up {
+                if workload_instr >= self.core.cfg.warmup_instructions {
+                    self.core.reset_for_measurement();
+                    if let Some(state) = self.sanitizer.as_mut() {
+                        state.rebaseline(&self.core);
+                    }
+                }
+            } else if workload_instr >= self.core.cfg.max_instructions {
+                break;
+            }
+            if self.core.now >= self.core.cfg.max_cycles {
+                break;
+            }
+        }
+
+        self.finalize();
+        Ok(&self.core.stats)
+    }
+
+    /// Watchdog: convert livelock and runaway runs into structured
+    /// errors.
+    fn watchdog_check(&mut self) -> Result<(), EngineError> {
+        self.watch.steps += 1;
+        let instr_now = self.core.stats.instructions.total_workload();
+        if instr_now != self.watch.last_instr {
+            self.watch.last_instr = instr_now;
+            self.watch.last_progress_cycle = self.core.now;
+        } else {
+            let max_stall = self.core.cfg.watchdog.max_stall_cycles;
+            let stalled = self.core.now.saturating_sub(self.watch.last_progress_cycle);
+            if max_stall > 0 && stalled > max_stall {
+                return Err(EngineError::Livelock {
+                    at_cycle: self.core.now,
+                    stalled_cycles: stalled,
+                    events_processed: self.watch.steps,
+                });
+            }
+        }
+        let max_events = self.core.cfg.watchdog.max_events;
+        if max_events > 0 && self.watch.steps > max_events {
+            return Err(EngineError::EventBudgetExceeded {
+                events_processed: self.watch.steps,
+            });
+        }
+        let max_wall_ms = self.core.cfg.watchdog.max_wall_ms;
+        if max_wall_ms > 0
+            && self.watch.steps.is_multiple_of(1024)
+            && self.watch.started.elapsed().as_millis() as u64 > max_wall_ms
+        {
+            return Err(EngineError::WallClockExceeded {
+                limit_ms: max_wall_ms,
+            });
+        }
+        Ok(())
+    }
+
+    fn finalize(&mut self) {
+        if !self.core.warmed_up {
+            // Tiny runs may never hit the warm-up threshold; measure all.
+            self.core.measure_start = 0;
+        }
+        let end = self
+            .core
+            .cores
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .unwrap_or(self.core.now)
+            .max(self.core.now);
+        for c in 0..self.core.cores.len() {
+            let core = &mut self.core.cores[c];
+            if core.idle && end > core.clock {
+                self.core.stats.core_time[c].idle_cycles += end - core.clock;
+                core.clock = end;
+            }
+        }
+        self.core.stats.final_cycle = end.saturating_sub(self.core.measure_start).max(1);
+        self.core.stats.mem = self.core.mem.stats().clone();
+        if let Some(inj) = &self.core.injector {
+            self.core.stats.faults = inj.counts();
+        }
+        if let Some(state) = &self.sanitizer {
+            self.core.stats.sanitizer_checks = state.checks;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CoreId, SfId};
+    use schedtask_workload::BenchmarkKind;
+
+    #[test]
+    fn workload_spec_constructors() {
+        let w = WorkloadSpec::single(BenchmarkKind::Find, 2.0);
+        assert_eq!(w.parts, vec![(BenchmarkKind::Find, 2.0)]);
+        assert!(w.custom.is_empty());
+
+        let spec = BenchmarkSpec::for_kind(BenchmarkKind::Apache);
+        let w = WorkloadSpec::custom(spec.clone(), 1.5);
+        assert!(w.parts.is_empty());
+        assert_eq!(w.custom.len(), 1);
+        assert_eq!(w.custom[0].1, 1.5);
+
+        let bag = MultiProgrammedWorkload::by_name("MPW-B").expect("exists");
+        let w = WorkloadSpec::from(&bag);
+        assert_eq!(w.parts.len(), 2);
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let cfg = EngineConfig::fast();
+        let err = Engine::new(
+            cfg,
+            &WorkloadSpec::default(),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect_err("empty workload must be rejected");
+        assert_eq!(
+            err,
+            EngineError::Config(crate::error::ConfigError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = EngineConfig::fast().with_max_instructions(0);
+        let err = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect_err("zero instruction budget must be rejected");
+        assert!(matches!(err, EngineError::Config(_)));
+    }
+
+    #[test]
+    fn kernel_tid_is_reserved() {
+        assert_eq!(KERNEL_TID, ThreadId(u64::MAX));
+    }
+
+    #[test]
+    fn engine_debug_shows_scheduler_name() {
+        let cfg =
+            EngineConfig::fast().with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
+        let engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds");
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("GlobalFifo"));
+    }
+
+    #[test]
+    fn engine_cannot_run_twice() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(20_000);
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds");
+        engine.run().expect("first run succeeds");
+        assert_eq!(
+            engine.run().expect_err("second run rejected"),
+            EngineError::AlreadyRan
+        );
+    }
+
+    fn small_engine(cfg: EngineConfig) -> Engine {
+        Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(crate::scheduler::GlobalFifoScheduler::new()),
+        )
+        .expect("engine builds")
+    }
+
+    #[test]
+    fn engine_runs_to_completion_on_another_thread() {
+        // The `Send` contract in action: build here, run on a worker.
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(30_000);
+        let mut engine = small_engine(cfg);
+        let total = std::thread::spawn(move || {
+            engine
+                .run()
+                .expect("run succeeds off-thread")
+                .total_instructions()
+        })
+        .join()
+        .expect("worker thread survives");
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn sanitized_run_is_clean_and_counts_checks() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000)
+            .with_sanitizer();
+        let mut engine = small_engine(cfg);
+        let stats = engine.run().expect("sanitized run stays clean");
+        assert!(stats.sanitizer_checks > 0, "sanitizer must actually run");
+        assert_eq!(stats.faults.total(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let cfg = EngineConfig::fast()
+                .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+                .with_max_instructions(80_000)
+                .with_faults(crate::faults::FaultPlan::heavy(7));
+            let mut engine = small_engine(cfg);
+            let stats = engine
+                .run()
+                .expect("faulty run degrades gracefully")
+                .clone();
+            (
+                stats.instructions.total_workload(),
+                stats.final_cycle,
+                stats.faults,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + plan must give identical stats");
+        assert!(a.2.total() > 0, "heavy plan must inject something");
+    }
+
+    #[test]
+    fn faulty_run_with_sanitizer_keeps_invariants() {
+        let cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000)
+            .with_faults(crate::faults::FaultPlan::light(3))
+            .with_sanitizer();
+        let mut engine = small_engine(cfg);
+        let stats = engine
+            .run()
+            .expect("fault injection must not break invariants");
+        assert!(stats.sanitizer_checks > 0);
+    }
+
+    /// A scheduler that accepts SuperFunctions and never hands one back:
+    /// time advances through timer ticks but no instructions retire, the
+    /// canonical livelock.
+    #[derive(Debug)]
+    struct BlackHoleScheduler;
+
+    impl crate::scheduler::Scheduler for BlackHoleScheduler {
+        fn name(&self) -> &'static str {
+            "BlackHole"
+        }
+        fn enqueue(
+            &mut self,
+            _ctx: &mut EngineCore,
+            _sf: SfId,
+            _origin: Option<CoreId>,
+        ) -> Result<(), crate::error::SchedError> {
+            Ok(())
+        }
+        fn pick_next(
+            &mut self,
+            _ctx: &mut EngineCore,
+            _core: CoreId,
+        ) -> Result<Option<SfId>, crate::error::SchedError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_livelock() {
+        let mut cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(50_000);
+        cfg.watchdog.max_stall_cycles = 200_000;
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(BlackHoleScheduler),
+        )
+        .expect("engine builds");
+        let err = engine
+            .run()
+            .expect_err("black-hole scheduler must livelock");
+        assert!(
+            matches!(err, EngineError::Livelock { .. }),
+            "expected livelock, got {err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_event_budget() {
+        let mut cfg = EngineConfig::fast()
+            .with_system(schedtask_sim::SystemConfig::table2().with_cores(2))
+            .with_max_instructions(u64::MAX / 4);
+        cfg.watchdog.max_events = 100;
+        let mut engine = small_engine(cfg);
+        let err = engine.run().expect_err("budget of 100 steps must trip");
+        assert_eq!(
+            err,
+            EngineError::EventBudgetExceeded {
+                events_processed: 101
+            }
+        );
+    }
+
+    #[test]
+    fn scheduler_error_propagates() {
+        #[derive(Debug)]
+        struct FailingScheduler;
+        impl crate::scheduler::Scheduler for FailingScheduler {
+            fn name(&self) -> &'static str {
+                "Failing"
+            }
+            fn enqueue(
+                &mut self,
+                _ctx: &mut EngineCore,
+                _sf: SfId,
+                _origin: Option<CoreId>,
+            ) -> Result<(), crate::error::SchedError> {
+                Err(crate::error::SchedError::CorruptQueue {
+                    core: CoreId(0),
+                    detail: "synthetic".to_string(),
+                })
+            }
+            fn pick_next(
+                &mut self,
+                _ctx: &mut EngineCore,
+                _core: CoreId,
+            ) -> Result<Option<SfId>, crate::error::SchedError> {
+                Ok(None)
+            }
+        }
+        let cfg =
+            EngineConfig::fast().with_system(schedtask_sim::SystemConfig::table2().with_cores(2));
+        let mut engine = Engine::new(
+            cfg,
+            &WorkloadSpec::single(BenchmarkKind::Find, 0.5),
+            Box::new(FailingScheduler),
+        )
+        .expect("engine builds");
+        let err = engine.run().expect_err("enqueue failure must propagate");
+        assert!(matches!(err, EngineError::Scheduler(_)));
+    }
+}

@@ -59,7 +59,12 @@ pub enum SwitchReason {
 /// structured [`crate::EngineError::Scheduler`] instead of panicking —
 /// sweep harnesses then record the diagnosis and continue with the next
 /// cell.
-pub trait Scheduler {
+///
+/// The `Send` supertrait is a hard contract: the whole run pipeline
+/// (engine + scheduler) moves onto worker threads in parallel sweeps, so
+/// implementations must not hold thread-bound state such as
+/// `Rc<RefCell<...>>` — use `Arc<Mutex<...>>` observers instead.
+pub trait Scheduler: Send {
     /// Technique name as used in the paper's figures.
     fn name(&self) -> &'static str;
 

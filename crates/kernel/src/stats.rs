@@ -82,7 +82,11 @@ impl CoreTime {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` (not `Eq`: `epoch_breakups` holds floats) exists so
+/// determinism tests can assert that parallel and serial sweeps produce
+/// bit-identical per-cell statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Instructions by category.
     pub instructions: CategoryInstructions,

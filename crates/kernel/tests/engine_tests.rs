@@ -166,7 +166,9 @@ fn migrations_happen_under_global_fifo() {
 /// hardware fills it.
 struct HeatmapProbe {
     inner: GlobalFifoScheduler,
-    collected: std::rc::Rc<std::cell::RefCell<u32>>,
+    // `Arc<Mutex>` rather than `Rc<RefCell>`: `Scheduler: Send`, and the
+    // observer must stay readable from the spawning thread.
+    collected: std::sync::Arc<std::sync::Mutex<u32>>,
 }
 
 impl Scheduler for HeatmapProbe {
@@ -203,14 +205,14 @@ impl Scheduler for HeatmapProbe {
         _reason: schedtask_kernel::SwitchReason,
     ) {
         if let Some(hm) = ctx.heatmap_take(core) {
-            *self.collected.borrow_mut() += hm.popcount();
+            *self.collected.lock().expect("probe lock") += hm.popcount();
         }
     }
 }
 
 #[test]
 fn heatmap_register_fills_during_execution() {
-    let collected = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+    let collected = std::sync::Arc::new(std::sync::Mutex::new(0u32));
     let sched = HeatmapProbe {
         inner: GlobalFifoScheduler::new(),
         collected: collected.clone(),
@@ -222,14 +224,17 @@ fn heatmap_register_fills_during_execution() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    assert!(*collected.borrow() > 0, "heatmap register never filled");
+    assert!(
+        *collected.lock().expect("probe lock") > 0,
+        "heatmap register never filled"
+    );
 }
 
 #[test]
 fn exact_page_collection_works() {
     struct ExactProbe {
         inner: GlobalFifoScheduler,
-        pages: std::rc::Rc<std::cell::RefCell<usize>>,
+        pages: std::sync::Arc<std::sync::Mutex<usize>>,
     }
     impl Scheduler for ExactProbe {
         fn name(&self) -> &'static str {
@@ -261,10 +266,10 @@ fn exact_page_collection_works() {
             _sf: SfId,
             _reason: schedtask_kernel::SwitchReason,
         ) {
-            *self.pages.borrow_mut() += ctx.exact_pages_take(core).len();
+            *self.pages.lock().expect("probe lock") += ctx.exact_pages_take(core).len();
         }
     }
-    let pages = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+    let pages = std::sync::Arc::new(std::sync::Mutex::new(0usize));
     let mut engine = Engine::new(
         small_cfg(2, 150_000),
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
@@ -275,7 +280,10 @@ fn exact_page_collection_works() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    assert!(*pages.borrow() > 0, "no exact pages collected");
+    assert!(
+        *pages.lock().expect("probe lock") > 0,
+        "no exact pages collected"
+    );
 }
 
 #[test]

@@ -155,7 +155,7 @@ fn ranking_inspector_collects_epochs() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    let snaps = inspector.borrow();
+    let snaps = inspector.snapshots();
     assert!(!snaps.is_empty(), "no TAlloc snapshots");
     // Every recorded row pairs a Bloom score with an exact score.
     let total_pairs: usize = snaps

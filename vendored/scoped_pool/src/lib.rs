@@ -1,0 +1,145 @@
+//! Offline vendored scoped thread pool.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local crate provides the one primitive the SchedTask
+//! reproduction's parallel sweep harness needs: a bounded-worker
+//! parallel map over borrowed data, [`scoped_map`]. It is built entirely
+//! on [`std::thread::scope`] — no registry crate (`rayon`,
+//! `threadpool`, ...) is involved.
+//!
+//! Design notes:
+//!
+//! * **Work claiming**, not work pushing: each worker repeatedly claims
+//!   the next unprocessed index through a shared [`AtomicUsize`]. Items
+//!   therefore run exactly once each, in no particular order, with no
+//!   channel plumbing.
+//! * **Results land by index** into pre-allocated `Mutex<Option<R>>`
+//!   slots, so the output order always matches the input order — the
+//!   caller cannot observe scheduling nondeterminism.
+//! * **`jobs <= 1` degrades to a plain serial loop** on the calling
+//!   thread, making "parallel off" exactly the pre-existing serial code
+//!   path.
+//! * A panicking closure propagates out of [`scoped_map`] once the scope
+//!   joins (the `std::thread::scope` contract); callers that need
+//!   per-item isolation wrap their closure body in
+//!   [`std::panic::catch_unwind`] themselves.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every element of `items` using at most `jobs` worker
+/// threads, returning the results in input order.
+///
+/// `f` runs once per item. With `jobs <= 1` (or one item or fewer) no
+/// thread is spawned and the map runs serially on the caller's thread;
+/// otherwise `min(jobs, items.len())` scoped workers claim items off a
+/// shared atomic counter.
+///
+/// # Panics
+///
+/// If `f` panics on a worker thread the panic is resent from
+/// `scoped_map` after all workers join, mirroring the serial behaviour.
+pub fn scoped_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let workers = jobs.min(items.len());
+    // `Mutex<Option<R>>` rather than `OnceLock<R>`: the slot vector must
+    // be `Sync` for sharing across workers, and `Mutex<T>: Sync` needs
+    // only `R: Send`.
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("scoped_map slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scoped_map slot lock")
+                .expect("scoped_map worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn serial_fallback_preserves_order() {
+        let items: Vec<u64> = (0..17).collect();
+        let out = scoped_map(&items, 1, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = scoped_map(&items, 1, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        for jobs in [2, 3, 4, 8, 200] {
+            let parallel = scoped_map(&items, jobs, |&x| {
+                x.wrapping_mul(0x9E37_79B9).rotate_left(7)
+            });
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<usize> = (0..64).collect();
+        let count = AtomicU32::new(0);
+        let out = scoped_map(&items, 4, |&i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 64);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(scoped_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(scoped_map(&[41u8], 4, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn borrows_caller_state() {
+        let base = [10u64, 20, 30];
+        let items: Vec<usize> = (0..3).collect();
+        let out = scoped_map(&items, 2, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            scoped_map(&items, 2, |&x| {
+                assert!(x != 5, "synthetic failure");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must cross scoped_map");
+    }
+}
