@@ -1,5 +1,6 @@
 //! Shared queue machinery for the baseline schedulers.
 
+use schedtask_kernel::obs::{ObsEvent, StealLevel};
 use schedtask_kernel::{EngineCore, SfId};
 use schedtask_workload::{SfCategory, SuperFuncType};
 use std::collections::{HashMap, VecDeque};
@@ -51,6 +52,12 @@ impl CoreQueues {
     /// Enqueues `sf` on `core` (bottom halves at the front).
     pub fn push(&mut self, ctx: &EngineCore, core: usize, sf: SfId) {
         let ty = ctx.sf_type(sf);
+        let at = ctx.now();
+        ctx.emit_obs(|| ObsEvent::Enqueued {
+            at,
+            sf: sf.0,
+            core: core as u32,
+        });
         self.waiting[core] += self.exec_estimate(ty);
         if ty.category() == SfCategory::BottomHalf {
             self.queues[core].push_front(sf);
@@ -130,7 +137,16 @@ impl CoreQueues {
     /// `candidates`, excluding `me`.
     pub fn steal_any(&mut self, ctx: &EngineCore, me: usize, candidates: &[usize]) -> Option<SfId> {
         let victim = self.most_loaded_nonempty(candidates.iter().copied().filter(|&c| c != me))?;
-        self.pop(ctx, victim)
+        let sf = self.pop(ctx, victim)?;
+        let at = ctx.now();
+        ctx.emit_obs(|| ObsEvent::Stolen {
+            at,
+            sf: sf.0,
+            thief: me as u32,
+            victim: victim as u32,
+            level: StealLevel::Any,
+        });
+        Some(sf)
     }
 
     /// Appends every queued SuperFunction to `out` (the

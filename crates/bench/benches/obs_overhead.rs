@@ -1,0 +1,99 @@
+//! Overhead of the observability layer.
+//!
+//! Two configurations of the same quick engine run are timed back to
+//! back: one with no observer attached (the unobserved fast path, where
+//! `ObserverSet::emit` skips event construction entirely) and one with
+//! a [`NoopObserver`] attached (every event is built and dispatched to
+//! a sink that discards it).
+//!
+//! The contract DESIGN.md §9 documents — and the CI `obs-overhead` job
+//! enforces — is that the no-op observer costs **under 1 %**: the emit
+//! path must never become a reason to leave observability off. Rounds
+//! are interleaved and summarized by their minimum — timing noise is
+//! one-sided, so the min converges on the noise-free run time — and
+//! the assertion itself only fires when
+//! `OBS_OVERHEAD_ASSERT=1` is set (the CI job) and re-measures up to
+//! three times before failing, since the real regressions it guards
+//! against — event construction leaking onto the unobserved path, or
+//! per-event work growing by an order of magnitude — fail every
+//! attempt, while scheduler noise does not.
+
+use criterion::black_box;
+use schedtask_kernel::obs::NoopObserver;
+use schedtask_kernel::{Engine, EngineConfig, GlobalFifoScheduler, WorkloadSpec};
+use schedtask_sim::SystemConfig;
+use schedtask_workload::BenchmarkKind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// Long enough that per-round times are dominated by simulation work
+// rather than scheduler jitter.
+const INSTRUCTIONS: u64 = 4_000_000;
+const ROUNDS: usize = 12;
+const BUDGET: f64 = 0.01;
+const ATTEMPTS: usize = 3;
+
+/// One full engine run; returns the wall-clock time of `run()` only
+/// (construction and observer attachment are outside the window).
+fn run_once(observed: bool) -> Duration {
+    let cfg = EngineConfig::fast()
+        .with_system(SystemConfig::table2().with_cores(4))
+        .with_max_instructions(INSTRUCTIONS);
+    let mut engine = Engine::new(
+        cfg,
+        &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
+        Box::new(GlobalFifoScheduler::new()),
+    )
+    .expect("engine builds");
+    if observed {
+        engine.add_observer(Arc::new(NoopObserver));
+    }
+    let start = Instant::now();
+    black_box(engine.run().expect("run succeeds").total_instructions());
+    start.elapsed()
+}
+
+/// Relative overhead of the no-op observer over `ROUNDS` interleaved
+/// rounds, plus the two minima it was computed from.
+fn measure() -> (f64, Duration, Duration) {
+    let mut base = Duration::MAX;
+    let mut obs = Duration::MAX;
+    for _ in 0..ROUNDS {
+        base = base.min(run_once(false));
+        obs = obs.min(run_once(true));
+    }
+    (obs.as_secs_f64() / base.as_secs_f64() - 1.0, base, obs)
+}
+
+fn main() {
+    // Warm-up: fault in code and caches before the timed rounds.
+    run_once(false);
+    run_once(true);
+
+    let assert = std::env::var("OBS_OVERHEAD_ASSERT").as_deref() == Ok("1");
+    let mut overhead = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        let (o, base, obs) = measure();
+        overhead = o;
+        println!("obs_overhead/unobserved:    {base:>12.3?} (min of {ROUNDS})");
+        println!("obs_overhead/noop_observer: {obs:>12.3?} (min of {ROUNDS})");
+        println!("obs_overhead/relative:      {:+.3}%", overhead * 100.0);
+        if !assert || overhead < BUDGET {
+            break;
+        }
+        if attempt < ATTEMPTS {
+            println!("obs_overhead/retry:         over budget, re-measuring");
+        }
+    }
+
+    if assert {
+        assert!(
+            overhead < BUDGET,
+            "no-op observer overhead {:.3}% exceeds the {:.0}% budget on {} consecutive measurements",
+            overhead * 100.0,
+            BUDGET * 100.0,
+            ATTEMPTS
+        );
+        println!("obs_overhead/assert:        ok (< 1%)");
+    }
+}

@@ -67,8 +67,8 @@ fn bench_fig11(c: &mut Criterion) {
     p.max_instructions = 500_000;
     g.bench_function("fig11_heatmap_single_width", |b| {
         b.iter(|| {
-            let (sched, _inspector) =
-                SchedTaskScheduler::with_ranking_inspector(p.cores, SchedTaskConfig::default());
+            let (sched, _observer) =
+                SchedTaskScheduler::with_ranking_observer(p.cores, SchedTaskConfig::default());
             runner::run_with_scheduler(
                 Box::new(sched),
                 &p,

@@ -60,6 +60,6 @@ pub mod stealing;
 
 pub use alloc_table::AllocationTable;
 pub use overlap::OverlapTable;
-pub use scheduler::{EpochRankings, RankingInspector, SchedTaskConfig, SchedTaskScheduler};
+pub use scheduler::{EpochRankings, RankingObserver, SchedTaskConfig, SchedTaskScheduler};
 pub use stats_table::{StatsTable, TypeStats};
 pub use stealing::StealPolicy;

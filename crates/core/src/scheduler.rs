@@ -5,6 +5,7 @@ use crate::alloc_table::AllocationTable;
 use crate::overlap::OverlapTable;
 use crate::stats_table::StatsTable;
 use crate::stealing::StealPolicy;
+use schedtask_kernel::obs::{ObsEvent, Observer, StealLevel};
 use schedtask_kernel::{CoreId, EngineCore, SchedError, SchedEvent, Scheduler, SfId, SwitchReason};
 use schedtask_metrics::cosine_similarity;
 use schedtask_sim::PageHeatmap;
@@ -62,28 +63,32 @@ impl Default for SchedTaskConfig {
 /// same-domain candidate with its Bloom overlap and exact page overlap.
 pub type EpochRankings = Vec<(SuperFuncType, Vec<(SuperFuncType, u32, u32)>)>;
 
-/// Shared handle through which experiments read ranking-validation data
-/// after a run (Figure 11).
+/// Observer that accumulates TAlloc's ranking-validation snapshots
+/// (Figure 11).
 ///
-/// `Send`-safe by construction (`Arc<Mutex<...>>`): the scheduler half
-/// lives inside an engine that parallel sweeps move onto worker threads,
-/// while the experiment half reads the snapshots after `run()` returns.
-#[derive(Debug, Clone, Default)]
-pub struct RankingInspector {
-    shared: Arc<Mutex<Vec<EpochRankings>>>,
+/// Shares the [`Observer`] trait with the generic sinks so experiments
+/// hold it as an `Arc` like any other observer; the rankings themselves
+/// are typed data the scheduler pushes directly (they are too rich for
+/// the generic event stream). The scheduler half lives inside an engine
+/// that parallel sweeps move onto worker threads, while the experiment
+/// half reads the snapshots after `run()` returns — hence the interior
+/// `Mutex`.
+#[derive(Debug, Default)]
+pub struct RankingObserver {
+    shared: Mutex<Vec<EpochRankings>>,
 }
 
-impl RankingInspector {
-    /// A fresh, empty inspector.
+impl RankingObserver {
+    /// A fresh, empty observer.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Records one TAlloc pass's rankings (scheduler side).
-    fn push(&self, epoch: EpochRankings) {
+    fn record(&self, epoch: EpochRankings) {
         self.shared
             .lock()
-            .expect("ranking inspector lock")
+            .expect("ranking observer lock")
             .push(epoch);
     }
 
@@ -91,20 +96,24 @@ impl RankingInspector {
     pub fn is_empty(&self) -> bool {
         self.shared
             .lock()
-            .expect("ranking inspector lock")
+            .expect("ranking observer lock")
             .is_empty()
     }
 
     /// Number of recorded TAlloc passes.
     pub fn len(&self) -> usize {
-        self.shared.lock().expect("ranking inspector lock").len()
+        self.shared.lock().expect("ranking observer lock").len()
     }
 
     /// A copy of every recorded epoch's rankings (experiment side).
     pub fn snapshots(&self) -> Vec<EpochRankings> {
-        self.shared.lock().expect("ranking inspector lock").clone()
+        self.shared.lock().expect("ranking observer lock").clone()
     }
 }
+
+/// The rankings arrive through the typed [`RankingObserver::snapshots`]
+/// side channel, so the generic event stream needs no handling here.
+impl Observer for RankingObserver {}
 
 /// The SchedTask scheduler.
 ///
@@ -143,7 +152,7 @@ pub struct SchedTaskScheduler {
     last_segment_instr: u64,
     prev_fractions: BTreeMap<SuperFuncType, f64>,
     irq_routes: HashMap<u64, CoreId>,
-    validation: Option<RankingInspector>,
+    validation: Option<Arc<RankingObserver>>,
     spread_counter: usize,
     epochs_run: u64,
     reallocations: u64,
@@ -178,17 +187,17 @@ impl SchedTaskScheduler {
         }
     }
 
-    /// Creates the scheduler plus a shared inspector for Figure 11's
+    /// Creates the scheduler plus a shared observer for Figure 11's
     /// ranking validation (forces `collect_ranking_validation`).
-    pub fn with_ranking_inspector(
+    pub fn with_ranking_observer(
         num_cores: usize,
         mut cfg: SchedTaskConfig,
-    ) -> (Self, RankingInspector) {
+    ) -> (Self, Arc<RankingObserver>) {
         cfg.collect_ranking_validation = true;
         let mut s = Self::new(num_cores, cfg);
-        let inspector = RankingInspector::new();
-        s.validation = Some(inspector.clone());
-        (s, inspector)
+        let observer = Arc::new(RankingObserver::new());
+        s.validation = Some(Arc::clone(&observer));
+        (s, observer)
     }
 
     /// Epochs processed so far.
@@ -259,6 +268,14 @@ impl SchedTaskScheduler {
                 .position(|&sf| my_types.contains(&ctx.sf_type(sf)));
             if let Some(pos) = pos {
                 if let Some(sf) = self.remove_from_queue(ctx, v, pos) {
+                    let at = ctx.now();
+                    ctx.emit_obs(|| ObsEvent::Stolen {
+                        at,
+                        sf: sf.0,
+                        thief: me as u32,
+                        victim: v as u32,
+                        level: StealLevel::SameWork,
+                    });
                     return Some(sf);
                 }
             }
@@ -303,6 +320,16 @@ impl SchedTaskScheduler {
                     continue;
                 }
                 stolen.reverse();
+                let at = ctx.now();
+                for &sf in &stolen {
+                    ctx.emit_obs(|| ObsEvent::Stolen {
+                        at,
+                        sf: sf.0,
+                        thief: me as u32,
+                        victim: v as u32,
+                        level: StealLevel::SimilarWork,
+                    });
+                }
                 let first = stolen.remove(0);
                 for sf in stolen {
                     self.push_queue(ctx, me, sf);
@@ -324,7 +351,16 @@ impl SchedTaskScheduler {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(b.cmp(&a))
             })?;
-        self.pop_queue(ctx, victim)
+        let sf = self.pop_queue(ctx, victim)?;
+        let at = ctx.now();
+        ctx.emit_obs(|| ObsEvent::Stolen {
+            at,
+            sf: sf.0,
+            thief: me as u32,
+            victim: victim as u32,
+            level: StealLevel::MaxWaiting,
+        });
+        Some(sf)
     }
 
     /// The TAlloc pass (Section 5.2).
@@ -367,6 +403,8 @@ impl SchedTaskScheduler {
         if self.alloc.is_empty() || similarity < self.cfg.realloc_threshold {
             self.alloc = AllocationTable::from_stats(&system, num_cores);
             self.reallocations += 1;
+            let at = ctx.now();
+            ctx.emit_obs(|| ObsEvent::EpochRealloc { at });
 
             // Program the interrupt controller: IRQ x served by the first
             // core allocated to its type; unrouted IRQs go to core 0.
@@ -386,7 +424,7 @@ impl SchedTaskScheduler {
 
         // 5. Ranking validation for Figure 11.
         if self.cfg.collect_ranking_validation {
-            if let Some(v) = &self.validation {
+            if let Some(obs) = &self.validation {
                 let mut epoch: EpochRankings = Vec::new();
                 for (&a, sa) in system.iter() {
                     let mut row = Vec::new();
@@ -403,7 +441,7 @@ impl SchedTaskScheduler {
                     }
                 }
                 if !epoch.is_empty() {
-                    v.push(epoch);
+                    obs.record(epoch);
                 }
             }
         }
@@ -472,6 +510,12 @@ impl Scheduler for SchedTaskScheduler {
                 _ => min_core,
             }
         };
+        let at = ctx.now();
+        ctx.emit_obs(|| ObsEvent::Enqueued {
+            at,
+            sf: sf.0,
+            core: target as u32,
+        });
         self.push_queue(ctx, target, sf);
         Ok(())
     }
@@ -651,9 +695,9 @@ mod tests {
         .expect("engine builds");
         engine.run().expect("run succeeds");
         // The scheduler was consumed by the engine; re-run with a probe
-        // via the inspector API instead.
-        let (sched, inspector) =
-            SchedTaskScheduler::with_ranking_inspector(cores, SchedTaskConfig::default());
+        // via the ranking-observer API instead.
+        let (sched, observer) =
+            SchedTaskScheduler::with_ranking_observer(cores, SchedTaskConfig::default());
         let cfg = EngineConfig::fast()
             .with_system(SystemConfig::table2().with_cores(cores))
             .with_max_instructions(800_000);
@@ -664,17 +708,14 @@ mod tests {
         )
         .expect("engine builds");
         engine.run().expect("run succeeds");
-        assert!(
-            !inspector.is_empty(),
-            "no TAlloc ranking snapshots recorded"
-        );
+        assert!(!observer.is_empty(), "no TAlloc ranking snapshots recorded");
     }
 
     #[test]
     fn ranking_validation_contains_bloom_and_exact() {
         let cores = 4;
-        let (sched, inspector) =
-            SchedTaskScheduler::with_ranking_inspector(cores, SchedTaskConfig::default());
+        let (sched, observer) =
+            SchedTaskScheduler::with_ranking_observer(cores, SchedTaskConfig::default());
         let cfg = EngineConfig::fast()
             .with_system(SystemConfig::table2().with_cores(cores))
             .with_max_instructions(600_000);
@@ -685,7 +726,7 @@ mod tests {
         )
         .expect("engine builds");
         engine.run().expect("run succeeds");
-        let snaps = inspector.snapshots();
+        let snaps = observer.snapshots();
         assert!(!snaps.is_empty());
         let any_overlap = snaps
             .iter()

@@ -9,10 +9,10 @@
 //! * **"steal half of them"** versus stealing a single SuperFunction;
 //! * the **thread-migration cost** assumption.
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
-use schedtask_kernel::{SimStats, WorkloadSpec};
+use schedtask_kernel::SimStats;
 use schedtask_metrics::geometric_mean_pct;
 use schedtask_sim::ReplacementPolicy;
 use schedtask_workload::BenchmarkKind;
@@ -33,16 +33,20 @@ fn run_schedtask(
     kind: BenchmarkKind,
 ) -> Result<SimStats, ExperimentError> {
     let sched = SchedTaskScheduler::new(params.cores, cfg);
-    runner::run_with_scheduler(Box::new(sched), params, &WorkloadSpec::single(kind, 2.0))
+    RunBuilder::new(params)
+        .scheduler(Box::new(sched))
+        .benchmark(kind, 2.0)
+        .run()
 }
 
 fn baselines(params: &ExpParams) -> Result<Vec<(BenchmarkKind, SimStats)>, ExperimentError> {
     let mut out = Vec::new();
     for k in ablation_benchmarks() {
-        out.push((
-            k,
-            runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0))?,
-        ));
+        let stats = RunBuilder::new(params)
+            .technique(Technique::Linux)
+            .benchmark(k, 2.0)
+            .run()?;
+        out.push((k, stats));
     }
     Ok(out)
 }
@@ -178,27 +182,25 @@ pub fn migration_cost_table(params: &ExpParams, costs: &[u64]) -> Result<Table, 
         for k in ablation_benchmarks() {
             let mut cfg = params.engine_config(Technique::Linux);
             cfg.migration_cost_cycles = cost;
-            let stats = runner::run_configured(
-                Technique::Linux.name(),
-                cfg,
-                &WorkloadSpec::single(k, 2.0),
-                Technique::Linux.scheduler(params.cores),
-            )?;
+            let stats = RunBuilder::from_config(cfg)
+                .label(Technique::Linux.name())
+                .scheduler(Technique::Linux.scheduler(params.cores))
+                .benchmark(k, 2.0)
+                .run()?;
             base.push((k, stats));
         }
         let mut vals = Vec::new();
         for (k, b) in &base {
             let mut cfg = params.engine_config(Technique::SchedTask);
             cfg.migration_cost_cycles = cost;
-            let stats = runner::run_configured(
-                Technique::SchedTask.name(),
-                cfg,
-                &WorkloadSpec::single(*k, 2.0),
-                Box::new(SchedTaskScheduler::new(
+            let stats = RunBuilder::from_config(cfg)
+                .label(Technique::SchedTask.name())
+                .scheduler(Box::new(SchedTaskScheduler::new(
                     params.cores,
                     SchedTaskConfig::default(),
-                )),
-            )?;
+                )))
+                .benchmark(*k, 2.0)
+                .run()?;
             vals.push(runner::throughput_change(b, &stats));
         }
         t.push_row([format!("{cost}"), f1(geometric_mean_pct(&vals))]);

@@ -5,6 +5,7 @@
 //! ```text
 //! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S] [--jobs N]
 //!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
+//!                    [--obs FILE] [--profile]
 //!
 //! experiments:
 //!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
@@ -38,16 +39,25 @@
 //!   `SimStats` are bit-identical to the serial run (each cell's seed is
 //!   a pure function of the parameters); only wall-clock time changes.
 //!
+//! Observability options (sweep experiment):
+//!
+//! * `--obs FILE` attaches a JSONL sink to every sweep cell and writes
+//!   the concatenated event logs (one JSON object per line, each tagged
+//!   with its `technique/benchmark` cell) to `FILE`.
+//! * `--profile` attaches an in-memory aggregator to every sweep cell
+//!   and prints per-technique counter and span summary tables.
+//!
 //! Failures never abort a sweep or `all`: each failed experiment is
 //! recorded with a structured diagnosis, partial results still print,
 //! a failure summary follows, and the exit code stays 0.
 
 use schedtask::StealPolicy;
-use schedtask_experiments::runner::run_sweep_jobs;
+use schedtask_experiments::runner::run_sweep_observed;
 use schedtask_experiments::{
     ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
 };
 use schedtask_experiments::{Comparison, ExpParams, ExperimentError, Table, Technique};
+use schedtask_kernel::obs::{render_counter_table, render_span_table};
 use schedtask_kernel::FaultPlan;
 use schedtask_workload::BenchmarkKind;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +73,8 @@ struct Opts {
     sanitize: bool,
     force_fail: Option<(Technique, BenchmarkKind, u64)>,
     jobs: usize,
+    obs: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Opts {
@@ -76,6 +88,8 @@ fn parse_args() -> Opts {
         sanitize: false,
         force_fail: None,
         jobs: 1,
+        obs: None,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,6 +97,13 @@ fn parse_args() -> Opts {
             "--quick" => opts.quick = true,
             "--markdown" => opts.markdown = true,
             "--sanitize" => opts.sanitize = true,
+            "--profile" => opts.profile = true,
+            "--obs" => {
+                opts.obs = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--obs needs a file path")),
+                );
+            }
             "--cores" => {
                 opts.cores = args
                     .next()
@@ -162,7 +183,10 @@ fn print_help() {
         "repro — regenerate the SchedTask paper's tables and figures\n\n\
          usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\
                 [--jobs N] [--faults none|light|heavy[@SEED]] [--sanitize]\n\
-                [--force-fail TECH:BENCH[:N]]\n\n\
+                [--force-fail TECH:BENCH[:N]] [--obs FILE] [--profile]\n\n\
+         observability (sweep experiment):\n\
+           --obs FILE   write every cell's event log as JSON Lines to FILE\n\
+           --profile    print per-technique counter and span summaries\n\n\
          experiments: fig4 fig7 fig8 fig9 fig10 fig11 overheads table4 mpw\n\
                       icache cacheconfig cores prefetch tracecache ablations\n\
                       sweep all"
@@ -218,7 +242,16 @@ fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
     } else {
         BenchmarkKind::all().to_vec()
     };
-    let report = run_sweep_jobs(p, &techniques, &benchmarks, 2.0, opts.force_fail, opts.jobs);
+    let collect_obs = opts.obs.is_some() || opts.profile;
+    let report = run_sweep_observed(
+        p,
+        &techniques,
+        &benchmarks,
+        2.0,
+        opts.force_fail,
+        opts.jobs,
+        collect_obs,
+    );
 
     let mut t = Table::new("Sweep: instruction throughput (G instr / G cycles) per cell")
         .with_note("Failed cells print their diagnosis below instead of a value.");
@@ -249,6 +282,25 @@ fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
             detail: e.to_string(),
         });
     }
+
+    if opts.profile {
+        println!("\nPer-technique counters (whole run, warm-up included):");
+        println!("{}", render_counter_table(&report.counters_by_technique()));
+        for (name, rows) in report.spans_by_technique() {
+            println!("{name} spans:");
+            println!("{}", render_span_table(&rows));
+        }
+    }
+    if let Some(path) = &opts.obs {
+        match std::fs::write(path, report.jsonl()) {
+            Ok(()) => eprintln!("[repro] wrote observability events to {path}"),
+            Err(e) => failures.push(Failure {
+                experiment: "sweep --obs".to_string(),
+                detail: format!("writing {path}: {e}"),
+            }),
+        }
+    }
+
     eprintln!(
         "[repro] sweep: {} cells ok, {} failed",
         report.succeeded(),
@@ -259,6 +311,12 @@ fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
 
 fn main() {
     let opts = parse_args();
+    if (opts.obs.is_some() || opts.profile)
+        && opts.experiment != "sweep"
+        && opts.experiment != "all"
+    {
+        eprintln!("[repro] note: --obs/--profile only apply to the sweep experiment; ignored");
+    }
     let p = params(&opts);
     let started = Instant::now();
     let md = opts.markdown;

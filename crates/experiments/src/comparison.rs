@@ -3,7 +3,7 @@
 //! the appendix experiments (i-cache size, cache configs, core counts,
 //! prefetcher, trace cache) rerun it with different machine templates.
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, Table};
 use schedtask_kernel::{SimStats, WorkloadSpec};
 use schedtask_metrics::geometric_mean_pct;
@@ -49,10 +49,14 @@ impl Comparison {
         let mut runs = Vec::with_capacity(kinds.len());
         for &kind in kinds {
             let w = WorkloadSpec::single(kind, scale);
-            let baseline = runner::run(Technique::Linux, params, &w)?;
+            let baseline = RunBuilder::new(params)
+                .technique(Technique::Linux)
+                .workload(&w)
+                .run()?;
             let mut techniques = Vec::new();
             for t in Technique::compared() {
-                techniques.push((t, runner::run(t, params, &w)?));
+                let stats = RunBuilder::new(params).technique(t).workload(&w).run()?;
+                techniques.push((t, stats));
             }
             runs.push(ComparisonRun {
                 kind,

@@ -61,7 +61,7 @@ pub fn run(
         let mut tau_per_benchmark = Vec::new();
         let mut perf_per_benchmark = Vec::new();
         for (kind, base) in &baselines {
-            let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
+            let (sched, observer) = SchedTaskScheduler::with_ranking_observer(
                 params.cores,
                 SchedTaskConfig {
                     heatmap_bits: bits,
@@ -77,7 +77,7 @@ pub fn run(
             // candidates, compare the Bloom scores against the exact
             // scores over the same candidate list.
             let mut taus = Vec::new();
-            for epoch in inspector.snapshots().iter() {
+            for epoch in observer.snapshots().iter() {
                 for (_ty, row) in epoch {
                     if row.len() < 2 {
                         continue;
@@ -131,7 +131,7 @@ pub fn run_tau_on_workloads(
     for &bits in WIDTHS.iter() {
         let mut per_workload = Vec::new();
         for (name, w) in workloads {
-            let (sched, inspector) = SchedTaskScheduler::with_ranking_inspector(
+            let (sched, observer) = SchedTaskScheduler::with_ranking_observer(
                 params.cores,
                 SchedTaskConfig {
                     heatmap_bits: bits,
@@ -140,7 +140,7 @@ pub fn run_tau_on_workloads(
             );
             let _stats = runner::run_with_scheduler(Box::new(sched), params, w)?;
             let mut taus = Vec::new();
-            for epoch in inspector.snapshots().iter() {
+            for epoch in observer.snapshots().iter() {
                 for (_ty, row) in epoch {
                     if row.len() < 2 {
                         continue;

@@ -42,7 +42,7 @@ pub mod table4_workload;
 
 pub use comparison::Comparison;
 pub use runner::{
-    CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, SweepReport,
-    Technique,
+    CellObs, CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, RunBuilder,
+    SweepReport, Technique,
 };
 pub use table::Table;

@@ -11,6 +11,7 @@ use schedtask_baselines::{
     DisAggregateOsScheduler, FlexScScheduler, LinuxScheduler, SelectiveOffloadScheduler,
     SliccScheduler,
 };
+use schedtask_kernel::obs::{Aggregator, CounterSnapshot, JsonlSink, Observer, SpanRow};
 use schedtask_kernel::{
     CoreId, Engine, EngineConfig, EngineCore, EngineError, FaultPlan, SchedError, SchedEvent,
     Scheduler, SfId, SimStats, SwitchReason, WorkloadSpec,
@@ -19,6 +20,7 @@ use schedtask_sim::SystemConfig;
 use schedtask_workload::BenchmarkKind;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// A failed experiment run: which cell failed and why.
 ///
@@ -43,6 +45,8 @@ pub enum FailureCause {
     Engine(EngineError),
     /// The cell panicked; the payload message is preserved.
     Panic(String),
+    /// A [`RunBuilder`] was started without a required input.
+    Builder(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -54,6 +58,9 @@ impl fmt::Display for ExperimentError {
             FailureCause::Panic(msg) => {
                 write!(f, "{} on {}: panic: {msg}", self.technique, self.workload)
             }
+            FailureCause::Builder(msg) => {
+                write!(f, "{} on {}: {msg}", self.technique, self.workload)
+            }
         }
     }
 }
@@ -62,7 +69,7 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.cause {
             FailureCause::Engine(e) => Some(e),
-            FailureCause::Panic(_) => None,
+            FailureCause::Panic(_) | FailureCause::Builder(_) => None,
         }
     }
 }
@@ -73,6 +80,14 @@ impl ExperimentError {
             technique: technique.to_string(),
             workload: workload.to_string(),
             cause: FailureCause::Engine(source),
+        }
+    }
+
+    fn builder(technique: &str, workload: &str, detail: &str) -> Self {
+        ExperimentError {
+            technique: technique.to_string(),
+            workload: workload.to_string(),
+            cause: FailureCause::Builder(detail.to_string()),
         }
     }
 }
@@ -134,7 +149,14 @@ impl Technique {
     }
 
     /// Parses a technique from its display name (case-insensitive).
+    /// Variant spellings that differ from the figure labels are accepted
+    /// too, so [`Technique::name`] always round-trips — in particular
+    /// `"linux"` parses even though the baseline displays as
+    /// `"Baseline"`.
     pub fn parse(s: &str) -> Option<Technique> {
+        if s.eq_ignore_ascii_case("linux") {
+            return Some(Technique::Linux);
+        }
         Technique::all()
             .into_iter()
             .find(|t| t.name().eq_ignore_ascii_case(s))
@@ -275,53 +297,269 @@ impl ExpParams {
     }
 }
 
+/// Fluent, single entry point for running one simulation.
+///
+/// Consolidates the historical [`run`], [`run_with_scheduler`],
+/// [`run_configured`], and [`run_benchmark`] free functions (which now
+/// forward here): a [`Technique`] or a custom scheduler, an optional
+/// full engine-config override, fault plans, the invariant sanitizer,
+/// and any number of [`Observer`]s are all accepted uniformly.
+///
+/// Resolution rules:
+///
+/// * The workload is required ([`workload`](Self::workload) or
+///   [`benchmark`](Self::benchmark)).
+/// * A custom [`scheduler`](Self::scheduler) wins over
+///   [`technique`](Self::technique); with neither, `run` fails with a
+///   [`FailureCause::Builder`] diagnosis.
+/// * An explicit [`config`](Self::config) wins over the config derived
+///   from the parameters; builder-level [`faults`](Self::faults) and
+///   [`sanitize`](Self::sanitize) are applied on top of either.
+/// * Without a technique the derived config never doubles cores (the
+///   historical `run_with_scheduler` behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use schedtask_experiments::runner::{ExpParams, RunBuilder, Technique};
+/// use schedtask_workload::BenchmarkKind;
+///
+/// let mut p = ExpParams::quick();
+/// p.cores = 4;
+/// p.max_instructions = 150_000;
+/// p.warmup_instructions = 50_000;
+/// let stats = RunBuilder::new(&p)
+///     .technique(Technique::Linux)
+///     .benchmark(BenchmarkKind::Find, 1.0)
+///     .run()
+///     .expect("run succeeds");
+/// assert!(stats.total_instructions() > 0);
+/// ```
+pub struct RunBuilder {
+    params: Option<ExpParams>,
+    technique: Option<Technique>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    config: Option<EngineConfig>,
+    label: Option<String>,
+    workload: Option<WorkloadSpec>,
+    faults: Option<FaultPlan>,
+    sanitize: bool,
+    observers: Vec<Arc<dyn Observer>>,
+}
+
+impl RunBuilder {
+    /// Starts a run from shared experiment parameters.
+    pub fn new(params: &ExpParams) -> Self {
+        RunBuilder {
+            params: Some(params.clone()),
+            technique: None,
+            scheduler: None,
+            config: None,
+            label: None,
+            workload: None,
+            faults: None,
+            sanitize: false,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Starts a run from an already-built engine configuration (the
+    /// historical `run_configured` entry).
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        RunBuilder {
+            params: None,
+            technique: None,
+            scheduler: None,
+            config: Some(cfg),
+            label: None,
+            workload: None,
+            faults: None,
+            sanitize: false,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Selects one of the paper's techniques (scheduler and, where
+    /// applicable, core doubling follow from it).
+    pub fn technique(mut self, technique: Technique) -> Self {
+        self.technique = Some(technique);
+        self
+    }
+
+    /// Uses a custom scheduler (e.g. a SchedTask variant). Wins over
+    /// [`technique`](Self::technique).
+    pub fn scheduler(mut self, sched: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// Overrides the engine configuration entirely.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Overrides the label used in failure diagnostics.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: &WorkloadSpec) -> Self {
+        self.workload = Some(workload.clone());
+        self
+    }
+
+    /// Sets a single-benchmark workload at `scale`.
+    pub fn benchmark(self, kind: BenchmarkKind, scale: f64) -> Self {
+        self.workload(&WorkloadSpec::single(kind, scale))
+    }
+
+    /// Injects a deterministic fault plan (applied on top of whatever
+    /// config source is used).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables the engine's invariant sanitizer.
+    pub fn sanitize(mut self) -> Self {
+        self.sanitize = true;
+        self
+    }
+
+    /// Attaches an observer for the whole run (warm-up included). May be
+    /// called repeatedly; observers see events in attach order.
+    pub fn observer(mut self, obs: Arc<dyn Observer>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Builds the engine and runs it.
+    pub fn run(mut self) -> Result<SimStats, ExperimentError> {
+        let label = self
+            .label
+            .take()
+            .unwrap_or_else(|| match (&self.scheduler, self.technique) {
+                (Some(s), _) => s.name().to_string(),
+                (None, Some(t)) => t.name().to_string(),
+                (None, None) => "unconfigured".to_string(),
+            });
+        let workload = self.workload.take().ok_or_else(|| {
+            ExperimentError::builder(&label, "?", "no workload: call .workload() or .benchmark()")
+        })?;
+        let wl_label = workload_label(&workload);
+        // Without a technique the derived config must not double cores;
+        // SchedTask is the neutral shape (run_with_scheduler's contract).
+        let shape = self.technique.unwrap_or(Technique::SchedTask);
+        let mut cfg = match self.config.take() {
+            Some(cfg) => cfg,
+            None => self
+                .params
+                .as_ref()
+                .ok_or_else(|| {
+                    ExperimentError::builder(
+                        &label,
+                        &wl_label,
+                        "no engine configuration: use RunBuilder::new or .config()",
+                    )
+                })?
+                .engine_config(shape),
+        };
+        if let Some(plan) = self.faults.take() {
+            cfg = cfg.with_faults(plan);
+        }
+        if self.sanitize {
+            cfg = cfg.with_sanitizer();
+        }
+        let sched = match self.scheduler.take() {
+            Some(s) => s,
+            None => self
+                .technique
+                .ok_or_else(|| {
+                    ExperimentError::builder(
+                        &label,
+                        &wl_label,
+                        "no scheduler: call .technique() or .scheduler()",
+                    )
+                })?
+                // The config is authoritative about the machine size, so
+                // the scheduler always matches it (core doubling
+                // included).
+                .scheduler(cfg.system.num_cores),
+        };
+        let mut engine = Engine::new(cfg, &workload, sched)
+            .map_err(|e| ExperimentError::engine(&label, &wl_label, e))?;
+        for obs in self.observers.drain(..) {
+            engine.add_observer(obs);
+        }
+        engine
+            .run()
+            .cloned()
+            .map_err(|e| ExperimentError::engine(&label, &wl_label, e))
+    }
+}
+
 /// Runs `technique` on `workload` and returns the statistics.
+///
+/// Deprecated: prefer [`RunBuilder`]; this forwards to it and is kept so
+/// existing experiments compile unchanged.
 pub fn run(
     technique: Technique,
     params: &ExpParams,
     workload: &WorkloadSpec,
 ) -> Result<SimStats, ExperimentError> {
-    let cfg = params.engine_config(technique);
-    let sched = technique.scheduler(params.engine_cores(technique));
-    run_configured(technique.name(), cfg, workload, sched)
+    RunBuilder::new(params)
+        .technique(technique)
+        .workload(workload)
+        .run()
 }
 
 /// Runs a custom scheduler (e.g. a SchedTask variant) on `workload`.
+///
+/// Deprecated: prefer [`RunBuilder::scheduler`]; this forwards to it.
 pub fn run_with_scheduler(
     sched: Box<dyn Scheduler>,
     params: &ExpParams,
     workload: &WorkloadSpec,
 ) -> Result<SimStats, ExperimentError> {
-    let cfg = params.engine_config(Technique::SchedTask);
-    let name = sched.name().to_string();
-    run_configured(&name, cfg, workload, sched)
+    RunBuilder::new(params)
+        .scheduler(sched)
+        .workload(workload)
+        .run()
 }
 
 /// Runs an already-built configuration, labelling failures with
 /// `technique`.
+///
+/// Deprecated: prefer [`RunBuilder::from_config`]; this forwards to it.
 pub fn run_configured(
     technique: &str,
     cfg: EngineConfig,
     workload: &WorkloadSpec,
     sched: Box<dyn Scheduler>,
 ) -> Result<SimStats, ExperimentError> {
-    let label = workload_label(workload);
-    let mut engine = Engine::new(cfg, workload, sched)
-        .map_err(|e| ExperimentError::engine(technique, &label, e))?;
-    engine
+    RunBuilder::from_config(cfg)
+        .label(technique)
+        .scheduler(sched)
+        .workload(workload)
         .run()
-        .cloned()
-        .map_err(|e| ExperimentError::engine(technique, &label, e))
 }
 
 /// Runs `technique` on one benchmark at `scale`.
+///
+/// Deprecated: prefer [`RunBuilder::benchmark`]; this forwards to it.
 pub fn run_benchmark(
     technique: Technique,
     params: &ExpParams,
     kind: BenchmarkKind,
     scale: f64,
 ) -> Result<SimStats, ExperimentError> {
-    run(technique, params, &WorkloadSpec::single(kind, scale))
+    RunBuilder::new(params)
+        .technique(technique)
+        .benchmark(kind, scale)
+        .run()
 }
 
 fn workload_label(workload: &WorkloadSpec) -> String {
@@ -459,6 +697,24 @@ impl Scheduler for FailAfterScheduler {
     }
 }
 
+/// Per-cell observability data, collected when a sweep is asked to
+/// observe its cells (see [`run_sweep_observed`]).
+///
+/// Lives next to — never inside — the cell's `SimStats`, so the
+/// bit-identical serial/parallel determinism contract on the statistics
+/// is untouched. The data itself is deterministic too: counters and
+/// spans derive from the cell's own event stream.
+#[derive(Debug, Clone)]
+pub struct CellObs {
+    /// Counter totals over the whole run (warm-up included).
+    pub counters: CounterSnapshot,
+    /// Hierarchical span rows (run / epoch / per-class SuperFunction).
+    pub spans: Vec<SpanRow>,
+    /// The cell's JSONL event log, one event per line, each labelled
+    /// with `technique/benchmark`.
+    pub jsonl: String,
+}
+
 /// One (technique, benchmark) cell of a sweep.
 #[derive(Debug)]
 pub struct CellOutcome {
@@ -468,6 +724,8 @@ pub struct CellOutcome {
     pub benchmark: BenchmarkKind,
     /// Statistics on success, diagnostics on failure.
     pub result: Result<SimStats, ExperimentError>,
+    /// Observability data when the sweep collected it.
+    pub obs: Option<CellObs>,
 }
 
 /// A full technique × benchmark sweep with per-cell failure isolation.
@@ -491,6 +749,69 @@ impl SweepReport {
     /// The failed cells' diagnostics.
     pub fn failures(&self) -> impl Iterator<Item = &ExperimentError> {
         self.cells.iter().filter_map(|c| c.result.as_err())
+    }
+
+    /// Counter totals summed over every observed cell (zero when the
+    /// sweep ran unobserved).
+    pub fn counter_rollup(&self) -> CounterSnapshot {
+        self.cells
+            .iter()
+            .filter_map(|c| c.obs.as_ref())
+            .fold(CounterSnapshot::zero(), |acc, o| acc.merged(&o.counters))
+    }
+
+    /// Counter totals per technique, in first-appearance order (for the
+    /// `--profile` summary table).
+    pub fn counters_by_technique(&self) -> Vec<(String, CounterSnapshot)> {
+        let mut columns: Vec<(String, CounterSnapshot)> = Vec::new();
+        for cell in &self.cells {
+            let Some(obs) = &cell.obs else { continue };
+            let name = cell.technique.name();
+            match columns.iter().position(|(n, _)| n == name) {
+                Some(i) => columns[i].1 = columns[i].1.merged(&obs.counters),
+                None => columns.push((name.to_string(), obs.counters)),
+            }
+        }
+        columns
+    }
+
+    /// Span rows per technique, in first-appearance order, with
+    /// same-kind rows from a technique's cells merged.
+    pub fn spans_by_technique(&self) -> Vec<(String, Vec<SpanRow>)> {
+        let mut groups: Vec<(String, Vec<SpanRow>)> = Vec::new();
+        for cell in &self.cells {
+            let Some(obs) = &cell.obs else { continue };
+            let name = cell.technique.name();
+            let g = match groups.iter().position(|(n, _)| n == name) {
+                Some(i) => i,
+                None => {
+                    groups.push((name.to_string(), Vec::new()));
+                    groups.len() - 1
+                }
+            };
+            let rows = &mut groups[g].1;
+            for row in &obs.spans {
+                match rows.iter().position(|r| r.kind == row.kind) {
+                    Some(i) => {
+                        rows[i].count += row.count;
+                        rows[i].total_cycles += row.total_cycles;
+                        rows[i].self_cycles += row.self_cycles;
+                    }
+                    None => rows.push(row.clone()),
+                }
+            }
+        }
+        groups
+    }
+
+    /// Every observed cell's JSONL, concatenated in cell order (each
+    /// line already carries its cell label).
+    pub fn jsonl(&self) -> String {
+        self.cells
+            .iter()
+            .filter_map(|c| c.obs.as_ref())
+            .map(|o| o.jsonl.as_str())
+            .collect()
     }
 }
 
@@ -539,6 +860,27 @@ pub fn run_sweep_jobs(
     force_fail: Option<(Technique, BenchmarkKind, u64)>,
     jobs: usize,
 ) -> SweepReport {
+    run_sweep_observed(
+        params, techniques, benchmarks, scale, force_fail, jobs, false,
+    )
+}
+
+/// [`run_sweep_jobs`] that additionally attaches an in-memory aggregator
+/// and a JSONL sink to every cell when `collect_obs` is set, filling
+/// [`CellOutcome::obs`]. Observation does not perturb the simulation:
+/// the per-cell `SimStats` stay bit-identical to an unobserved sweep,
+/// and the obs data itself is deterministic (serial and parallel sweeps
+/// produce equal counters).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_observed(
+    params: &ExpParams,
+    techniques: &[Technique],
+    benchmarks: &[BenchmarkKind],
+    scale: f64,
+    force_fail: Option<(Technique, BenchmarkKind, u64)>,
+    jobs: usize,
+    collect_obs: bool,
+) -> SweepReport {
     let pairs: Vec<(Technique, BenchmarkKind)> = techniques
         .iter()
         .flat_map(|&t| benchmarks.iter().map(move |&b| (t, b)))
@@ -549,13 +891,29 @@ pub fn run_sweep_jobs(
             Some((t, b, after)) if t == technique && b == benchmark => Some(after),
             _ => None,
         };
+        let sinks = collect_obs.then(|| {
+            let label = format!("{}/{}", technique.name(), benchmark.name());
+            (
+                Arc::new(Aggregator::new()),
+                Arc::new(JsonlSink::with_label(Vec::new(), Some(label))),
+            )
+        });
         let result = catch_unwind(AssertUnwindSafe(|| {
             let cfg = params.engine_config(technique);
             let mut sched = technique.scheduler(params.engine_cores(technique));
             if let Some(after) = forced {
                 sched = Box::new(FailAfterScheduler::new(sched, after));
             }
-            run_configured(technique.name(), cfg, &w, sched)
+            let mut builder = RunBuilder::from_config(cfg)
+                .label(technique.name())
+                .scheduler(sched)
+                .workload(&w);
+            if let Some((agg, sink)) = &sinks {
+                builder = builder
+                    .observer(Arc::clone(agg) as Arc<dyn Observer>)
+                    .observer(Arc::clone(sink) as Arc<dyn Observer>);
+            }
+            builder.run()
         }))
         .unwrap_or_else(|payload| {
             Err(ExperimentError {
@@ -564,10 +922,18 @@ pub fn run_sweep_jobs(
                 cause: FailureCause::Panic(panic_message(payload)),
             })
         });
+        // Failed cells keep whatever was observed up to the failure — a
+        // partial event log is exactly what a post-mortem wants.
+        let obs = sinks.map(|(agg, sink)| CellObs {
+            counters: agg.counters(),
+            spans: agg.span_rows(),
+            jsonl: sink.take(),
+        });
         CellOutcome {
             technique,
             benchmark,
             result,
+            obs,
         }
     });
     SweepReport { cells }
@@ -597,6 +963,88 @@ mod tests {
         assert_eq!(Technique::parse("slicc"), Some(Technique::Slicc));
         assert_eq!(Technique::parse("baseline"), Some(Technique::Linux));
         assert_eq!(Technique::parse("nope"), None);
+    }
+
+    #[test]
+    fn technique_names_round_trip_through_parse() {
+        for t in Technique::all() {
+            assert_eq!(
+                Technique::parse(t.name()),
+                Some(t),
+                "{} does not round-trip",
+                t.name()
+            );
+            assert_eq!(
+                Technique::parse(&t.name().to_lowercase()),
+                Some(t),
+                "{} is not case-insensitive",
+                t.name()
+            );
+        }
+        // The baseline also parses under its variant spelling.
+        assert_eq!(Technique::parse("linux"), Some(Technique::Linux));
+        assert_eq!(Technique::parse("Linux"), Some(Technique::Linux));
+    }
+
+    #[test]
+    fn run_builder_requires_workload_and_scheduler() {
+        let p = ExpParams::quick();
+        let err = RunBuilder::new(&p)
+            .technique(Technique::Linux)
+            .run()
+            .expect_err("no workload");
+        assert!(matches!(err.cause, FailureCause::Builder(_)));
+        let err = RunBuilder::new(&p)
+            .benchmark(BenchmarkKind::Find, 1.0)
+            .run()
+            .expect_err("no scheduler");
+        assert!(matches!(err.cause, FailureCause::Builder(_)));
+    }
+
+    #[test]
+    fn run_builder_matches_forwarding_wrappers() {
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 120_000;
+        p.warmup_instructions = 30_000;
+        let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
+        let via_fn = run(Technique::Linux, &p, &w).expect("run succeeds");
+        let via_builder = RunBuilder::new(&p)
+            .technique(Technique::Linux)
+            .workload(&w)
+            .run()
+            .expect("builder run succeeds");
+        assert_eq!(via_fn, via_builder);
+    }
+
+    #[test]
+    fn observed_sweep_fills_cells_and_rolls_up() {
+        use schedtask_kernel::obs::Counter;
+        let mut p = ExpParams::quick();
+        p.cores = 4;
+        p.max_instructions = 120_000;
+        p.warmup_instructions = 30_000;
+        let report = run_sweep_observed(
+            &p,
+            &[Technique::Linux, Technique::SchedTask],
+            &[BenchmarkKind::Find],
+            1.0,
+            None,
+            1,
+            true,
+        );
+        assert!(report.cells.iter().all(|c| c.obs.is_some()));
+        let rollup = report.counter_rollup();
+        assert!(rollup.get(Counter::Dispatches) > 0);
+        let by_tech = report.counters_by_technique();
+        assert_eq!(by_tech.len(), 2);
+        let jsonl = report.jsonl();
+        assert!(jsonl.contains("\"cell\":\"Baseline/Find\""));
+        assert!(jsonl.contains("\"cell\":\"SchedTask/Find\""));
+        // An unobserved sweep leaves the cells bare.
+        let bare = run_sweep(&p, &[Technique::Linux], &[BenchmarkKind::Find], 1.0, None);
+        assert!(bare.cells.iter().all(|c| c.obs.is_none()));
+        assert_eq!(bare.counter_rollup(), CounterSnapshot::zero());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! never a single statistic.
 
 use proptest::prelude::*;
-use schedtask_experiments::runner::{run_sweep, run_sweep_jobs};
+use schedtask_experiments::runner::{run_sweep, run_sweep_jobs, run_sweep_observed};
 use schedtask_experiments::{ExpParams, SweepReport, Technique};
 use schedtask_kernel::FaultPlan;
 use schedtask_workload::BenchmarkKind;
@@ -110,5 +110,37 @@ proptest! {
             let p_stats = par.result.as_ref().expect("parallel cell succeeds");
             prop_assert_eq!(s_stats, p_stats);
         }
+    }
+
+    /// The observer stream is as deterministic as the statistics:
+    /// per-cell counter snapshots and JSONL event logs collected by an
+    /// observed sweep are identical between serial and 4-way parallel
+    /// execution, fault injection included. This is what makes the
+    /// CI sweep-diff job's counter roll-up comparison meaningful.
+    /// Heavy faults, not light: at this run length the light plan can
+    /// legitimately inject nothing, which would leave the fault-event
+    /// paths unexercised.
+    #[test]
+    fn observed_counters_identical_serial_vs_parallel(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+    ) {
+        let p = params(seed).with_faults(FaultPlan::heavy(fault_seed));
+        let serial = run_sweep_observed(&p, &TECHNIQUES, &BENCHMARKS, 1.0, None, 1, true);
+        let parallel = run_sweep_observed(&p, &TECHNIQUES, &BENCHMARKS, 1.0, None, 4, true);
+        prop_assert_eq!(serial.cells.len(), parallel.cells.len());
+        let mut any_faults = false;
+        for (s, par) in serial.cells.iter().zip(parallel.cells.iter()) {
+            prop_assert_eq!(s.technique, par.technique);
+            prop_assert_eq!(s.benchmark, par.benchmark);
+            let s_obs = s.obs.as_ref().expect("serial cell observed");
+            let p_obs = par.obs.as_ref().expect("parallel cell observed");
+            prop_assert_eq!(&s_obs.counters, &p_obs.counters);
+            prop_assert_eq!(&s_obs.jsonl, &p_obs.jsonl);
+            let stats = s.result.as_ref().expect("serial cell succeeds");
+            any_faults |= stats.faults.total() > 0;
+        }
+        prop_assert!(any_faults, "heavy fault plan injected nothing");
+        prop_assert_eq!(serial.counter_rollup(), parallel.counter_rollup());
     }
 }

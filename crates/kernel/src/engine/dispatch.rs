@@ -11,9 +11,10 @@ use super::{Engine, EngineCore, EventKind, KERNEL_TID};
 use crate::error::EngineError;
 use crate::faults::FaultInjector;
 use crate::ids::{CoreId, SfId, ThreadId};
+use crate::observe::class_of;
 use crate::scheduler::{SchedEvent, SwitchReason};
 use crate::superfunction::{SfBody, SfState, SuperFunction};
-use crate::trace::TraceEvent;
+use schedtask_obs::{FaultKind, ObsEvent, SfClass, SpanKind};
 use schedtask_workload::{DeviceKind, FootprintWalker, SfCategory, WalkParams};
 use std::sync::Arc;
 
@@ -54,11 +55,11 @@ impl EngineCore {
                     self.cores[c].clock += cost;
                     self.stats.core_time[c].busy_cycles += cost;
                     let at = self.cores[c].clock;
-                    self.trace.record(TraceEvent::Migrated {
+                    self.obs.emit(|| ObsEvent::Migrated {
                         at,
-                        tid,
-                        from: prev,
-                        to: CoreId(c),
+                        tid: tid.0,
+                        from: prev.0 as u32,
+                        to: c as u32,
                     });
                 }
             }
@@ -67,12 +68,24 @@ impl EngineCore {
 
         self.cores[c].current = Some(sf_id);
         let at = self.cores[c].clock;
-        self.trace.record(TraceEvent::Dispatched {
+        self.obs.emit(|| ObsEvent::Dispatched {
             at,
-            sf: sf_id,
-            core: CoreId(c),
+            sf: sf_id.0,
+            core: c as u32,
         });
+        self.obs
+            .span_enter(Some(c as u32), SpanKind::Sf(class_of(category)), at);
         Ok(())
+    }
+
+    /// Closes the SF execution-segment span open on core `c` (no-op on
+    /// the unobserved fast path). `sf_id` must still exist.
+    pub(super) fn span_exit_current(&self, c: usize, sf_id: SfId) {
+        if self.obs.is_enabled() {
+            let class = class_of(self.sf(sf_id).category());
+            let at = self.cores[c].clock;
+            self.obs.span_exit(Some(c as u32), SpanKind::Sf(class), at);
+        }
     }
 
     /// Creates a system-call SuperFunction for `tid` on core `c`.
@@ -131,11 +144,12 @@ impl EngineCore {
         };
         self.sfs.insert(id, sf);
         let at = self.cores[c].clock;
-        self.trace.record(TraceEvent::Created {
+        self.obs.emit(|| ObsEvent::SfCreated {
             at,
-            sf: id,
-            sf_type,
-            tid,
+            sf: id.0,
+            sf_type: sf_type.raw(),
+            class: SfClass::SystemCall,
+            tid: tid.0,
         });
         Ok(id)
     }
@@ -156,6 +170,11 @@ impl Engine {
         {
             self.core.cores[c].clock += stall;
             self.core.stats.core_time[c].idle_cycles += stall;
+            let at = self.core.cores[c].clock;
+            self.core.obs.emit(|| ObsEvent::FaultInjected {
+                at,
+                kind: FaultKind::CoreStall,
+            });
             return Ok(());
         }
 
@@ -191,6 +210,7 @@ impl Engine {
             .take()
             .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
         let tid = self.core.try_sf(app_sf)?.tid;
+        self.core.span_exit_current(c, app_sf);
         self.core
             .sfs
             .get_mut(&app_sf)
@@ -219,9 +239,10 @@ impl Engine {
             .current
             .take()
             .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        self.core.span_exit_current(c, sf);
         self.core.try_sf_mut(sf)?.state = SfState::Waiting;
         let at = self.core.cores[c].clock;
-        self.core.trace.record(TraceEvent::Blocked { at, sf });
+        self.core.obs.emit(|| ObsEvent::Blocked { at, sf: sf.0 });
         self.scheduler
             .on_switch_out(&mut self.core, CoreId(c), sf, SwitchReason::Blocked);
         self.scheduler.on_block(&mut self.core, sf);
@@ -246,10 +267,11 @@ impl Engine {
             .current
             .take()
             .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+        self.core.span_exit_current(c, sf_id);
         let at = self.core.cores[c].clock;
         self.core
-            .trace
-            .record(TraceEvent::Completed { at, sf: sf_id });
+            .obs
+            .emit(|| ObsEvent::Completed { at, sf: sf_id.0 });
         let overhead = self
             .scheduler
             .overhead_for(&self.core, SchedEvent::SfStop, Some(sf_id));

@@ -11,6 +11,7 @@ use crate::error::EngineError;
 use crate::faults::FaultInjector;
 use crate::ids::SfId;
 use crate::scheduler::SchedEvent;
+use schedtask_obs::{FaultKind, ObsEvent};
 use schedtask_workload::DeviceKind;
 use std::cmp::Ordering;
 
@@ -120,6 +121,10 @@ impl Engine {
                 .and_then(FaultInjector::drop_irq)
             {
                 self.core.schedule_event(ev.time + delay, ev.kind);
+                self.core.obs.emit(|| ObsEvent::FaultInjected {
+                    at: ev.time,
+                    kind: FaultKind::DroppedIrq,
+                });
                 return Ok(());
             }
         }
@@ -131,6 +136,11 @@ impl Engine {
                 let target = self
                     .scheduler
                     .route_completion(&mut self.core, irq_id, waiter);
+                self.core.obs.emit(|| ObsEvent::IrqRouted {
+                    at: ev.time,
+                    irq: irq_id,
+                    core: target.0 as u32,
+                });
                 self.deliver_irq(target.0, irq_name, Some(waiter), ev.time);
             }
             EventKind::ExternalIrq { bench } => {
@@ -151,6 +161,11 @@ impl Engine {
                     })?
                     .irq;
                 let target = self.scheduler.route_interrupt(&mut self.core, irq_id);
+                self.core.obs.emit(|| ObsEvent::IrqRouted {
+                    at: ev.time,
+                    irq: irq_id,
+                    core: target.0 as u32,
+                });
                 self.deliver_irq(target.0, irq_name, None, ev.time);
                 // Re-arm with ±50 % jitter.
                 let base = self.core.irq_rate_interval[bench];
@@ -170,6 +185,7 @@ impl Engine {
                 );
             }
             EventKind::Epoch => {
+                self.core.obs.emit(|| ObsEvent::EpochStart { at: ev.time });
                 let overhead =
                     self.scheduler
                         .overhead_for(&self.core, SchedEvent::EpochAlloc, None);
@@ -192,7 +208,12 @@ impl Engine {
             .as_mut()
             .and_then(|inj| inj.spurious_irq().then(|| inj.spurious_target(num_cores)));
         if let Some(target) = spurious {
-            self.deliver_irq(target, "timer_irq", None, self.core.now);
+            let at = self.core.now;
+            self.core.obs.emit(|| ObsEvent::FaultInjected {
+                at,
+                kind: FaultKind::SpuriousIrq,
+            });
+            self.deliver_irq(target, "timer_irq", None, at);
         }
         Ok(())
     }

@@ -10,6 +10,7 @@ use crate::error::EngineError;
 use crate::ids::{CoreId, SfId};
 use crate::scheduler::{SchedEvent, SwitchReason};
 use crate::superfunction::{SfBody, SfState, SuperFunction};
+use schedtask_obs::{ObsEvent, SfClass};
 use schedtask_workload::{Footprint, FootprintWalker, WalkParams};
 use std::sync::Arc;
 
@@ -66,7 +67,16 @@ impl EngineCore {
             instructions_retired: 0,
             runnable_since: self.cores[c].clock,
         };
+        let sf_type = sf.sf_type;
         self.sfs.insert(id, sf);
+        let at = self.cores[c].clock;
+        self.obs.emit(|| ObsEvent::SfCreated {
+            at,
+            sf: id.0,
+            sf_type: sf_type.raw(),
+            class: SfClass::Interrupt,
+            tid: tid.0,
+        });
         Ok(id)
     }
 
@@ -113,7 +123,16 @@ impl EngineCore {
             instructions_retired: 0,
             runnable_since: self.cores[c].clock,
         };
+        let sf_type = sf.sf_type;
         self.sfs.insert(id, sf);
+        let at = self.cores[c].clock;
+        self.obs.emit(|| ObsEvent::SfCreated {
+            at,
+            sf: id.0,
+            sf_type: sf_type.raw(),
+            class: SfClass::BottomHalf,
+            tid: tid.0,
+        });
         Ok(id)
     }
 }
@@ -144,6 +163,13 @@ impl Engine {
             return Ok(false);
         };
         if let Some(cur) = self.core.cores[c].current.take() {
+            self.core.span_exit_current(c, cur);
+            let at = self.core.cores[c].clock;
+            self.core.obs.emit(|| ObsEvent::Preempted {
+                at,
+                sf: cur.0,
+                core: c as u32,
+            });
             self.core
                 .sfs
                 .get_mut(&cur)

@@ -15,11 +15,12 @@ use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::faults::FaultInjector;
 use crate::ids::{CoreId, SfId, SfIdAllocator, ThreadId};
+use crate::observe::ObserverSet;
 use crate::stats::SimStats;
 use crate::superfunction::{SfBody, SfState, SuperFunction};
-use crate::trace::TraceLog;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use schedtask_obs::{FaultKind, ObsEvent, Observer};
 use schedtask_sim::{CodeDomain, GshareBranchPredictor, MemorySystem, PageHeatmap};
 use schedtask_workload::{
     BenchmarkInstance, BenchmarkSpec, Footprint, FootprintWalker, PageAllocator, ServiceCatalog,
@@ -89,7 +90,7 @@ pub struct EngineCore {
     pub(super) warmed_up: bool,
     epoch_prev: crate::stats::CategoryInstructions,
     pub(super) irq_rate_interval: Vec<u64>,
-    pub(super) trace: TraceLog,
+    pub(super) obs: ObserverSet,
     /// Completed system calls per benchmark since the last whole
     /// operation (operations are counted benchmark-wide: every
     /// `op_syscalls` completed system calls is one application-level
@@ -213,7 +214,21 @@ impl EngineCore {
     /// Stores the Page-heatmap register out of `core` (the paper's
     /// special store instruction), disarming collection.
     pub fn heatmap_take(&mut self, core: CoreId) -> Option<PageHeatmap> {
-        self.cores[core.0].heatmap.take()
+        let taken = self.cores[core.0].heatmap.take();
+        if let Some(hm) = &taken {
+            let at = self.cores[core.0].clock;
+            let popcount = if self.obs.is_enabled() {
+                hm.popcount()
+            } else {
+                0
+            };
+            self.obs.emit(|| ObsEvent::HeatmapStored {
+                at,
+                core: core.0 as u32,
+                popcount,
+            });
+        }
+        taken
     }
 
     /// Enables exact page-set collection on every core (used only to
@@ -227,10 +242,20 @@ impl EngineCore {
 
     /// Takes and clears the exact page set collected on `core`.
     pub fn exact_pages_take(&mut self, core: CoreId) -> HashSet<u64> {
-        match self.cores[core.0].exact_pages.as_mut() {
+        let taken = match self.cores[core.0].exact_pages.as_mut() {
             Some(set) => std::mem::take(set),
             None => HashSet::new(),
+        };
+        if !taken.is_empty() {
+            let at = self.cores[core.0].clock;
+            let pages = taken.len() as u64;
+            self.obs.emit(|| ObsEvent::ExactPagesStored {
+                at,
+                core: core.0 as u32,
+                pages,
+            });
         }
+        taken
     }
 
     /// Statistics collected so far.
@@ -238,12 +263,27 @@ impl EngineCore {
         &self.stats
     }
 
-    /// The SuperFunction lifecycle trace (empty unless
-    /// [`EngineConfig::trace_capacity`] is set).
+    /// True when at least one enabled [`Observer`] is attached.
     ///
-    /// [`EngineConfig::trace_capacity`]: crate::EngineConfig::trace_capacity
-    pub fn trace(&self) -> &TraceLog {
-        &self.trace
+    /// Schedulers can use this to skip expensive event preparation; the
+    /// engine's own emit helpers already check it.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Emits a structured observability event to every attached sink.
+    ///
+    /// The closure runs only when an enabled observer is attached, so
+    /// callers may compute event fields inside it without paying
+    /// anything on the unobserved fast path.
+    pub fn emit_obs(&self, make: impl FnOnce() -> ObsEvent) {
+        self.obs.emit(make);
+    }
+
+    /// Attaches an observer (normally called through
+    /// [`super::Engine::add_observer`] before the run starts).
+    pub(crate) fn attach_observer(&mut self, obs: std::sync::Arc<dyn Observer>) {
+        self.obs.attach(obs);
     }
 
     // ---- Internal helpers (shared with sibling subsystems) -----------
@@ -435,6 +475,11 @@ impl EngineCore {
             if let Some(hm) = self.cores[c].heatmap.as_mut() {
                 hm.toggle_bit(bit);
             }
+            let at = self.cores[c].clock;
+            self.obs.emit(|| ObsEvent::FaultInjected {
+                at,
+                kind: FaultKind::HeatmapBitFlip,
+            });
         }
 
         // Fault injection: a slow device path delays an OS
@@ -456,6 +501,11 @@ impl EngineCore {
                     SfBody::Application { .. } => {}
                 }
                 boundary = Boundary::None;
+                let at = self.cores[c].clock;
+                self.obs.emit(|| ObsEvent::FaultInjected {
+                    at,
+                    kind: FaultKind::DelayedCompletion,
+                });
             }
         }
 
@@ -607,7 +657,6 @@ impl EngineCore {
         let mut stats = SimStats::new(num_cores, num_benchmarks);
         stats.per_thread_instructions = vec![0; num_threads];
 
-        let cfg_trace_capacity = cfg.trace_capacity;
         let injector = cfg.faults.clone().map(FaultInjector::new);
         EngineCore {
             cfg,
@@ -627,7 +676,7 @@ impl EngineCore {
             warmed_up: false,
             epoch_prev: crate::stats::CategoryInstructions::default(),
             irq_rate_interval,
-            trace: TraceLog::new(cfg_trace_capacity),
+            obs: ObserverSet::default(),
             op_progress: vec![0; num_benchmarks],
             syscalls_completed: vec![0; num_benchmarks],
             injector,

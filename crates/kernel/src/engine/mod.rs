@@ -18,15 +18,15 @@
 //! narrow internal API, so the main loop reads as "pop the earliest
 //! event → dispatch it to the owning subsystem":
 //!
-//! * [`machine`] — per-core execution state (clocks, preempt stacks, the
+//! * `machine` — per-core execution state (clocks, preempt stacks, the
 //!   hardware Page-heatmap registers), the [`EngineCore`] context passed
 //!   to every scheduler hook, and quantum execution through the cache
 //!   hierarchy;
-//! * [`events`] — the global timer/epoch/device event queue and its
+//! * `events` — the global timer/epoch/device event queue and its
 //!   deterministic ordering;
-//! * [`interrupts`] — the device/IRQ/bottom-half model: delivery,
+//! * `interrupts` — the device/IRQ/bottom-half model: delivery,
 //!   pending queues, and interrupt/bottom-half SuperFunction creation;
-//! * [`dispatch`] — the TMigrate/TAlloc hook sites: quantum boundaries,
+//! * `dispatch` — the TMigrate/TAlloc hook sites: quantum boundaries,
 //!   system-call creation, blocking, completion, and wakeups.
 //!
 //! Everything in the pipeline is [`Send`]: an [`Engine`] can be built on
@@ -46,10 +46,14 @@ pub(crate) use events::EventKind;
 use crate::config::EngineConfig;
 use crate::error::{ConfigError, EngineError};
 use crate::ids::ThreadId;
+use crate::observe::TraceRingObserver;
 use crate::sanitizer::SanitizerState;
 use crate::scheduler::Scheduler;
 use crate::stats::SimStats;
+use crate::trace::TraceLog;
+use schedtask_obs::{ObsEvent, Observer};
 use schedtask_workload::{BenchmarkKind, BenchmarkSpec, MultiProgrammedWorkload};
+use std::sync::Arc;
 
 /// The `tid` used for kernel contexts that no thread created (external
 /// interrupts and their bottom halves).
@@ -113,6 +117,9 @@ pub struct Engine {
     finished: bool,
     pub(crate) sanitizer: Option<SanitizerState>,
     watch: WatchState,
+    /// The legacy-trace compatibility shim, attached automatically when
+    /// [`EngineConfig::trace_capacity`] is non-zero.
+    trace_ring: Option<Arc<TraceRingObserver>>,
 }
 
 // The whole run pipeline is `Send` by contract: a sweep harness moves
@@ -151,8 +158,16 @@ impl Engine {
             return Err(ConfigError::EmptyWorkload.into());
         }
         let sanitize = cfg.sanitize;
-        let core = EngineCore::build(cfg, workload);
+        let trace_capacity = cfg.trace_capacity;
+        let mut core = EngineCore::build(cfg, workload);
         let sanitizer = sanitize.then(|| SanitizerState::new(core.num_cores()));
+        // The legacy TraceEvent ring now rides on the Observer stream:
+        // when tracing is configured, attach the shim that fills it.
+        let trace_ring = (trace_capacity > 0).then(|| {
+            let ring = Arc::new(TraceRingObserver::new(trace_capacity));
+            core.attach_observer(Arc::clone(&ring) as Arc<dyn Observer>);
+            ring
+        });
         Ok(Engine {
             core,
             scheduler,
@@ -164,7 +179,27 @@ impl Engine {
                 last_progress_cycle: 0,
                 started: std::time::Instant::now(),
             },
+            trace_ring,
         })
+    }
+
+    /// Attaches a structured-observability sink for the upcoming run.
+    ///
+    /// Observers see the whole run, warm-up included; attach before
+    /// calling [`Engine::run`]. Multiple observers fan out in attach
+    /// order. An observer whose [`Observer::enabled`] is `false` leaves
+    /// the engine on its unobserved fast path.
+    pub fn add_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.core.attach_observer(obs);
+    }
+
+    /// A point-in-time copy of the legacy SuperFunction lifecycle trace
+    /// (empty unless [`EngineConfig::trace_capacity`] is set).
+    pub fn trace_snapshot(&self) -> TraceLog {
+        self.trace_ring
+            .as_ref()
+            .map(|ring| ring.snapshot())
+            .unwrap_or_else(|| TraceLog::new(0))
     }
 
     /// Access to the engine state (for inspection in tests and
@@ -193,6 +228,9 @@ impl Engine {
         }
         self.finished = true;
         self.watch.started = std::time::Instant::now();
+
+        let start = self.core.now;
+        self.core.obs.emit(|| ObsEvent::RunStart { at: start });
 
         self.scheduler.init(&mut self.core)?;
 
@@ -327,6 +365,7 @@ impl Engine {
                 core.clock = end;
             }
         }
+        self.core.obs.emit(|| ObsEvent::RunEnd { at: end });
         self.core.stats.final_cycle = end.saturating_sub(self.core.measure_start).max(1);
         self.core.stats.mem = self.core.mem.stats().clone();
         if let Some(inj) = &self.core.injector {

@@ -162,18 +162,16 @@ fn migrations_happen_under_global_fifo() {
     assert!(stats.thread_migrations > 0);
 }
 
-/// A scheduler that arms the Page-heatmap register and verifies the
-/// hardware fills it.
-struct HeatmapProbe {
-    inner: GlobalFifoScheduler,
-    // `Arc<Mutex>` rather than `Rc<RefCell>`: `Scheduler: Send`, and the
-    // observer must stay readable from the spawning thread.
-    collected: std::sync::Arc<std::sync::Mutex<u32>>,
-}
+/// A scheduler that arms the Page-heatmap register on every dispatch and
+/// harvests it on every switch-out. It carries no channel of its own:
+/// the harvest results flow to the test through the engine's `Observer`
+/// stream (`HeatmapStored` events rolled up by an [`Aggregator`]),
+/// replacing the old bespoke `Arc<Mutex>` probe plumbing.
+struct HeatmapArming(GlobalFifoScheduler);
 
-impl Scheduler for HeatmapProbe {
+impl Scheduler for HeatmapArming {
     fn name(&self) -> &'static str {
-        "HeatmapProbe"
+        "HeatmapArming"
     }
 
     fn enqueue(
@@ -182,7 +180,7 @@ impl Scheduler for HeatmapProbe {
         sf: SfId,
         origin: Option<CoreId>,
     ) -> Result<(), SchedError> {
-        self.inner.enqueue(ctx, sf, origin)
+        self.0.enqueue(ctx, sf, origin)
     }
 
     fn pick_next(
@@ -190,7 +188,7 @@ impl Scheduler for HeatmapProbe {
         ctx: &mut EngineCore,
         core: CoreId,
     ) -> Result<Option<SfId>, SchedError> {
-        self.inner.pick_next(ctx, core)
+        self.0.pick_next(ctx, core)
     }
 
     fn on_dispatch(&mut self, ctx: &mut EngineCore, core: CoreId, _sf: SfId) {
@@ -204,41 +202,40 @@ impl Scheduler for HeatmapProbe {
         _sf: SfId,
         _reason: schedtask_kernel::SwitchReason,
     ) {
-        if let Some(hm) = ctx.heatmap_take(core) {
-            *self.collected.lock().expect("probe lock") += hm.popcount();
-        }
+        let _ = ctx.heatmap_take(core);
     }
 }
 
 #[test]
 fn heatmap_register_fills_during_execution() {
-    let collected = std::sync::Arc::new(std::sync::Mutex::new(0u32));
-    let sched = HeatmapProbe {
-        inner: GlobalFifoScheduler::new(),
-        collected: collected.clone(),
-    };
+    use schedtask_kernel::obs::{Aggregator, Counter};
+    let agg = std::sync::Arc::new(Aggregator::new());
     let mut engine = Engine::new(
         small_cfg(2, 150_000),
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
-        Box::new(sched),
+        Box::new(HeatmapArming(GlobalFifoScheduler::new())),
     )
     .expect("engine builds");
+    engine.add_observer(agg.clone());
     engine.run().expect("run succeeds");
+    let counters = agg.counters();
     assert!(
-        *collected.lock().expect("probe lock") > 0,
+        counters.get(Counter::HeatmapStores) > 0,
+        "heatmap register never harvested"
+    );
+    assert!(
+        counters.get(Counter::HeatmapBitsSet) > 0,
         "heatmap register never filled"
     );
 }
 
 #[test]
 fn exact_page_collection_works() {
-    struct ExactProbe {
-        inner: GlobalFifoScheduler,
-        pages: std::sync::Arc<std::sync::Mutex<usize>>,
-    }
-    impl Scheduler for ExactProbe {
+    use schedtask_kernel::obs::{Aggregator, Counter};
+    struct ExactHarvest(GlobalFifoScheduler);
+    impl Scheduler for ExactHarvest {
         fn name(&self) -> &'static str {
-            "ExactProbe"
+            "ExactHarvest"
         }
         fn init(&mut self, ctx: &mut EngineCore) -> Result<(), SchedError> {
             ctx.exact_pages_enable(true);
@@ -250,14 +247,14 @@ fn exact_page_collection_works() {
             sf: SfId,
             origin: Option<CoreId>,
         ) -> Result<(), SchedError> {
-            self.inner.enqueue(ctx, sf, origin)
+            self.0.enqueue(ctx, sf, origin)
         }
         fn pick_next(
             &mut self,
             ctx: &mut EngineCore,
             core: CoreId,
         ) -> Result<Option<SfId>, SchedError> {
-            self.inner.pick_next(ctx, core)
+            self.0.pick_next(ctx, core)
         }
         fn on_switch_out(
             &mut self,
@@ -266,22 +263,20 @@ fn exact_page_collection_works() {
             _sf: SfId,
             _reason: schedtask_kernel::SwitchReason,
         ) {
-            *self.pages.lock().expect("probe lock") += ctx.exact_pages_take(core).len();
+            let _ = ctx.exact_pages_take(core);
         }
     }
-    let pages = std::sync::Arc::new(std::sync::Mutex::new(0usize));
+    let agg = std::sync::Arc::new(Aggregator::new());
     let mut engine = Engine::new(
         small_cfg(2, 150_000),
         &WorkloadSpec::single(BenchmarkKind::Find, 1.0),
-        Box::new(ExactProbe {
-            inner: GlobalFifoScheduler::new(),
-            pages: pages.clone(),
-        }),
+        Box::new(ExactHarvest(GlobalFifoScheduler::new())),
     )
     .expect("engine builds");
+    engine.add_observer(agg.clone());
     engine.run().expect("run succeeds");
     assert!(
-        *pages.lock().expect("probe lock") > 0,
+        agg.counters().get(Counter::ExactPagesCollected) > 0,
         "no exact pages collected"
     );
 }
@@ -353,7 +348,7 @@ fn trace_log_captures_lifecycle_when_enabled() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    let trace = engine.engine_core().trace();
+    let trace = engine.trace_snapshot();
     assert!(!trace.is_empty(), "no trace events captured");
     let mut created = 0;
     let mut dispatched = 0;
@@ -396,7 +391,7 @@ fn trace_disabled_by_default() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    assert!(engine.engine_core().trace().is_empty());
+    assert!(engine.trace_snapshot().is_empty());
 }
 
 #[test]
@@ -501,9 +496,8 @@ fn interrupts_run_on_the_routed_core() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    let core_of_irq: Vec<usize> = engine
-        .engine_core()
-        .trace()
+    let trace = engine.trace_snapshot();
+    let core_of_irq: Vec<usize> = trace
         .events()
         .filter_map(|e| match e {
             TraceEvent::Dispatched { sf, core, .. } => Some((*sf, *core)),
@@ -520,9 +514,7 @@ fn interrupts_run_on_the_routed_core() {
     assert!(!core_of_irq.is_empty());
     // Check via Created events which SFs were interrupts, then confirm
     // their dispatches were on core 1.
-    let irq_sfs: std::collections::HashSet<_> = engine
-        .engine_core()
-        .trace()
+    let irq_sfs: std::collections::HashSet<_> = trace
         .events()
         .filter_map(|e| match e {
             TraceEvent::Created { sf, sf_type, .. }
@@ -534,7 +526,7 @@ fn interrupts_run_on_the_routed_core() {
         })
         .collect();
     let mut irq_dispatches = 0;
-    for e in engine.engine_core().trace().events() {
+    for e in trace.events() {
         if let TraceEvent::Dispatched { sf, core, .. } = e {
             if irq_sfs.contains(sf) {
                 irq_dispatches += 1;

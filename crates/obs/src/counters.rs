@@ -1,0 +1,257 @@
+//! Cheap atomic counters with stable names and snapshot arithmetic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every counter the observability layer knows about.
+///
+/// The discriminant doubles as an index into [`CounterSet`] /
+/// [`CounterSnapshot`], so new counters must be appended (and added to
+/// [`Counter::ALL`]) rather than inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// SF execution segments started on a core.
+    Dispatches,
+    /// Running SFs switched out by an interrupt.
+    Preemptions,
+    /// SFs that blocked on a device operation.
+    Blocks,
+    /// SFs that ran to completion.
+    Completions,
+    /// System-call SuperFunctions minted.
+    SyscallsCreated,
+    /// Top-half interrupt SuperFunctions minted.
+    InterruptSfsCreated,
+    /// Bottom-half SuperFunctions minted.
+    BottomHalvesCreated,
+    /// Thread SF chains that changed cores.
+    ThreadMigrations,
+    /// Scheduler queue placements.
+    Enqueues,
+    /// Steals satisfied by the same-work level.
+    StealsSameWork,
+    /// Steals satisfied by the similar-work level.
+    StealsSimilarWork,
+    /// Steals that fell back to the max-waiting queue.
+    StealsMaxWaiting,
+    /// Undifferentiated steals (baseline schedulers).
+    StealsAny,
+    /// Interrupts and completions routed to a core by the scheduler.
+    IrqRoutes,
+    /// TAlloc epoch boundaries processed.
+    EpochsRun,
+    /// Epoch allocator recomputations of core assignments.
+    EpochReallocations,
+    /// Injected heatmap bit flips.
+    FaultHeatmapBitFlips,
+    /// Injected dropped IRQs.
+    FaultDroppedIrqs,
+    /// Injected spurious IRQs.
+    FaultSpuriousIrqs,
+    /// Injected delayed completions.
+    FaultDelayedCompletions,
+    /// Injected core stalls.
+    FaultCoreStalls,
+    /// Page-heatmap registers harvested by the scheduler.
+    HeatmapStores,
+    /// Total bits set across harvested heatmap registers.
+    HeatmapBitsSet,
+    /// Exact-page buffers harvested by the scheduler.
+    ExactPageStores,
+    /// Total page addresses collected from exact-page buffers.
+    ExactPagesCollected,
+}
+
+impl Counter {
+    /// Number of distinct counters.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// All counters, in index order.
+    pub const ALL: [Counter; 25] = [
+        Counter::Dispatches,
+        Counter::Preemptions,
+        Counter::Blocks,
+        Counter::Completions,
+        Counter::SyscallsCreated,
+        Counter::InterruptSfsCreated,
+        Counter::BottomHalvesCreated,
+        Counter::ThreadMigrations,
+        Counter::Enqueues,
+        Counter::StealsSameWork,
+        Counter::StealsSimilarWork,
+        Counter::StealsMaxWaiting,
+        Counter::StealsAny,
+        Counter::IrqRoutes,
+        Counter::EpochsRun,
+        Counter::EpochReallocations,
+        Counter::FaultHeatmapBitFlips,
+        Counter::FaultDroppedIrqs,
+        Counter::FaultSpuriousIrqs,
+        Counter::FaultDelayedCompletions,
+        Counter::FaultCoreStalls,
+        Counter::HeatmapStores,
+        Counter::HeatmapBitsSet,
+        Counter::ExactPageStores,
+        Counter::ExactPagesCollected,
+    ];
+
+    /// Stable snake_case name used in summary tables and CI diffs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Dispatches => "dispatches",
+            Counter::Preemptions => "preemptions",
+            Counter::Blocks => "blocks",
+            Counter::Completions => "completions",
+            Counter::SyscallsCreated => "syscalls_created",
+            Counter::InterruptSfsCreated => "interrupt_sfs_created",
+            Counter::BottomHalvesCreated => "bottom_halves_created",
+            Counter::ThreadMigrations => "thread_migrations",
+            Counter::Enqueues => "enqueues",
+            Counter::StealsSameWork => "steals_same_work",
+            Counter::StealsSimilarWork => "steals_similar_work",
+            Counter::StealsMaxWaiting => "steals_max_waiting",
+            Counter::StealsAny => "steals_any",
+            Counter::IrqRoutes => "irq_routes",
+            Counter::EpochsRun => "epochs_run",
+            Counter::EpochReallocations => "epoch_reallocations",
+            Counter::FaultHeatmapBitFlips => "fault_heatmap_bit_flips",
+            Counter::FaultDroppedIrqs => "fault_dropped_irqs",
+            Counter::FaultSpuriousIrqs => "fault_spurious_irqs",
+            Counter::FaultDelayedCompletions => "fault_delayed_completions",
+            Counter::FaultCoreStalls => "fault_core_stalls",
+            Counter::HeatmapStores => "heatmap_stores",
+            Counter::HeatmapBitsSet => "heatmap_bits_set",
+            Counter::ExactPageStores => "exact_page_stores",
+            Counter::ExactPagesCollected => "exact_pages_collected",
+        }
+    }
+}
+
+/// A fixed bank of lock-free counters, one slot per [`Counter`].
+///
+/// Increments use `Ordering::Relaxed`: counters are statistics, not
+/// synchronization, and every test that compares them reads after the
+/// producing threads have been joined.
+#[derive(Debug, Default)]
+pub struct CounterSet {
+    slots: [AtomicU64; Counter::COUNT],
+}
+
+impl CounterSet {
+    /// A zeroed counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `c`.
+    #[inline]
+    pub fn add(&self, c: Counter, delta: u64) {
+        self.slots[c as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.slots[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// A plain-value copy of every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut values = [0u64; Counter::COUNT];
+        for (slot, value) in self.slots.iter().zip(values.iter_mut()) {
+            *value = slot.load(Ordering::Relaxed);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+/// An immutable point-in-time copy of a [`CounterSet`], comparable and
+/// summable so sweep cells can be rolled up and diffed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    values: [u64; Counter::COUNT],
+}
+
+impl CounterSnapshot {
+    /// An all-zero snapshot (useful as a fold seed).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Value of counter `c` in this snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Iterate `(counter, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c, self.values[c as usize]))
+    }
+
+    /// Sum of every counter (a quick "did anything happen" check).
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Element-wise sum with another snapshot (saturating).
+    pub fn merged(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; Counter::COUNT];
+        for ((out, a), b) in values
+            .iter_mut()
+            .zip(self.values.iter())
+            .zip(other.values.iter())
+        {
+            *out = a.saturating_add(*b);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    /// Renders only the non-zero counters, one `name=value` pair per
+    /// line, in stable index order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, v) in self.iter().filter(|&(_, v)| v > 0) {
+            writeln!(f, "{}={}", c.name(), v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_snapshot_roundtrip() {
+        let set = CounterSet::new();
+        set.add(Counter::Dispatches, 3);
+        set.add(Counter::Dispatches, 2);
+        set.add(Counter::StealsAny, 1);
+        assert_eq!(set.get(Counter::Dispatches), 5);
+        let snap = set.snapshot();
+        assert_eq!(snap.get(Counter::Dispatches), 5);
+        assert_eq!(snap.get(Counter::StealsAny), 1);
+        assert_eq!(snap.get(Counter::Blocks), 0);
+        assert_eq!(snap.total(), 6);
+    }
+
+    #[test]
+    fn merged_is_elementwise() {
+        let a = CounterSet::new();
+        a.add(Counter::EpochsRun, 4);
+        let b = CounterSet::new();
+        b.add(Counter::EpochsRun, 6);
+        b.add(Counter::IrqRoutes, 1);
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.get(Counter::EpochsRun), 10);
+        assert_eq!(m.get(Counter::IrqRoutes), 1);
+    }
+
+    #[test]
+    fn all_indexes_are_consistent() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{} out of order", c.name());
+        }
+    }
+}

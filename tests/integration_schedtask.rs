@@ -141,9 +141,9 @@ fn fairness_stays_high_under_schedtask() {
 }
 
 #[test]
-fn ranking_inspector_collects_epochs() {
-    let (sched, inspector) =
-        SchedTaskScheduler::with_ranking_inspector(CORES, SchedTaskConfig::default());
+fn ranking_observer_collects_epochs() {
+    let (sched, observer) =
+        SchedTaskScheduler::with_ranking_observer(CORES, SchedTaskConfig::default());
     let mut ecfg = EngineConfig::fast()
         .with_system(SystemConfig::table2().with_cores(CORES))
         .with_max_instructions(500_000);
@@ -155,7 +155,7 @@ fn ranking_inspector_collects_epochs() {
     )
     .expect("engine builds");
     engine.run().expect("run succeeds");
-    let snaps = inspector.snapshots();
+    let snaps = observer.snapshots();
     assert!(!snaps.is_empty(), "no TAlloc snapshots");
     // Every recorded row pairs a Bloom score with an exact score.
     let total_pairs: usize = snaps

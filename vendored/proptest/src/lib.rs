@@ -19,7 +19,7 @@
 pub mod strategy;
 
 pub mod test_runner {
-    //! Runner configuration and failure plumbing for the [`proptest!`] macro.
+    //! Runner configuration and failure plumbing for the `proptest!` macro.
 
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -87,7 +87,7 @@ pub mod collection {
     use std::collections::HashSet;
     use std::hash::Hash;
 
-    /// Size specification accepted by [`vec`] and [`hash_set`].
+    /// Size specification accepted by [`vec()`](fn@vec) and [`hash_set`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -133,7 +133,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
