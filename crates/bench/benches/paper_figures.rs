@@ -9,7 +9,7 @@ use schedtask_bench::{bench_kinds, bench_params};
 use schedtask_experiments::{
     appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
 };
-use schedtask_experiments::{runner, Comparison, Technique};
+use schedtask_experiments::{runner, Comparison, RunBuilder, Technique};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_sim::HierarchyConfig;
 use schedtask_workload::BenchmarkKind;
@@ -69,11 +69,10 @@ fn bench_fig11(c: &mut Criterion) {
         b.iter(|| {
             let (sched, _observer) =
                 SchedTaskScheduler::with_ranking_observer(p.cores, SchedTaskConfig::default());
-            runner::run_with_scheduler(
-                Box::new(sched),
-                &p,
-                &WorkloadSpec::single(BenchmarkKind::Find, 2.0),
-            )
+            RunBuilder::new(&p)
+                .scheduler(Box::new(sched))
+                .workload(&WorkloadSpec::single(BenchmarkKind::Find, 2.0))
+                .run()
         });
     });
     g.bench_function("fig11_heatmap_sweep", |b| {
@@ -113,8 +112,16 @@ fn bench_appendix_mpw(c: &mut Criterion) {
     let w = WorkloadSpec::from(&bag);
     g.bench_function("appendix_fig1_mpw_a", |b| {
         b.iter(|| {
-            let base = runner::run(Technique::Linux, &p, &w).expect("run succeeds");
-            let st = runner::run(Technique::SchedTask, &p, &w).expect("run succeeds");
+            let base = RunBuilder::new(&p)
+                .technique(Technique::Linux)
+                .workload(&w)
+                .run()
+                .expect("run succeeds");
+            let st = RunBuilder::new(&p)
+                .technique(Technique::SchedTask)
+                .workload(&w)
+                .run()
+                .expect("run succeeds");
             runner::throughput_change(&base, &st)
         });
     });

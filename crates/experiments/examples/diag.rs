@@ -1,5 +1,6 @@
 //! Dev utility: absolute cache rates per technique for calibration.
-use schedtask_experiments::{runner, ExpParams, Technique};
+#![deny(deprecated)]
+use schedtask_experiments::{ExpParams, RunBuilder, Technique};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_workload::BenchmarkKind;
 
@@ -12,7 +13,11 @@ fn main() {
     for kind in [BenchmarkKind::Oltp, BenchmarkKind::Dss] {
         println!("--- {} ---", kind.name());
         for t in [Technique::Linux, Technique::Slicc, Technique::SchedTask] {
-            let s = runner::run(t, &p, &WorkloadSpec::single(kind, 2.0)).expect("run succeeds");
+            let s = RunBuilder::new(&p)
+                .technique(t)
+                .workload(&WorkloadSpec::single(kind, 2.0))
+                .run()
+                .expect("run succeeds");
             println!(
                 "{:<18} iApp {:.3} iOS {:.3} dApp {:.3} dOS {:.3} idle {:.3} ipc {:.3} mig/Binstr {:.0} ops/s {:.0} sched% {:.2}",
                 t.name(),

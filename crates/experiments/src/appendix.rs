@@ -8,7 +8,7 @@
 //! methodology per configuration.
 
 use crate::comparison::Comparison;
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, Table};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::geometric_mean_pct;
@@ -29,16 +29,20 @@ pub fn multiprog_table(params: &ExpParams) -> Result<Table, ExperimentError> {
 
     let mut baselines = Vec::new();
     for b in bags.iter() {
-        baselines.push(runner::run(
-            Technique::Linux,
-            params,
-            &WorkloadSpec::from(b),
-        )?);
+        baselines.push(
+            RunBuilder::new(params)
+                .technique(Technique::Linux)
+                .workload(&WorkloadSpec::from(b))
+                .run()?,
+        );
     }
     for tech in Technique::compared() {
         let mut vals = Vec::new();
         for (b, base) in bags.iter().zip(baselines.iter()) {
-            let stats = runner::run(tech, params, &WorkloadSpec::from(b))?;
+            let stats = RunBuilder::new(params)
+                .technique(tech)
+                .workload(&WorkloadSpec::from(b))
+                .run()?;
             vals.push(runner::throughput_change(base, &stats));
         }
         let mut row = vec![tech.name().to_string()];

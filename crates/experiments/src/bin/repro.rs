@@ -23,6 +23,7 @@
 //!   prefetch    Appendix Figure 2 instruction prefetcher
 //!   tracecache  Appendix Figure 3 trace cache
 //!   sweep       resilient technique × benchmark sweep (per-cell isolation)
+//!   perf        wall-clock throughput of the simulator itself (see below)
 //!   all         everything above, in order
 //! ```
 //!
@@ -46,6 +47,17 @@
 //!   with its `technique/benchmark` cell) to `FILE`.
 //! * `--profile` attaches an in-memory aggregator to every sweep cell
 //!   and prints per-technique counter and span summary tables.
+//!
+//! Perf options (`repro perf`):
+//!
+//! * `--json FILE` writes the wall-clock/throughput artefact
+//!   (`BENCH_<label>.json` convention) with per-technique instr/sec and
+//!   sweep-wide cells/sec. Cells always run serially so the numbers are
+//!   not corrupted by worker contention.
+//! * `--check FILE` additionally compares the fresh measurement against a
+//!   committed baseline artefact and exits non-zero on a >25% wall-clock
+//!   regression. Set `SCHEDTASK_PERF_SKIP_CHECK=1` to turn the gate into
+//!   a warning on noisy machines.
 //!
 //! Failures never abort a sweep or `all`: each failed experiment is
 //! recorded with a structured diagnosis, partial results still print,
@@ -75,6 +87,8 @@ struct Opts {
     jobs: usize,
     obs: Option<String>,
     profile: bool,
+    json: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -90,6 +104,8 @@ fn parse_args() -> Opts {
         jobs: 1,
         obs: None,
         profile: false,
+        json: None,
+        check: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -102,6 +118,18 @@ fn parse_args() -> Opts {
                 opts.obs = Some(
                     args.next()
                         .unwrap_or_else(|| die("--obs needs a file path")),
+                );
+            }
+            "--json" => {
+                opts.json = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--json needs a file path")),
+                );
+            }
+            "--check" => {
+                opts.check = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--check needs a baseline artefact path")),
                 );
             }
             "--cores" => {
@@ -187,9 +215,13 @@ fn print_help() {
          observability (sweep experiment):\n\
            --obs FILE   write every cell's event log as JSON Lines to FILE\n\
            --profile    print per-technique counter and span summaries\n\n\
+         perf (wall-clock throughput of the simulator itself):\n\
+           --json FILE   write the BENCH_<label>.json throughput artefact\n\
+           --check FILE  fail on >25% regression vs a committed artefact\n\
+                         (SCHEDTASK_PERF_SKIP_CHECK=1 downgrades to warning)\n\n\
          experiments: fig4 fig7 fig8 fig9 fig10 fig11 overheads table4 mpw\n\
                       icache cacheconfig cores prefetch tracecache ablations\n\
-                      sweep all"
+                      sweep perf all"
     );
 }
 
@@ -306,6 +338,97 @@ fn run_sweep_experiment(opts: &Opts, p: &ExpParams, md: bool) -> Vec<Failure> {
         report.succeeded(),
         report.failed()
     );
+    failures
+}
+
+/// `repro perf`: time the simulator over the full comparison sweep and
+/// optionally write/check the `BENCH_*.json` artefact. Returns failures
+/// for the end-of-run summary; regressions exit non-zero directly.
+fn run_perf_experiment(opts: &Opts, p: &ExpParams) -> Vec<Failure> {
+    use schedtask_experiments::perf::{check_against_baseline, PerfCheck, PerfReport};
+
+    let techniques: Vec<Technique> = Technique::all().to_vec();
+    let benchmarks = if opts.quick {
+        vec![BenchmarkKind::Find, BenchmarkKind::MailSrvIo]
+    } else {
+        BenchmarkKind::all().to_vec()
+    };
+    let mode = if opts.quick { "quick" } else { "standard" };
+    eprintln!(
+        "[repro] perf: timing {} cells serially ({} mode)...",
+        techniques.len() * benchmarks.len(),
+        mode
+    );
+    let report = PerfReport::measure(p, &techniques, &benchmarks, 2.0, mode);
+
+    println!("Per-technique simulator throughput:");
+    for row in report.by_technique() {
+        println!(
+            "  {:<18} {:>8.2} M instr/s  ({} cells, {:.2} s wall)",
+            row.name,
+            row.instr_per_sec / 1e6,
+            row.cells,
+            row.wall_seconds
+        );
+    }
+    println!("Total: {}", report.summary());
+
+    let mut failures = Vec::new();
+    let label = opts
+        .json
+        .as_deref()
+        .and_then(|p| std::path::Path::new(p).file_stem().and_then(|s| s.to_str()))
+        .unwrap_or("perf")
+        .to_string();
+    if let Some(path) = &opts.json {
+        match std::fs::write(path, report.to_json(&label)) {
+            Ok(()) => eprintln!("[repro] wrote perf artefact to {path}"),
+            Err(e) => failures.push(Failure {
+                experiment: "perf --json".to_string(),
+                detail: format!("writing {path}: {e}"),
+            }),
+        }
+    }
+    if let Some(baseline_path) = &opts.check {
+        let skip = std::env::var("SCHEDTASK_PERF_SKIP_CHECK").is_ok_and(|v| v == "1");
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(Failure {
+                    experiment: "perf --check".to_string(),
+                    detail: format!("reading {baseline_path}: {e}"),
+                });
+                return failures;
+            }
+        };
+        match check_against_baseline(report.instr_per_sec(), &baseline, 25.0) {
+            Ok(PerfCheck::Pass(ratio)) => {
+                eprintln!(
+                    "[repro] perf check vs {baseline_path}: OK ({:.0}% of baseline)",
+                    ratio * 100.0
+                );
+            }
+            Ok(PerfCheck::Regression(ratio)) => {
+                let msg = format!(
+                    "wall-clock regression: {:.0}% of baseline instr/sec (budget: 75%)",
+                    ratio * 100.0
+                );
+                if skip {
+                    eprintln!(
+                        "[repro] perf check vs {baseline_path}: {msg} — \
+                         ignored (SCHEDTASK_PERF_SKIP_CHECK=1)"
+                    );
+                } else {
+                    eprintln!("[repro] perf check vs {baseline_path}: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => failures.push(Failure {
+                experiment: "perf --check".to_string(),
+                detail: e,
+            }),
+        }
+    }
     failures
 }
 
@@ -500,6 +623,8 @@ fn main() {
         failures.extend(run_sweep_experiment(&opts, &p, md));
     } else if opts.experiment == "sweep" {
         failures.extend(run_sweep_experiment(&opts, &p, md));
+    } else if opts.experiment == "perf" {
+        failures.extend(run_perf_experiment(&opts, &p));
     } else {
         run_isolated(&opts.experiment);
     }

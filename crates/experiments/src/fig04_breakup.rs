@@ -1,7 +1,7 @@
 //! Figure 4 (instruction breakup per benchmark) and Section 4.4
 //! (cosine similarity of breakups across consecutive epochs).
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, f3, Table};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::cosine_similarity;
@@ -26,12 +26,11 @@ pub fn run(params: &ExpParams) -> Result<Vec<Characterization>, ExperimentError>
         let mut cfg = params.engine_config(Technique::Linux);
         cfg.collect_epoch_breakups = true;
         let sched = Technique::Linux.scheduler(params.cores);
-        let stats = runner::run_configured(
-            Technique::Linux.name(),
-            cfg,
-            &WorkloadSpec::single(kind, 1.0),
-            sched,
-        )?;
+        let stats = RunBuilder::from_config(cfg)
+            .label(Technique::Linux.name())
+            .scheduler(sched)
+            .workload(&WorkloadSpec::single(kind, 1.0))
+            .run()?;
         let epoch_similarities = stats
             .epoch_breakups
             .windows(2)

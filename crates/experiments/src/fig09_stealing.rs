@@ -3,7 +3,7 @@
 //! Section 6.4 "alternate strategy" (always steal from the max-waiting
 //! core).
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
 use schedtask_kernel::{SimStats, WorkloadSpec};
@@ -28,7 +28,10 @@ pub fn run(
     for kind in BenchmarkKind::all() {
         baselines.push((
             kind,
-            runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, 2.0))?,
+            RunBuilder::new(params)
+                .technique(Technique::Linux)
+                .workload(&WorkloadSpec::single(kind, 2.0))
+                .run()?,
         ));
     }
 
@@ -43,11 +46,10 @@ pub fn run(
                     ..SchedTaskConfig::default()
                 },
             );
-            let stats = runner::run_with_scheduler(
-                Box::new(sched),
-                params,
-                &WorkloadSpec::single(*kind, 2.0),
-            )?;
+            let stats = RunBuilder::new(params)
+                .scheduler(Box::new(sched))
+                .workload(&WorkloadSpec::single(*kind, 2.0))
+                .run()?;
             per_benchmark.push((*kind, base.clone(), stats));
         }
         runs.push(StealingRun {

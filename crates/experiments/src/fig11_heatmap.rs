@@ -7,7 +7,7 @@
 //! * the mean performance benefit per register width, plus the ideal
 //!   (exact-ranking) configuration.
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f1, f3, Table};
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_kernel::WorkloadSpec;
@@ -52,7 +52,10 @@ pub fn run(
     for &k in benchmarks {
         baselines.push((
             k,
-            runner::run(Technique::Linux, params, &WorkloadSpec::single(k, 2.0))?,
+            RunBuilder::new(params)
+                .technique(Technique::Linux)
+                .workload(&WorkloadSpec::single(k, 2.0))
+                .run()?,
         ));
     }
 
@@ -68,11 +71,10 @@ pub fn run(
                     ..SchedTaskConfig::default()
                 },
             );
-            let stats = runner::run_with_scheduler(
-                Box::new(sched),
-                params,
-                &WorkloadSpec::single(*kind, 2.0),
-            )?;
+            let stats = RunBuilder::new(params)
+                .scheduler(Box::new(sched))
+                .workload(&WorkloadSpec::single(*kind, 2.0))
+                .run()?;
             // τ_B: for every TAlloc snapshot and every type with ≥2
             // candidates, compare the Bloom scores against the exact
             // scores over the same candidate list.
@@ -108,8 +110,10 @@ pub fn run(
                 ..SchedTaskConfig::default()
             },
         );
-        let stats =
-            runner::run_with_scheduler(Box::new(sched), params, &WorkloadSpec::single(*kind, 2.0))?;
+        let stats = RunBuilder::new(params)
+            .scheduler(Box::new(sched))
+            .workload(&WorkloadSpec::single(*kind, 2.0))
+            .run()?;
         ideal_perf.push((*kind, runner::performance_change(base, &stats, clock)));
     }
 
@@ -138,7 +142,10 @@ pub fn run_tau_on_workloads(
                     ..SchedTaskConfig::default()
                 },
             );
-            let _stats = runner::run_with_scheduler(Box::new(sched), params, w)?;
+            let _stats = RunBuilder::new(params)
+                .scheduler(Box::new(sched))
+                .workload(w)
+                .run()?;
             let mut taus = Vec::new();
             for epoch in observer.snapshots().iter() {
                 for (_ty, row) in epoch {

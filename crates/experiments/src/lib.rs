@@ -36,11 +36,13 @@ pub mod fig04_breakup;
 pub mod fig09_stealing;
 pub mod fig11_heatmap;
 pub mod overheads;
+pub mod perf;
 pub mod runner;
 pub mod table;
 pub mod table4_workload;
 
 pub use comparison::Comparison;
+pub use perf::{PerfCheck, PerfReport};
 pub use runner::{
     CellObs, CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, RunBuilder,
     SweepReport, Technique,

@@ -1,7 +1,7 @@
 //! Section 6.1's "other statistics": SchedTask-related overheads, TLB hit
 //! rates, interrupt latency, and scheduling fairness.
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::{f2, f3, Table};
 use schedtask_kernel::WorkloadSpec;
 use schedtask_metrics::mean;
@@ -35,8 +35,14 @@ pub fn run(params: &ExpParams) -> Result<OverheadReport, ExperimentError> {
     let mut fairness = Vec::new();
     for kind in BenchmarkKind::all() {
         let w = WorkloadSpec::single(kind, 2.0);
-        let base = runner::run(Technique::Linux, params, &w)?;
-        let st = runner::run(Technique::SchedTask, params, &w)?;
+        let base = RunBuilder::new(params)
+            .technique(Technique::Linux)
+            .workload(&w)
+            .run()?;
+        let st = RunBuilder::new(params)
+            .technique(Technique::SchedTask)
+            .workload(&w)
+            .run()?;
         base_pct
             .push(base.instructions.scheduler as f64 / base.total_instructions() as f64 * 100.0);
         sched_pct.push(st.instructions.scheduler as f64 / st.total_instructions() as f64 * 100.0);

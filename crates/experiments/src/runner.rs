@@ -505,6 +505,10 @@ impl RunBuilder {
 ///
 /// Deprecated: prefer [`RunBuilder`]; this forwards to it and is kept so
 /// existing experiments compile unchanged.
+#[deprecated(
+    since = "0.5.0",
+    note = "use RunBuilder::new(params).technique(..).workload(..).run()"
+)]
 pub fn run(
     technique: Technique,
     params: &ExpParams,
@@ -519,6 +523,10 @@ pub fn run(
 /// Runs a custom scheduler (e.g. a SchedTask variant) on `workload`.
 ///
 /// Deprecated: prefer [`RunBuilder::scheduler`]; this forwards to it.
+#[deprecated(
+    since = "0.5.0",
+    note = "use RunBuilder::new(params).scheduler(..).workload(..).run()"
+)]
 pub fn run_with_scheduler(
     sched: Box<dyn Scheduler>,
     params: &ExpParams,
@@ -534,6 +542,10 @@ pub fn run_with_scheduler(
 /// `technique`.
 ///
 /// Deprecated: prefer [`RunBuilder::from_config`]; this forwards to it.
+#[deprecated(
+    since = "0.5.0",
+    note = "use RunBuilder::from_config(cfg).label(..).scheduler(..).workload(..).run()"
+)]
 pub fn run_configured(
     technique: &str,
     cfg: EngineConfig,
@@ -550,6 +562,10 @@ pub fn run_configured(
 /// Runs `technique` on one benchmark at `scale`.
 ///
 /// Deprecated: prefer [`RunBuilder::benchmark`]; this forwards to it.
+#[deprecated(
+    since = "0.5.0",
+    note = "use RunBuilder::new(params).technique(..).benchmark(..).run()"
+)]
 pub fn run_benchmark(
     technique: Technique,
     params: &ExpParams,
@@ -1002,6 +1018,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the forwarder is exactly what this test pins down
     fn run_builder_matches_forwarding_wrappers() {
         let mut p = ExpParams::quick();
         p.cores = 4;
@@ -1075,7 +1092,11 @@ mod tests {
         p.warmup_instructions = 50_000;
         let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
         for t in [Technique::Linux].into_iter().chain(Technique::compared()) {
-            let stats = run(t, &p, &w).expect("run succeeds");
+            let stats = RunBuilder::new(&p)
+                .technique(t)
+                .workload(&w)
+                .run()
+                .expect("run succeeds");
             assert!(stats.total_instructions() > 0, "{} did not run", t.name());
         }
     }

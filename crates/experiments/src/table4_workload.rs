@@ -1,7 +1,7 @@
 //! Table 4: impact of the workload (1X / 2X / 4X / 8X) on instruction
 //! throughput and idle-time fractions.
 
-use crate::runner::{self, ExpParams, ExperimentError, Technique};
+use crate::runner::{self, ExpParams, ExperimentError, RunBuilder, Technique};
 use crate::table::Table;
 use schedtask_kernel::{SimStats, WorkloadSpec};
 use schedtask_metrics::geometric_mean_pct;
@@ -37,14 +37,20 @@ pub fn run(params: &ExpParams, scales: &[f64]) -> Result<Vec<ScaleBlock>, Experi
         for k in BenchmarkKind::all() {
             baselines.push((
                 k,
-                runner::run(Technique::Linux, params, &WorkloadSpec::single(k, scale))?,
+                RunBuilder::new(params)
+                    .technique(Technique::Linux)
+                    .workload(&WorkloadSpec::single(k, scale))
+                    .run()?,
             ));
         }
         let mut rows = Vec::new();
         for t in Technique::compared() {
             let mut cells = Vec::new();
             for (k, base) in &baselines {
-                let stats = runner::run(t, params, &WorkloadSpec::single(*k, scale))?;
+                let stats = RunBuilder::new(params)
+                    .technique(t)
+                    .workload(&WorkloadSpec::single(*k, scale))
+                    .run()?;
                 cells.push((
                     *k,
                     Cell {
@@ -103,12 +109,14 @@ pub fn beyond_8x_table(params: &ExpParams, scales: &[f64]) -> Result<Table, Expe
         let mut perfs = Vec::new();
         let mut idles = Vec::new();
         for kind in schedtask_workload::BenchmarkKind::all() {
-            let base = runner::run(Technique::Linux, params, &WorkloadSpec::single(kind, scale))?;
-            let st = runner::run(
-                Technique::SchedTask,
-                params,
-                &WorkloadSpec::single(kind, scale),
-            )?;
+            let base = RunBuilder::new(params)
+                .technique(Technique::Linux)
+                .workload(&WorkloadSpec::single(kind, scale))
+                .run()?;
+            let st = RunBuilder::new(params)
+                .technique(Technique::SchedTask)
+                .workload(&WorkloadSpec::single(kind, scale))
+                .run()?;
             perfs.push(runner::throughput_change(&base, &st));
             idles.push(st.mean_idle_fraction() * 100.0);
         }

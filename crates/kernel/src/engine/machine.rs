@@ -8,7 +8,7 @@
 //! the memory system, the heatmap registers, or the per-quantum
 //! instruction walk lives here.
 
-use super::events::HeapEvent;
+use super::events::EventQueue;
 use super::interrupts::PendingIrq;
 use super::KERNEL_TID;
 use crate::config::EngineConfig;
@@ -26,7 +26,7 @@ use schedtask_workload::{
     BenchmarkInstance, BenchmarkSpec, Footprint, FootprintWalker, PageAllocator, ServiceCatalog,
     SfCategory, SuperFuncType, WalkParams, LINES_PER_PAGE,
 };
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// One simulated thread (or single-threaded process instance).
@@ -80,7 +80,7 @@ pub struct EngineCore {
     pub(super) threads: Vec<Thread>,
     pub(crate) sfs: HashMap<SfId, SuperFunction>,
     pub(crate) cores: Vec<CoreState>,
-    pub(crate) events: BinaryHeap<HeapEvent>,
+    pub(crate) events: EventQueue,
     pub(super) event_seq: u64,
     pub(super) id_alloc: SfIdAllocator,
     pub(crate) stats: SimStats,
@@ -666,7 +666,7 @@ impl EngineCore {
             threads,
             sfs,
             cores,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             event_seq: 0,
             id_alloc,
             stats,

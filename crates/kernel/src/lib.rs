@@ -60,6 +60,9 @@ pub mod trace;
 pub use schedtask_obs as obs;
 
 pub use config::{EngineConfig, WatchdogConfig};
+
+#[doc(hidden)]
+pub use engine::events::BenchEventQueue;
 pub use engine::{Engine, EngineCore, WorkloadSpec, KERNEL_TID};
 pub use error::{ConfigError, EngineError, SchedError, Violation};
 pub use faults::{FaultCounts, FaultPlan};

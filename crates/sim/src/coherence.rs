@@ -13,6 +13,18 @@
 //! Modified — the O and E refinements of MOESI change who *supplies*
 //! data, not who gets invalidated, and the timing model charges the
 //! supplier uniformly at LLC latency).
+//!
+//! # Data layout
+//!
+//! Entries live in a seeded open-addressed table (linear probing with
+//! backward-shift deletion) over three parallel flat arrays: line ids,
+//! sharer bitmasks (`u64` words, one bit per core — never a
+//! `Vec<usize>`), and a one-byte occupied/modified flag that doubles as
+//! the empty-slot sentinel, so arbitrary `u64` line ids need no reserved
+//! value. The table is point-queried only — nothing ever iterates the
+//! entries — so any map with identical get/insert/remove semantics is
+//! observationally equivalent to the previous `HashMap<u64, Entry>`;
+//! only the wall-clock cost changes.
 
 /// Directory-visible state of one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,24 +50,93 @@ pub enum ReadOutcome {
     },
 }
 
+/// A set of cores as a bitmask (bit `c` = core `c`). Replaces the
+/// `Vec<usize>` invalidation lists the directory used to allocate on
+/// every write; iteration yields cores in ascending order, matching the
+/// old vector order exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerMask(u64);
+
+impl SharerMask {
+    /// The empty set.
+    pub const EMPTY: SharerMask = SharerMask(0);
+
+    /// Wraps a raw bitmask.
+    pub fn from_bits(bits: u64) -> Self {
+        SharerMask(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `core` is in the set.
+    pub fn contains(self, core: usize) -> bool {
+        core < 64 && self.0 & (1u64 << core) != 0
+    }
+
+    /// Number of cores in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when no core is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates member cores in ascending order.
+    pub fn iter(self) -> SharerIter {
+        SharerIter(self.0)
+    }
+}
+
+impl IntoIterator for SharerMask {
+    type Item = usize;
+    type IntoIter = SharerIter;
+    fn into_iter(self) -> SharerIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the cores of a [`SharerMask`], ascending.
+#[derive(Debug, Clone)]
+pub struct SharerIter(u64);
+
+impl Iterator for SharerIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let c = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(c)
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
+
 /// What a write request needs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOutcome {
     /// Cores whose private copies must be invalidated.
-    pub invalidate: Vec<usize>,
+    pub invalidate: SharerMask,
     /// True when the writer already held the line modified (silent
     /// upgrade — no coherence traffic).
     pub silent: bool,
 }
 
-/// Per-line sharer tracking for up to 64 cores.
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    sharers: u64,
-    /// Valid only when exactly one bit of `sharers` is set and the line
-    /// is dirty.
-    modified: bool,
-}
+/// Slot flag: the slot holds a live entry.
+const OCCUPIED: u8 = 1;
+/// Slot flag: the entry's line is held modified by its single sharer.
+const MODIFIED: u8 = 2;
 
 /// The coherence directory.
 ///
@@ -72,28 +153,65 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct Directory {
     num_cores: usize,
-    entries: std::collections::HashMap<u64, Entry>,
+    /// Line id per slot (valid only where `meta` has [`OCCUPIED`]).
+    keys: Box<[u64]>,
+    /// Sharer bitmask per slot.
+    sharers: Box<[u64]>,
+    /// Per-slot [`OCCUPIED`] / [`MODIFIED`] flags; 0 = empty sentinel.
+    meta: Box<[u8]>,
+    /// Capacity minus one (capacity is a power of two).
+    mask: usize,
+    len: usize,
+    /// Hash seed, mixed into every probe start.
+    seed: u64,
     invalidations: u64,
     transfers: u64,
     upgrades: u64,
     downgrades: u64,
 }
 
+const MIN_CAPACITY: usize = 64;
+
+/// Fixed hash seed: the directory must behave identically across runs
+/// (the determinism contract), so the seed decorrelates probe chains
+/// from raw line ids without introducing run-to-run variation.
+const DEFAULT_HASH_SEED: u64 = 0x5EED_0D1C_ECAF_E001;
+
 impl Directory {
-    /// Creates a directory for `num_cores` cores.
+    /// Creates a directory for `num_cores` cores with the default
+    /// (growable) table size.
     ///
     /// # Panics
     ///
     /// Panics if `num_cores` is zero or exceeds 64 (the sharer bitmask
     /// width).
     pub fn new(num_cores: usize) -> Self {
+        Self::with_capacity(num_cores, MIN_CAPACITY)
+    }
+
+    /// Creates a directory pre-sized for roughly `expected_lines`
+    /// tracked lines (callers size this from the cache geometry, e.g.
+    /// `CacheParams::num_lines` of the LLC). The table still grows if
+    /// the estimate is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or exceeds 64.
+    pub fn with_capacity(num_cores: usize, expected_lines: usize) -> Self {
         assert!(
             (1..=64).contains(&num_cores),
             "directory supports 1-64 cores"
         );
+        // Size so `expected_lines` stays under the 7/8 load factor.
+        let capacity = (expected_lines.max(MIN_CAPACITY) * 8 / 7 + 1).next_power_of_two();
         Directory {
             num_cores,
-            entries: std::collections::HashMap::new(),
+            keys: vec![0; capacity].into_boxed_slice(),
+            sharers: vec![0; capacity].into_boxed_slice(),
+            meta: vec![0; capacity].into_boxed_slice(),
+            mask: capacity - 1,
+            len: 0,
+            seed: DEFAULT_HASH_SEED,
             invalidations: 0,
             transfers: 0,
             upgrades: 0,
@@ -101,12 +219,104 @@ impl Directory {
         }
     }
 
+    #[inline]
+    fn home_slot(&self, line: u64) -> usize {
+        // Fibonacci (multiplicative) hashing, seeded; the high product
+        // bits are the best mixed, so take them before masking.
+        ((line ^ self.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Slot of `line`, if tracked.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let mut i = self.home_slot(line);
+        loop {
+            if self.meta[i] & OCCUPIED == 0 {
+                return None;
+            }
+            if self.keys[i] == line {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Slot of `line`, inserting an empty entry if absent (the
+    /// `entry().or_default()` of the old map).
+    #[inline]
+    fn find_or_insert(&mut self, line: u64) -> usize {
+        if (self.len + 1) * 8 > (self.mask + 1) * 7 {
+            self.grow();
+        }
+        let mut i = self.home_slot(line);
+        loop {
+            if self.meta[i] & OCCUPIED == 0 {
+                self.keys[i] = line;
+                self.sharers[i] = 0;
+                self.meta[i] = OCCUPIED;
+                self.len += 1;
+                return i;
+            }
+            if self.keys[i] == line {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_capacity = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_capacity].into_boxed_slice());
+        let old_sharers =
+            std::mem::replace(&mut self.sharers, vec![0; new_capacity].into_boxed_slice());
+        let old_meta = std::mem::replace(&mut self.meta, vec![0; new_capacity].into_boxed_slice());
+        self.mask = new_capacity - 1;
+        for slot in 0..old_meta.len() {
+            if old_meta[slot] & OCCUPIED != 0 {
+                let mut i = self.home_slot(old_keys[slot]);
+                while self.meta[i] & OCCUPIED != 0 {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = old_keys[slot];
+                self.sharers[i] = old_sharers[slot];
+                self.meta[i] = old_meta[slot];
+            }
+        }
+    }
+
+    /// Removes the entry at `slot`, backward-shifting the probe chain so
+    /// no tombstones accumulate.
+    fn remove_slot(&mut self, mut hole: usize) {
+        self.meta[hole] = 0;
+        self.len -= 1;
+        let mut j = (hole + 1) & self.mask;
+        while self.meta[j] & OCCUPIED != 0 {
+            let home = self.home_slot(self.keys[j]);
+            // The entry at j may keep its slot only if its home lies
+            // cyclically within (hole, j]; otherwise the new hole would
+            // break its probe chain, so it moves into the hole.
+            let stays = if hole <= j {
+                hole < home && home <= j
+            } else {
+                hole < home || home <= j
+            };
+            if !stays {
+                self.keys[hole] = self.keys[j];
+                self.sharers[hole] = self.sharers[j];
+                self.meta[hole] = self.meta[j];
+                self.meta[j] = 0;
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+    }
+
     /// The directory state of `line`.
     pub fn state_of(&self, line: u64) -> LineState {
-        match self.entries.get(&line) {
+        match self.find(line) {
             None => LineState::Invalid,
-            Some(e) if e.sharers == 0 => LineState::Invalid,
-            Some(e) if e.modified => LineState::Modified,
+            Some(i) if self.sharers[i] == 0 => LineState::Invalid,
+            Some(i) if self.meta[i] & MODIFIED != 0 => LineState::Modified,
             Some(_) => LineState::Shared,
         }
     }
@@ -118,18 +328,18 @@ impl Directory {
     /// Panics if `core` is out of range.
     pub fn on_read(&mut self, core: usize, line: u64) -> ReadOutcome {
         assert!(core < self.num_cores, "core out of range");
-        let e = self.entries.entry(line).or_default();
+        let i = self.find_or_insert(line);
         let bit = 1u64 << core;
-        if e.modified && e.sharers & bit == 0 {
+        if self.meta[i] & MODIFIED != 0 && self.sharers[i] & bit == 0 {
             // Another core holds it modified: cache-to-cache, downgrade.
-            let owner = e.sharers.trailing_zeros() as usize;
-            e.modified = false;
-            e.sharers |= bit;
+            let owner = self.sharers[i].trailing_zeros() as usize;
+            self.meta[i] &= !MODIFIED;
+            self.sharers[i] |= bit;
             self.transfers += 1;
             self.downgrades += 1;
             ReadOutcome::CacheToCache { owner }
         } else {
-            e.sharers |= bit;
+            self.sharers[i] |= bit;
             ReadOutcome::FromMemoryPath
         }
     }
@@ -141,30 +351,26 @@ impl Directory {
     /// Panics if `core` is out of range.
     pub fn on_write(&mut self, core: usize, line: u64) -> WriteOutcome {
         assert!(core < self.num_cores, "core out of range");
-        let e = self.entries.entry(line).or_default();
+        let i = self.find_or_insert(line);
         let bit = 1u64 << core;
-        if e.modified && e.sharers == bit {
+        if self.meta[i] & MODIFIED != 0 && self.sharers[i] == bit {
             // Already the exclusive modified owner: silent.
             return WriteOutcome {
-                invalidate: Vec::new(),
+                invalidate: SharerMask::EMPTY,
                 silent: true,
             };
         }
-        let mut invalidate = Vec::new();
-        let others = e.sharers & !bit;
-        for c in 0..self.num_cores {
-            if others & (1u64 << c) != 0 {
-                invalidate.push(c);
-            }
-        }
-        self.invalidations += invalidate.len() as u64;
-        if !invalidate.is_empty() || e.sharers & bit != 0 {
+        // Sharer bits are only ever set for in-range cores, so no extra
+        // num_cores masking is needed here.
+        let others = self.sharers[i] & !bit;
+        self.invalidations += u64::from(others.count_ones());
+        if others != 0 || self.sharers[i] & bit != 0 {
             self.upgrades += 1;
         }
-        e.sharers = bit;
-        e.modified = true;
+        self.sharers[i] = bit;
+        self.meta[i] |= MODIFIED;
         WriteOutcome {
-            invalidate,
+            invalidate: SharerMask(others),
             silent: false,
         }
     }
@@ -172,11 +378,10 @@ impl Directory {
     /// Registers that `core` evicted its copy of `line` (the directory
     /// stops tracking it as a sharer).
     pub fn on_evict(&mut self, core: usize, line: u64) {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.sharers &= !(1u64 << core);
-            if e.sharers == 0 {
-                e.modified = false;
-                self.entries.remove(&line);
+        if let Some(i) = self.find(line) {
+            self.sharers[i] &= !(1u64 << core);
+            if self.sharers[i] == 0 {
+                self.remove_slot(i);
             }
         }
     }
@@ -204,7 +409,7 @@ impl Directory {
 
     /// Lines currently tracked.
     pub fn tracked_lines(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 }
 
@@ -234,7 +439,7 @@ mod tests {
             dir.on_read(c, 9);
         }
         let w = dir.on_write(5, 9);
-        assert_eq!(w.invalidate, vec![0, 1, 2, 3, 4]);
+        assert_eq!(w.invalidate.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
         assert!(!w.silent);
         assert_eq!(dir.invalidations(), 5);
         assert_eq!(dir.state_of(9), LineState::Modified);
@@ -289,6 +494,70 @@ mod tests {
         assert!(w.invalidate.is_empty());
         assert!(!w.silent);
         assert_eq!(dir.upgrades(), 1);
+    }
+
+    #[test]
+    fn table_grows_past_initial_capacity() {
+        let mut dir = Directory::new(4);
+        for line in 0..10_000u64 {
+            dir.on_read(line as usize % 4, line * 7 + 1);
+        }
+        assert_eq!(dir.tracked_lines(), 10_000);
+        for line in 0..10_000u64 {
+            assert_ne!(
+                dir.state_of(line * 7 + 1),
+                LineState::Invalid,
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_churn_preserves_probe_chains() {
+        // Insert colliding-ish keys, delete half, verify the rest are
+        // still findable (backward-shift correctness).
+        let mut dir = Directory::new(2);
+        let lines: Vec<u64> = (0..500u64).map(|i| i * 64).collect();
+        for &l in &lines {
+            dir.on_read(0, l);
+        }
+        for &l in lines.iter().step_by(2) {
+            dir.on_evict(0, l);
+        }
+        for (i, &l) in lines.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                LineState::Invalid
+            } else {
+                LineState::Shared
+            };
+            assert_eq!(dir.state_of(l), expect, "line {l}");
+        }
+        assert_eq!(dir.tracked_lines(), lines.len() / 2);
+    }
+
+    #[test]
+    fn with_capacity_presizes_without_changing_behaviour() {
+        let mut small = Directory::new(4);
+        let mut big = Directory::with_capacity(4, 4096);
+        for line in 0..2_000u64 {
+            let c = (line % 4) as usize;
+            assert_eq!(small.on_read(c, line), big.on_read(c, line));
+            if line % 3 == 0 {
+                assert_eq!(small.on_write(c, line), big.on_write(c, line));
+            }
+        }
+        assert_eq!(small.tracked_lines(), big.tracked_lines());
+        assert_eq!(small.invalidations(), big.invalidations());
+    }
+
+    #[test]
+    fn sharer_mask_iterates_ascending() {
+        let m = SharerMask::from_bits(0b1010_0101);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 2, 5, 7]);
+        assert_eq!(m.count(), 4);
+        assert!(m.contains(5) && !m.contains(1) && !m.contains(64));
+        assert_eq!(m.iter().len(), 4);
+        assert!(SharerMask::EMPTY.is_empty());
     }
 
     #[test]

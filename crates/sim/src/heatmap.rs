@@ -32,6 +32,9 @@
 pub struct PageHeatmap {
     bits: Vec<u64>,
     num_bits: u32,
+    /// `num_bits - 1` when the width is a power of two (every paper
+    /// width is), so the hot-path bit select masks instead of dividing.
+    bit_mask: u32,
 }
 
 impl PageHeatmap {
@@ -53,6 +56,11 @@ impl PageHeatmap {
         PageHeatmap {
             bits: vec![0; (num_bits / 64) as usize],
             num_bits,
+            bit_mask: if num_bits.is_power_of_two() {
+                num_bits - 1
+            } else {
+                0
+            },
         }
     }
 
@@ -73,14 +81,26 @@ impl PageHeatmap {
 
     /// Sets the bit for `pfn` (the hardware action at instruction commit).
     pub fn insert_pfn(&mut self, pfn: u64) {
-        let bit = (Self::hash_pfn(pfn) % self.num_bits as u64) as u32;
+        let bit = self.bit_of(pfn);
         self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    /// Register bit selected by `pfn` (`hash mod B`, masked when B is a
+    /// power of two).
+    #[inline]
+    fn bit_of(&self, pfn: u64) -> u32 {
+        let h = Self::hash_pfn(pfn);
+        if self.bit_mask != 0 {
+            h as u32 & self.bit_mask
+        } else {
+            (h % self.num_bits as u64) as u32
+        }
     }
 
     /// True if the bit for `pfn` is set (membership may be a false
     /// positive, never a false negative — Bloom semantics).
     pub fn maybe_contains(&self, pfn: u64) -> bool {
-        let bit = (Self::hash_pfn(pfn) % self.num_bits as u64) as u32;
+        let bit = self.bit_of(pfn);
         self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
     }
 

@@ -47,7 +47,7 @@ pub mod trace_cache;
 
 pub use branch::GshareBranchPredictor;
 pub use cache::{ReplacementPolicy, SetAssocCache};
-pub use coherence::{Directory, LineState, ReadOutcome, WriteOutcome};
+pub use coherence::{Directory, LineState, ReadOutcome, SharerMask, WriteOutcome};
 pub use config::{CacheParams, HierarchyConfig, PrefetcherConfig, SystemConfig, TraceCacheConfig};
 pub use heatmap::PageHeatmap;
 pub use memory::{MemorySystem, PAGE_BYTES};

@@ -6,7 +6,7 @@
 //! all techniques in the paper differ *only* through what they do to these
 //! structures (i-cache pollution, d-cache locality, TLB pressure).
 
-use crate::cache::SetAssocCache;
+use crate::cache::{ReplacementPolicy, SetAssocCache};
 use crate::coherence::{Directory, ReadOutcome};
 use crate::config::{PrefetcherConfig, SystemConfig, TraceCacheConfig};
 use crate::prefetch::{CallGraphPrefetcher, StrideDataPrefetcher};
@@ -58,6 +58,10 @@ pub struct MemorySystem {
     directory: Directory,
     stats: MemStats,
     lines_per_page: u64,
+    /// `log2(lines_per_page)` when it is a power of two (it is for every
+    /// shipped geometry: 4 KB pages, 64 B lines), letting the per-access
+    /// line→page translation shift instead of divide.
+    page_shift: Option<u32>,
     nuca: Option<crate::nuca::NucaModel>,
 }
 
@@ -65,11 +69,23 @@ impl MemorySystem {
     /// Builds the memory system described by `cfg`.
     pub fn new(cfg: &SystemConfig) -> Self {
         let h = &cfg.hierarchy;
+        // Decorrelate each cache's Random-victim RNG by level and core
+        // (level tag in the high bits, core index below) unless the
+        // legacy shared-stream behaviour is requested. Lru/Fifo caches
+        // never consume the RNG, so this is invisible outside the
+        // Random-replacement ablation.
+        let build = |params, policy, level: u64, core: usize| {
+            if cfg.legacy_replacement_rng {
+                SetAssocCache::with_policy(params, policy)
+            } else {
+                SetAssocCache::with_policy_seeded(params, policy, (level << 32) | core as u64)
+            }
+        };
         let cores = (0..cfg.num_cores)
-            .map(|_| CoreMem {
-                l1i: SetAssocCache::with_policy(h.l1i, cfg.l1_replacement),
-                l1d: SetAssocCache::with_policy(h.l1d, cfg.l1_replacement),
-                l2: h.l2.map(SetAssocCache::new),
+            .map(|c| CoreMem {
+                l1i: build(h.l1i, cfg.l1_replacement, 1, c),
+                l1d: build(h.l1d, cfg.l1_replacement, 2, c),
+                l2: h.l2.map(|p| build(p, ReplacementPolicy::Lru, 3, c)),
                 itlb: Tlb::new(cfg.itlb_entries as usize),
                 dtlb: Tlb::new(cfg.dtlb_entries as usize),
                 prefetcher: match cfg.prefetcher {
@@ -95,10 +111,20 @@ impl MemorySystem {
             .collect();
         MemorySystem {
             cores,
-            llc: SetAssocCache::new(h.llc),
+            llc: build(h.llc, ReplacementPolicy::Lru, 4, 0),
+            // Start the open-addressed directory small and let it grow
+            // with the tracked-line count: a table pre-sized to the LLC
+            // geometry spreads a few thousand entries across megabytes,
+            // making every probe a cold cache miss, while a dense table
+            // stays resident in the host's caches. Growth rehashing is
+            // invisible to the point queries the directory serves.
             directory: Directory::new(cfg.num_cores.min(64)),
             stats: MemStats::new(),
             lines_per_page: PAGE_BYTES / h.l1i.line_bytes,
+            page_shift: {
+                let lpp = PAGE_BYTES / h.l1i.line_bytes;
+                lpp.is_power_of_two().then(|| lpp.trailing_zeros())
+            },
             nuca: cfg
                 .nuca
                 .map(|(base, hop)| crate::nuca::NucaModel::new(cfg.num_cores, base, hop)),
@@ -116,8 +142,12 @@ impl MemorySystem {
     }
 
     /// Page frame number containing `line`.
+    #[inline]
     pub fn page_of_line(&self, line: u64) -> u64 {
-        line / self.lines_per_page
+        match self.page_shift {
+            Some(s) => line >> s,
+            None => line / self.lines_per_page,
+        }
     }
 
     /// Number of cache lines per page for this configuration.
@@ -132,7 +162,7 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn fetch_code(&mut self, core: usize, line: u64, domain: CodeDomain) -> u64 {
-        let page = line / self.lines_per_page;
+        let page = self.page_of_line(line);
         let mut penalty = 0u64;
 
         // Instruction TLB.
@@ -207,7 +237,7 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn access_data(&mut self, core: usize, line: u64, write: bool, domain: CodeDomain) -> u64 {
-        let page = line / self.lines_per_page;
+        let page = self.page_of_line(line);
         let mut raw_penalty = 0u64;
 
         let dtlb_hit = self.cores[core].dtlb.access(page);
@@ -222,10 +252,10 @@ impl MemorySystem {
         if write {
             let outcome = self.directory.on_write(dir_core, line);
             if !outcome.silent && !outcome.invalidate.is_empty() {
-                for c in &outcome.invalidate {
-                    self.invalidate_private(*c, line);
+                for c in outcome.invalidate {
+                    self.invalidate_private(c, line);
                 }
-                self.stats.coherence_invalidations += outcome.invalidate.len() as u64;
+                self.stats.coherence_invalidations += u64::from(outcome.invalidate.count());
                 raw_penalty += self.llc_latency(core, line);
             }
         }
@@ -275,6 +305,11 @@ impl MemorySystem {
             self.stats.prefetch_fills += 1;
         }
 
+        if raw_penalty == 0 {
+            // Hit everywhere: the overlap scaling below is the identity
+            // on zero, so skip the float round-trip on the common path.
+            return 0;
+        }
         let hidden = self.cfg.data_overlap_hidden.clamp(0.0, 1.0);
         (raw_penalty as f64 * (1.0 - hidden)).round() as u64
     }

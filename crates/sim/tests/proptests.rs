@@ -124,7 +124,7 @@ mod coherence_props {
             for &(core, line, write) in &ops {
                 if write {
                     let out = dir.on_write(core, line);
-                    prop_assert!(!out.invalidate.contains(&core));
+                    prop_assert!(!out.invalidate.contains(core));
                     prop_assert_eq!(dir.state_of(line), LineState::Modified);
                 } else {
                     dir.on_read(core, line);

@@ -12,9 +12,10 @@
 //! ```text
 //! cargo run --release --example fileserver
 //! ```
+#![deny(deprecated)]
 
 use schedtask_suite::core::{SchedTaskConfig, SchedTaskScheduler, StealPolicy};
-use schedtask_suite::experiments::{runner, ExpParams};
+use schedtask_suite::experiments::{ExpParams, RunBuilder};
 use schedtask_suite::kernel::WorkloadSpec;
 use schedtask_suite::workload::BenchmarkKind;
 
@@ -40,7 +41,10 @@ fn main() {
                     ..SchedTaskConfig::default()
                 },
             );
-            let stats = runner::run_with_scheduler(Box::new(sched), &params, &workload)
+            let stats = RunBuilder::new(&params)
+                .scheduler(Box::new(sched))
+                .workload(&workload)
+                .run()
                 .expect("run succeeds");
             println!(
                 "{:<28} {:>8.1} {:>12.3} {:>12.1}",

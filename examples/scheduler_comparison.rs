@@ -5,8 +5,9 @@
 //!
 //! benchmarks: find iscp oscp apache dss filesrv mailsrvio oltp
 //! ```
+#![deny(deprecated)]
 
-use schedtask_suite::experiments::{runner, ExpParams, Technique};
+use schedtask_suite::experiments::{runner, ExpParams, RunBuilder, Technique};
 use schedtask_suite::kernel::WorkloadSpec;
 use schedtask_suite::workload::BenchmarkKind;
 
@@ -34,7 +35,11 @@ fn main() {
         kind.name(),
         cores * 2
     );
-    let base = runner::run(Technique::Linux, &params, &workload).expect("baseline run succeeds");
+    let base = RunBuilder::new(&params)
+        .technique(Technique::Linux)
+        .workload(&workload)
+        .run()
+        .expect("baseline run succeeds");
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>9} {:>12}",
         "technique", "Δperf%", "Δipc%", "idle%", "i-hit%", "migr/Binstr"
@@ -49,7 +54,11 @@ fn main() {
         base.migrations_per_billion_instructions(),
     );
     for t in Technique::compared() {
-        let s = runner::run(t, &params, &workload).expect("run succeeds");
+        let s = RunBuilder::new(&params)
+            .technique(t)
+            .workload(&workload)
+            .run()
+            .expect("run succeeds");
         println!(
             "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>12.0}",
             t.name(),

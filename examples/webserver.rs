@@ -7,8 +7,9 @@
 //! ```text
 //! cargo run --release --example webserver
 //! ```
+#![deny(deprecated)]
 
-use schedtask_suite::experiments::{runner, ExpParams, Technique};
+use schedtask_suite::experiments::{runner, ExpParams, RunBuilder, Technique};
 use schedtask_suite::kernel::{Engine, WorkloadSpec};
 use schedtask_suite::workload::BenchmarkKind;
 
@@ -43,13 +44,21 @@ fn main() {
     println!();
 
     // 2. Compare all techniques.
-    let base = runner::run(Technique::Linux, &params, &workload).expect("run succeeds");
+    let base = RunBuilder::new(&params)
+        .technique(Technique::Linux)
+        .workload(&workload)
+        .run()
+        .expect("run succeeds");
     println!(
         "{:<18} {:>9} {:>8} {:>10} {:>10}",
         "technique", "Δperf(%)", "idle(%)", "i-OS(pp)", "d-OS(pp)"
     );
     for t in Technique::compared() {
-        let s = runner::run(t, &params, &workload).expect("run succeeds");
+        let s = RunBuilder::new(&params)
+            .technique(t)
+            .workload(&workload)
+            .run()
+            .expect("run succeeds");
         println!(
             "{:<18} {:>9.1} {:>8.1} {:>10.1} {:>10.1}",
             t.name(),

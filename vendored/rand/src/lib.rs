@@ -88,6 +88,25 @@ impl Standard for f32 {
     }
 }
 
+/// `x mod span`, bit-for-bit what `(x as u128) % span` yields, without
+/// paying for a 128-bit division: every integer span in this crate fits
+/// in `u64` except the full inclusive range, whose modulus is `2^64`
+/// and therefore the identity on `x`. Powers of two reduce by mask.
+#[inline]
+fn reduce_u64(x: u64, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        let s = span as u64;
+        if s & (s - 1) == 0 {
+            (x & (s - 1)) as u128
+        } else {
+            (x % s) as u128
+        }
+    } else {
+        x as u128
+    }
+}
+
 /// Range argument accepted by [`Rng::gen_range`].
 pub trait SampleRange<T> {
     /// Sample a value uniformly from the range.
@@ -100,7 +119,7 @@ macro_rules! impl_int_range {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                let v = reduce_u64(rng.next_u64(), span);
                 (self.start as i128 + v as i128) as $t
             }
         }
@@ -109,7 +128,7 @@ macro_rules! impl_int_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "gen_range: empty range");
                 let span = (hi as i128 - lo as i128 + 1) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                let v = reduce_u64(rng.next_u64(), span);
                 (lo as i128 + v as i128) as $t
             }
         }
