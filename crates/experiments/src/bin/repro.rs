@@ -5,7 +5,9 @@
 //! ```text
 //! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S] [--jobs N]
 //!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
-//!                    [--obs FILE] [--profile]
+//!                    [--obs FILE] [--profile] [--keep-going]
+//! repro serve  [schedtaskd options...]
+//! repro submit [--connect ADDR | --unix PATH] [client options...]
 //!
 //! experiments:
 //!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
@@ -26,6 +28,20 @@
 //!   perf        wall-clock throughput of the simulator itself (see below)
 //!   all         everything above, in order
 //! ```
+//!
+//! Serving:
+//!
+//! * `repro serve` launches the `schedtaskd` job server (built from
+//!   `crates/serve`) by exec'ing the sibling binary; all arguments are
+//!   forwarded (`--listen`, `--unix`, `--queue-capacity`, `--batch-max`,
+//!   `--workers`, `--profile`).
+//! * `repro submit` is the line client: it submits one run request per
+//!   `technique × workload` pair over TCP (`--connect HOST:PORT`) or a
+//!   Unix socket (`--unix PATH`) and prints each response. `--ping`
+//!   waits for server readiness; `--expect-cached` exits non-zero if
+//!   any successful response was not served from the result cache;
+//!   `--stats` prints the server's counters; `--shutdown` asks the
+//!   server to drain and exit.
 //!
 //! Robustness options:
 //!
@@ -61,10 +77,13 @@
 //!
 //! Failures never abort a sweep or `all`: each failed experiment is
 //! recorded with a structured diagnosis, partial results still print,
-//! a failure summary follows, and the exit code stays 0.
+//! and a failure summary follows. The process then exits non-zero so CI
+//! cannot green-light a partial run; pass `--keep-going` to keep the
+//! historical exit-0 behaviour for exploratory sessions.
 
 use schedtask::StealPolicy;
 use schedtask_experiments::runner::run_sweep_observed;
+use schedtask_experiments::serve_api::{RunRequest, ServeClient};
 use schedtask_experiments::{
     ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
 };
@@ -89,6 +108,7 @@ struct Opts {
     profile: bool,
     json: Option<String>,
     check: Option<String>,
+    keep_going: bool,
 }
 
 fn parse_args() -> Opts {
@@ -106,6 +126,7 @@ fn parse_args() -> Opts {
         profile: false,
         json: None,
         check: None,
+        keep_going: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +135,7 @@ fn parse_args() -> Opts {
             "--markdown" => opts.markdown = true,
             "--sanitize" => opts.sanitize = true,
             "--profile" => opts.profile = true,
+            "--keep-going" => opts.keep_going = true,
             "--obs" => {
                 opts.obs = Some(
                     args.next()
@@ -211,7 +233,12 @@ fn print_help() {
         "repro — regenerate the SchedTask paper's tables and figures\n\n\
          usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\
                 [--jobs N] [--faults none|light|heavy[@SEED]] [--sanitize]\n\
-                [--force-fail TECH:BENCH[:N]] [--obs FILE] [--profile]\n\n\
+                [--force-fail TECH:BENCH[:N]] [--obs FILE] [--profile]\n\
+                [--keep-going]\n\
+                repro serve  [schedtaskd options...]   launch the job server\n\
+                repro submit [client options...]       submit jobs to a server\n\n\
+         sweep exit code: non-zero when any cell fails; --keep-going\n\
+         restores the historical always-0 behaviour\n\n\
          observability (sweep experiment):\n\
            --obs FILE   write every cell's event log as JSON Lines to FILE\n\
            --profile    print per-technique counter and span summaries\n\n\
@@ -433,6 +460,15 @@ fn run_perf_experiment(opts: &Opts, p: &ExpParams) -> Vec<Failure> {
 }
 
 fn main() {
+    // The serve/submit subcommands take their own argument sets, so
+    // they are dispatched before the experiment-flag parser (which
+    // rejects unknown arguments) ever sees them.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => run_serve(raw.split_off(1)),
+        Some("submit") => run_submit(raw.split_off(1)),
+        _ => {}
+    }
     let opts = parse_args();
     if (opts.obs.is_some() || opts.profile)
         && opts.experiment != "sweep"
@@ -641,4 +677,276 @@ fn main() {
         failures.len(),
         if failures.len() == 1 { "" } else { "s" }
     );
+    // Partial results are still useful, but CI must not green-light a
+    // run with failed cells; --keep-going opts back into exit 0.
+    if !failures.is_empty() && !opts.keep_going {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving subcommands.
+
+/// `repro serve`: launch the sibling `schedtaskd` binary, forwarding
+/// every remaining argument, and exit with its status.
+fn run_serve(args: Vec<String>) -> ! {
+    let daemon = std::env::current_exe().ok().and_then(|exe| {
+        exe.parent()
+            .map(|dir| dir.join(format!("schedtaskd{}", std::env::consts::EXE_SUFFIX)))
+    });
+    let Some(path) = daemon.filter(|p| p.exists()) else {
+        die("schedtaskd binary not found next to repro; \
+             build it with `cargo build -p schedtask-serve`");
+    };
+    match std::process::Command::new(&path).args(&args).status() {
+        Ok(status) => std::process::exit(status.code().unwrap_or(1)),
+        Err(e) => die(&format!("cannot launch {}: {e}", path.display())),
+    }
+}
+
+#[cfg(unix)]
+fn connect_unix_client(path: &str) -> std::io::Result<ServeClient> {
+    ServeClient::connect_unix(path)
+}
+
+#[cfg(not(unix))]
+fn connect_unix_client(_path: &str) -> std::io::Result<ServeClient> {
+    die("--unix is not supported on this platform");
+}
+
+fn print_submit_help() {
+    println!(
+        "repro submit — submit simulation jobs to a running schedtaskd\n\n\
+         usage: repro submit (--connect HOST:PORT | --unix PATH)\n\
+                [--workload LIST] [--technique LIST] [--steal NAME]\n\
+                [--scale F] [--standard] [--cores N] [--max-instructions N]\n\
+                [--warmup N] [--seed S] [--faults SPEC] [--sanitize]\n\
+                [--ping] [--stats] [--shutdown] [--expect-cached]\n\
+                [--wait-ms N]\n\n\
+         One run request is sent per technique x workload pair (comma\n\
+         lists). Requests default to quick-size parameters; --standard\n\
+         submits full-size runs.\n\n\
+           --ping            wait until the server answers, then exit 0\n\
+           --expect-cached   exit 1 if any ok response missed the cache\n\
+           --stats           print the server's counters after submitting\n\
+           --shutdown        ask the server to drain and exit afterwards\n\
+           --wait-ms N       connection-retry budget (default 10000)"
+    );
+}
+
+/// `repro submit`: the native line client for a running `schedtaskd`.
+fn run_submit(args: Vec<String>) -> ! {
+    use schedtask_experiments::serve_api::Json;
+
+    let mut connect: Option<String> = None;
+    let mut unix_path: Option<String> = None;
+    let mut workloads = vec!["Find".to_owned()];
+    let mut techniques = vec!["SchedTask".to_owned()];
+    let mut steal: Option<String> = None;
+    let mut scale: Option<f64> = None;
+    let mut quick = true;
+    let mut cores: Option<usize> = None;
+    let mut max_instructions: Option<u64> = None;
+    let mut warmup_instructions: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut faults: Option<String> = None;
+    let mut sanitize = false;
+    let mut expect_cached = false;
+    let mut ping_only = false;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut wait_ms: u64 = 10_000;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--connect" => connect = Some(value("--connect")),
+            "--unix" => unix_path = Some(value("--unix")),
+            "--workload" => workloads = value("--workload").split(',').map(str::to_owned).collect(),
+            "--technique" => {
+                techniques = value("--technique").split(',').map(str::to_owned).collect()
+            }
+            "--steal" => steal = Some(value("--steal")),
+            "--scale" => {
+                scale = Some(
+                    value("--scale")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --scale: {e}"))),
+                )
+            }
+            "--standard" => quick = false,
+            "--cores" => {
+                cores = Some(
+                    value("--cores")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --cores: {e}"))),
+                )
+            }
+            "--max-instructions" => {
+                max_instructions = Some(
+                    value("--max-instructions")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --max-instructions: {e}"))),
+                )
+            }
+            "--warmup" => {
+                warmup_instructions = Some(
+                    value("--warmup")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --warmup: {e}"))),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    value("--seed")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --seed: {e}"))),
+                )
+            }
+            "--faults" => faults = Some(value("--faults")),
+            "--sanitize" => sanitize = true,
+            "--expect-cached" => expect_cached = true,
+            "--ping" => ping_only = true,
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            "--wait-ms" => {
+                wait_ms = value("--wait-ms")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --wait-ms: {e}")))
+            }
+            "--help" | "-h" => {
+                print_submit_help();
+                std::process::exit(0);
+            }
+            other => die(&format!("submit: unknown argument {other:?} (try --help)")),
+        }
+    }
+    if connect.is_none() && unix_path.is_none() {
+        die("submit needs --connect HOST:PORT or --unix PATH");
+    }
+
+    // Connect with retry so a freshly-spawned server has time to bind;
+    // --ping makes this the whole job (a readiness probe).
+    let deadline = Instant::now() + std::time::Duration::from_millis(wait_ms);
+    let mut client = loop {
+        let attempt = match (&connect, &unix_path) {
+            (Some(addr), _) => ServeClient::connect_tcp(addr),
+            (None, Some(path)) => connect_unix_client(path),
+            (None, None) => unreachable!("checked above"),
+        };
+        match attempt {
+            Ok(mut c) => match c.ping() {
+                Ok(true) => break c,
+                _ if Instant::now() < deadline => {}
+                _ => die("server did not answer ping"),
+            },
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    die(&format!("cannot connect: {e}"));
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    if ping_only {
+        println!("[submit] server is ready");
+        std::process::exit(0);
+    }
+
+    let mut ok = 0u32;
+    let mut cache_hits = 0u32;
+    let mut coalesced_n = 0u32;
+    let mut rejected = 0u32;
+    let mut errors = 0u32;
+    let mut uncached_ok = false;
+    for tech in &techniques {
+        for wl in &workloads {
+            let mut req = RunRequest::new(format!("{tech}/{wl}"), wl.clone());
+            req.technique = tech.clone();
+            req.steal = steal.clone();
+            if let Some(s) = scale {
+                req.scale = s;
+            }
+            req.quick = quick;
+            req.cores = cores;
+            req.max_instructions = max_instructions;
+            req.warmup_instructions = warmup_instructions;
+            req.seed = seed;
+            req.faults = faults.clone();
+            req.sanitize = sanitize;
+            let response = client
+                .request_line(&req.to_json_line())
+                .unwrap_or_else(|e| die(&format!("request failed: {e}")));
+            let json = Json::parse(&response)
+                .unwrap_or_else(|e| die(&format!("unparseable response: {e}")));
+            match json.get("status").and_then(Json::as_str).unwrap_or("?") {
+                "ok" => {
+                    ok += 1;
+                    let cached = json.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                    let coalesced = json
+                        .get("coalesced")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false);
+                    if cached {
+                        cache_hits += 1;
+                    } else {
+                        uncached_ok = true;
+                    }
+                    if coalesced {
+                        coalesced_n += 1;
+                    }
+                    let key = json.get("key").and_then(Json::as_str).unwrap_or("?");
+                    let latency = json.get("latency_us").and_then(Json::as_u64).unwrap_or(0);
+                    println!(
+                        "[submit] {tech}/{wl}: ok cached={cached} coalesced={coalesced} \
+                         key={key} latency_us={latency}"
+                    );
+                }
+                "rejected" => {
+                    rejected += 1;
+                    let retry = json
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    println!("[submit] {tech}/{wl}: rejected (queue full) retry_after_ms={retry}");
+                }
+                _ => {
+                    errors += 1;
+                    let detail = json
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or(response.as_str());
+                    println!("[submit] {tech}/{wl}: error: {detail}");
+                }
+            }
+        }
+    }
+    if want_stats {
+        let response = client
+            .request_line("{\"op\":\"stats\"}")
+            .unwrap_or_else(|e| die(&format!("stats request failed: {e}")));
+        println!("[submit] stats: {response}");
+    }
+    if want_shutdown {
+        let response = client
+            .request_line("{\"op\":\"shutdown\"}")
+            .unwrap_or_else(|e| die(&format!("shutdown request failed: {e}")));
+        println!("[submit] shutdown: {response}");
+    }
+    println!(
+        "[submit] {ok} ok ({cache_hits} cached, {coalesced_n} coalesced), \
+         {rejected} rejected, {errors} errors"
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+    if expect_cached && uncached_ok {
+        eprintln!("[submit] --expect-cached: at least one ok response missed the cache");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }

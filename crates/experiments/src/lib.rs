@@ -38,6 +38,7 @@ pub mod fig11_heatmap;
 pub mod overheads;
 pub mod perf;
 pub mod runner;
+pub mod serve_api;
 pub mod table;
 pub mod table4_workload;
 
@@ -47,4 +48,5 @@ pub use runner::{
     CellObs, CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, RunBuilder,
     SweepReport, Technique,
 };
+pub use serve_api::{JobSpec, Request, RequestOp, RunRequest, ServeClient};
 pub use table::Table;

@@ -1,0 +1,807 @@
+//! Wire protocol for the `schedtaskd` serve layer: canonical job
+//! hashing, a hand-rolled JSON codec (the offline build has no serde),
+//! request parsing, and a small line-oriented client used by
+//! `repro submit`, the CI smoke job, and the serve-crate tests.
+//!
+//! One request or response is one JSON object per line. Requests name a
+//! benchmark, a technique, and parameter overrides; responses carry the
+//! canonical [`SimStats`] JSON produced by
+//! `SimStats::to_canonical_json`, so a cache hit is byte-identical to
+//! the fresh run that populated it.
+//!
+//! [`SimStats`]: schedtask_kernel::SimStats
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use schedtask::StealPolicy;
+use schedtask_kernel::FaultPlan;
+use schedtask_workload::BenchmarkKind;
+
+use crate::runner::{ExpParams, Technique};
+
+// ---------------------------------------------------------------------------
+// Canonical job identity.
+
+/// One fully-resolved simulation job as admitted by the server: the
+/// complete set of inputs that determine a run's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Scheduling technique to simulate.
+    pub technique: Technique,
+    /// Benchmark to run.
+    pub benchmark: BenchmarkKind,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Optional steal-policy override (SchedTask only).
+    pub steal: Option<StealPolicy>,
+    /// Engine parameters (cores, budgets, seed, machine config, faults,
+    /// sanitizer).
+    pub params: ExpParams,
+}
+
+impl JobSpec {
+    /// The canonical text the cache key is derived from. Every field
+    /// that influences the simulation output appears here — technique,
+    /// benchmark, scale (exact bits), steal override, and the full
+    /// `ExpParams` including the machine config, seed, and fault plan —
+    /// so two specs hash alike only when a deterministic engine would
+    /// produce identical stats.
+    pub fn canonical_text(&self) -> String {
+        format!(
+            "technique={:?};benchmark={:?};scale={:016x};steal={:?};params={:?}",
+            self.technique,
+            self.benchmark,
+            self.scale.to_bits(),
+            self.steal,
+            self.params
+        )
+    }
+
+    /// Content-addressed cache key: FNV-1a 64 of [`JobSpec::canonical_text`].
+    pub fn cache_key(&self) -> u64 {
+        fnv1a64(self.canonical_text().as_bytes())
+    }
+
+    /// The cache key as the fixed-width hex string used on the wire.
+    pub fn cache_key_hex(&self) -> String {
+        format!("{:016x}", self.cache_key())
+    }
+}
+
+/// FNV-1a 64-bit hash. In-process cache keys only — never persisted, so
+/// the hash just has to be deterministic within one server lifetime.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser.
+
+/// A parsed JSON value. Numbers keep their raw source text so `u64`
+/// values round-trip without a lossy `f64` detour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value from `s`, rejecting trailing
+    /// garbage.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {literal:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Validate once so `Num` always holds a parseable number.
+    raw.parse::<f64>()
+        .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+    Ok(Json::Num(raw.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through untouched).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' but found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected an object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => return Err(format!("expected ',' or '}}' but found {other:?}")),
+        }
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+/// What a parsed request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOp {
+    /// Simulate (or replay from cache) one job; the flag asks for the
+    /// per-run JSONL event stream in the response.
+    Run(Box<JobSpec>, bool),
+    /// Liveness probe.
+    Ping,
+    /// Report serve counters, queue depth, and cache size.
+    Stats,
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+/// One request line, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+/// Parses one request line into a [`Request`].
+///
+/// Unknown fields are rejected (they would otherwise be silently
+/// excluded from the cache key, poisoning it).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line)?;
+    let obj = match &json {
+        Json::Obj(fields) => fields,
+        _ => return Err("request must be a JSON object".to_owned()),
+    };
+    const KNOWN: &[&str] = &[
+        "id",
+        "op",
+        "workload",
+        "technique",
+        "steal",
+        "scale",
+        "quick",
+        "cores",
+        "max_instructions",
+        "warmup_instructions",
+        "epoch_cycles",
+        "seed",
+        "faults",
+        "sanitize",
+        "obs",
+    ];
+    for (key, _) in obj {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown request field {key:?}"));
+        }
+    }
+    let id = match json.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Num(raw)) => Some(raw.clone()),
+        Some(other) => return Err(format!("id must be a string or number, got {other:?}")),
+    };
+    let op_name = match json.get("op") {
+        None => "run",
+        Some(v) => v.as_str().ok_or("op must be a string")?,
+    };
+    match op_name {
+        "ping" => {
+            return Ok(Request {
+                id,
+                op: RequestOp::Ping,
+            })
+        }
+        "stats" => {
+            return Ok(Request {
+                id,
+                op: RequestOp::Stats,
+            })
+        }
+        "shutdown" => {
+            return Ok(Request {
+                id,
+                op: RequestOp::Shutdown,
+            })
+        }
+        "run" => {}
+        other => return Err(format!("unknown op {other:?}")),
+    }
+
+    let workload = json
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("run request needs a \"workload\" field")?;
+    let benchmark = BenchmarkKind::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(workload))
+        .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+    let technique = match json.get("technique") {
+        None => Technique::SchedTask,
+        Some(v) => {
+            let name = v.as_str().ok_or("technique must be a string")?;
+            Technique::parse(name).ok_or_else(|| format!("unknown technique {name:?}"))?
+        }
+    };
+    let steal = match json.get("steal") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let name = v.as_str().ok_or("steal must be a string")?;
+            let policy = StealPolicy::parse(name)?;
+            if technique != Technique::SchedTask {
+                return Err(format!(
+                    "steal policy override requires technique SchedTask, got {}",
+                    technique.name()
+                ));
+            }
+            Some(policy)
+        }
+    };
+    let scale = match json.get("scale") {
+        None => 2.0,
+        Some(v) => v.as_f64().ok_or("scale must be a number")?,
+    };
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(format!(
+            "scale must be a positive finite number, got {scale}"
+        ));
+    }
+    let quick = match json.get("quick") {
+        None => true,
+        Some(v) => v.as_bool().ok_or("quick must be a boolean")?,
+    };
+    let mut params = if quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::standard()
+    };
+    let u64_field = |name: &str| -> Result<Option<u64>, String> {
+        match json.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("{name} must be a non-negative integer")),
+        }
+    };
+    if let Some(cores) = u64_field("cores")? {
+        if cores == 0 {
+            return Err("cores must be positive".to_owned());
+        }
+        params.cores = cores as usize;
+    }
+    if let Some(v) = u64_field("max_instructions")? {
+        params.max_instructions = v;
+    }
+    if let Some(v) = u64_field("warmup_instructions")? {
+        params.warmup_instructions = v;
+    }
+    if let Some(v) = u64_field("epoch_cycles")? {
+        params.epoch_cycles = v;
+    }
+    if let Some(v) = u64_field("seed")? {
+        params.seed = v;
+    }
+    match json.get("faults") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or("faults must be a fault-plan spec string")?;
+            params.faults = Some(FaultPlan::parse(spec, params.seed)?);
+        }
+    }
+    if let Some(v) = json.get("sanitize") {
+        params.sanitize = v.as_bool().ok_or("sanitize must be a boolean")?;
+    }
+    let want_obs = match json.get("obs") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("obs must be a boolean")?,
+    };
+    Ok(Request {
+        id,
+        op: RequestOp::Run(
+            Box::new(JobSpec {
+                technique,
+                benchmark,
+                scale,
+                steal,
+                params,
+            }),
+            want_obs,
+        ),
+    })
+}
+
+/// Builder for the JSON line a client submits; mirrors
+/// [`parse_request`]'s field vocabulary so requests round-trip.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Client-chosen id echoed back by the server.
+    pub id: String,
+    /// Benchmark name (e.g. `"Find"`).
+    pub workload: String,
+    /// Technique name (e.g. `"SchedTask"`).
+    pub technique: String,
+    /// Optional steal-policy name.
+    pub steal: Option<String>,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Base parameters: `true` → [`ExpParams::quick`], else
+    /// [`ExpParams::standard`].
+    pub quick: bool,
+    /// Core-count override.
+    pub cores: Option<usize>,
+    /// Post-warm-up instruction budget override.
+    pub max_instructions: Option<u64>,
+    /// Warm-up instruction budget override.
+    pub warmup_instructions: Option<u64>,
+    /// Epoch-length override.
+    pub epoch_cycles: Option<u64>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Fault-plan spec string (e.g. `"light@7"`).
+    pub faults: Option<String>,
+    /// Run the engine sanitizer.
+    pub sanitize: bool,
+    /// Ask for the JSONL event stream in the response.
+    pub want_obs: bool,
+}
+
+impl RunRequest {
+    /// A run request for `workload` with every knob at its default.
+    pub fn new(id: impl Into<String>, workload: impl Into<String>) -> Self {
+        RunRequest {
+            id: id.into(),
+            workload: workload.into(),
+            technique: "SchedTask".to_owned(),
+            steal: None,
+            scale: 2.0,
+            quick: true,
+            cores: None,
+            max_instructions: None,
+            warmup_instructions: None,
+            epoch_cycles: None,
+            seed: None,
+            faults: None,
+            sanitize: false,
+            want_obs: false,
+        }
+    }
+
+    /// Renders the single-line JSON request.
+    pub fn to_json_line(&self) -> String {
+        let mut line = format!(
+            "{{\"id\":\"{}\",\"op\":\"run\",\"workload\":\"{}\",\"technique\":\"{}\"",
+            escape_json(&self.id),
+            escape_json(&self.workload),
+            escape_json(&self.technique)
+        );
+        if let Some(steal) = &self.steal {
+            line.push_str(&format!(",\"steal\":\"{}\"", escape_json(steal)));
+        }
+        line.push_str(&format!(
+            ",\"scale\":{},\"quick\":{}",
+            self.scale, self.quick
+        ));
+        if let Some(v) = self.cores {
+            line.push_str(&format!(",\"cores\":{v}"));
+        }
+        if let Some(v) = self.max_instructions {
+            line.push_str(&format!(",\"max_instructions\":{v}"));
+        }
+        if let Some(v) = self.warmup_instructions {
+            line.push_str(&format!(",\"warmup_instructions\":{v}"));
+        }
+        if let Some(v) = self.epoch_cycles {
+            line.push_str(&format!(",\"epoch_cycles\":{v}"));
+        }
+        if let Some(v) = self.seed {
+            line.push_str(&format!(",\"seed\":{v}"));
+        }
+        if let Some(spec) = &self.faults {
+            line.push_str(&format!(",\"faults\":\"{}\"", escape_json(spec)));
+        }
+        if self.sanitize {
+            line.push_str(",\"sanitize\":true");
+        }
+        if self.want_obs {
+            line.push_str(",\"obs\":true");
+        }
+        line.push('}');
+        line
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+
+/// A blocking line-oriented client for `schedtaskd`.
+pub struct ServeClient {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl ServeClient {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Connects over a Unix domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &str) -> io::Result<ServeClient> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a ping and checks for an ok response.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let response = self.request_line("{\"op\":\"ping\"}")?;
+        let json =
+            Json::parse(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(json.get("status").and_then(Json::as_str) == Some("ok"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_spec(line: &str) -> JobSpec {
+        match parse_request(line).expect("parses").op {
+            RequestOp::Run(spec, _) => *spec,
+            other => panic!("expected a run op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v =
+            Json::parse("{\"a\":[1,2.5,-3],\"b\":{\"c\":\"x\\n\\\"y\\\"\"},\"d\":true,\"e\":null}")
+                .expect("parses");
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num("1".into()),
+                Json::Num("2.5".into()),
+                Json::Num("-3".into()),
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(v.get("d").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn u64_precision_survives_parsing() {
+        let v = Json::parse("{\"seed\":18446744073709551615}").expect("parses");
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn run_request_round_trips_through_parse_request() {
+        let mut req = RunRequest::new("job-1", "Find");
+        req.technique = "Baseline".to_owned();
+        req.scale = 1.5;
+        req.cores = Some(4);
+        req.max_instructions = Some(200_000);
+        req.warmup_instructions = Some(50_000);
+        req.seed = Some(42);
+        req.faults = Some("light@7".to_owned());
+        req.sanitize = true;
+        req.want_obs = true;
+        let parsed = parse_request(&req.to_json_line()).expect("parses");
+        assert_eq!(parsed.id.as_deref(), Some("job-1"));
+        let (spec, want_obs) = match parsed.op {
+            RequestOp::Run(spec, want_obs) => (*spec, want_obs),
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert!(want_obs);
+        assert_eq!(spec.technique, Technique::Linux);
+        assert_eq!(spec.benchmark, BenchmarkKind::Find);
+        assert_eq!(spec.scale, 1.5);
+        assert_eq!(spec.params.cores, 4);
+        assert_eq!(spec.params.max_instructions, 200_000);
+        assert_eq!(spec.params.seed, 42);
+        assert_eq!(spec.params.faults, Some(FaultPlan::light(7)));
+        assert!(spec.params.sanitize);
+    }
+
+    #[test]
+    fn steal_override_parses_and_requires_schedtask() {
+        let spec = run_spec("{\"workload\":\"Find\",\"steal\":\"max-wait\"}");
+        assert_eq!(spec.steal, Some(StealPolicy::MaxWaitingTime));
+        assert_eq!(spec.technique, Technique::SchedTask);
+        let err =
+            parse_request("{\"workload\":\"Find\",\"technique\":\"FlexSC\",\"steal\":\"same\"}")
+                .expect_err("must reject");
+        assert!(err.contains("SchedTask"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err =
+            parse_request("{\"workload\":\"Find\",\"sede\":7}").expect_err("must reject typos");
+        assert!(err.contains("sede"), "{err}");
+    }
+
+    #[test]
+    fn cache_key_separates_every_input() {
+        let base = run_spec("{\"workload\":\"Find\"}");
+        let same = run_spec("{\"workload\":\"Find\"}");
+        assert_eq!(base.cache_key(), same.cache_key());
+        for line in [
+            "{\"workload\":\"Iscp\"}",
+            "{\"workload\":\"Find\",\"technique\":\"Baseline\"}",
+            "{\"workload\":\"Find\",\"scale\":2.25}",
+            "{\"workload\":\"Find\",\"seed\":99}",
+            "{\"workload\":\"Find\",\"cores\":3}",
+            "{\"workload\":\"Find\",\"faults\":\"light\"}",
+            "{\"workload\":\"Find\",\"steal\":\"nothing\"}",
+            "{\"workload\":\"Find\",\"sanitize\":true}",
+            "{\"workload\":\"Find\",\"quick\":false}",
+        ] {
+            let other = run_spec(line);
+            assert_ne!(base.cache_key(), other.cache_key(), "collision for {line}");
+        }
+    }
+
+    #[test]
+    fn op_requests_parse() {
+        for (line, op) in [
+            ("{\"op\":\"ping\"}", RequestOp::Ping),
+            ("{\"op\":\"stats\"}", RequestOp::Stats),
+            ("{\"op\":\"shutdown\",\"id\":7}", RequestOp::Shutdown),
+        ] {
+            let req = parse_request(line).expect("parses");
+            assert_eq!(req.op, op, "{line}");
+        }
+        assert!(parse_request("{\"op\":\"dance\"}").is_err());
+    }
+}

@@ -216,6 +216,105 @@ impl SimStats {
 }
 
 impl SimStats {
+    /// Serializes every field as one canonical JSON object with a fixed
+    /// field order and no whitespace, so two equal `SimStats` values
+    /// always produce byte-identical text. This is the wire format of
+    /// the `schedtaskd` serve layer and the payload its result cache
+    /// replays; floats use Rust's shortest-round-trip `Display`, which
+    /// is deterministic for a deterministic simulation.
+    ///
+    /// Hand-rolled because the offline build environment has no serde.
+    pub fn to_canonical_json(&self) -> String {
+        fn join_u64(values: &[u64]) -> String {
+            let strs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            strs.join(",")
+        }
+        let mut out = String::with_capacity(1024);
+        let i = &self.instructions;
+        out.push_str(&format!(
+            "{{\"instructions\":{{\"application\":{},\"syscall\":{},\"interrupt\":{},\
+             \"bottom_half\":{},\"scheduler\":{}}}",
+            i.application, i.syscall, i.interrupt, i.bottom_half, i.scheduler
+        ));
+        out.push_str(",\"core_time\":[");
+        for (idx, ct) in self.core_time.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"busy\":{},\"idle\":{}}}",
+                ct.busy_cycles, ct.idle_cycles
+            ));
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"thread_migrations\":{},\"per_thread_instructions\":[{}],\
+             \"ops_per_benchmark\":[{}],\"interrupts_delivered\":{},\
+             \"interrupt_latency_cycles\":{}",
+            self.thread_migrations,
+            join_u64(&self.per_thread_instructions),
+            join_u64(&self.ops_per_benchmark),
+            self.interrupts_delivered,
+            self.interrupt_latency_cycles
+        ));
+        out.push_str(",\"epoch_breakups\":[");
+        for (idx, b) in self.epoch_breakups.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{},{}]", b[0], b[1], b[2], b[3]));
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"branches\":{},\"branch_mispredictions\":{},\"final_cycle\":{}",
+            self.branches, self.branch_mispredictions, self.final_cycle
+        ));
+        let m = &self.mem;
+        out.push_str(",\"mem\":{");
+        let caches = [
+            ("icache_app", &m.icache_app),
+            ("icache_os", &m.icache_os),
+            ("dcache_app", &m.dcache_app),
+            ("dcache_os", &m.dcache_os),
+            ("l2", &m.l2),
+            ("llc", &m.llc),
+            ("itlb", &m.itlb),
+            ("dtlb", &m.dtlb),
+        ];
+        for (idx, (name, hm)) in caches.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"hits\":{},\"misses\":{}}}",
+                hm.hits, hm.misses
+            ));
+        }
+        out.push_str(&format!(
+            ",\"coherence_invalidations\":{},\"coherence_transfers\":{},\
+             \"prefetch_fills\":{},\"trace_cache_covered\":{}}}",
+            m.coherence_invalidations,
+            m.coherence_transfers,
+            m.prefetch_fills,
+            m.trace_cache_covered
+        ));
+        let f = &self.faults;
+        out.push_str(&format!(
+            ",\"faults\":{{\"heatmap_bit_flips\":{},\"dropped_irqs\":{},\
+             \"spurious_irqs\":{},\"delayed_completions\":{},\"core_stalls\":{}}}",
+            f.heatmap_bit_flips,
+            f.dropped_irqs,
+            f.spurious_irqs,
+            f.delayed_completions,
+            f.core_stalls
+        ));
+        out.push_str(&format!(
+            ",\"sanitizer_checks\":{}}}",
+            self.sanitizer_checks
+        ));
+        out
+    }
+
     /// A multi-line human-readable summary (used by examples and
     /// debugging sessions; the experiment tables are the precise
     /// artefacts).
@@ -316,6 +415,42 @@ mod tests {
         s.interrupts_delivered = 4;
         s.interrupt_latency_cycles = 400;
         assert_eq!(s.mean_interrupt_latency(), 100.0);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_covers_fields() {
+        let mut s = SimStats::new(2, 1);
+        s.instructions.add(SfCategory::Application, 800);
+        s.instructions.add(SfCategory::SystemCall, 200);
+        s.instructions.scheduler = 50;
+        s.core_time[0].busy_cycles = 900;
+        s.core_time[0].idle_cycles = 100;
+        s.thread_migrations = 3;
+        s.per_thread_instructions = vec![500, 500];
+        s.ops_per_benchmark[0] = 4;
+        s.epoch_breakups.push([80.0, 20.0, 0.0, 0.0]);
+        s.final_cycle = 1_000;
+        s.mem.icache_app.hits = 700;
+        s.mem.icache_app.misses = 30;
+        s.faults.core_stalls = 2;
+        s.sanitizer_checks = 9;
+        let json = s.to_canonical_json();
+        // Equal stats serialize byte-identically.
+        assert_eq!(json, s.clone().to_canonical_json());
+        // Spot-check structure and coverage.
+        assert!(json.starts_with("{\"instructions\":{\"application\":800"));
+        assert!(
+            json.contains("\"core_time\":[{\"busy\":900,\"idle\":100},{\"busy\":0,\"idle\":0}]")
+        );
+        assert!(json.contains("\"per_thread_instructions\":[500,500]"));
+        assert!(json.contains("\"epoch_breakups\":[[80,20,0,0]]"));
+        assert!(json.contains("\"icache_app\":{\"hits\":700,\"misses\":30}"));
+        assert!(json.contains("\"core_stalls\":2"));
+        assert!(json.ends_with("\"sanitizer_checks\":9}"));
+        // Any field change changes the bytes.
+        let mut t = s.clone();
+        t.branches = 1;
+        assert_ne!(json, t.to_canonical_json());
     }
 
     #[test]

@@ -35,6 +35,12 @@ struct SpanState {
     open: HashMap<u32, (SfClass, u64)>,
     /// Closed SF segments per class: (count, cycles).
     sf: HashMap<SfClass, (u64, u64)>,
+    /// Open serve-layer job span per worker slot: entry timestamp.
+    open_jobs: HashMap<u32, u64>,
+    /// Closed serve-layer job spans: count and total duration. Job span
+    /// timestamps are microseconds, not cycles (see [`SpanKind::Job`]).
+    job_count: u64,
+    job_total: u64,
 }
 
 impl SpanState {
@@ -99,6 +105,14 @@ impl Aggregator {
                     self_cycles: cycles,
                 });
             }
+        }
+        if state.job_count > 0 {
+            rows.push(SpanRow {
+                kind: "job".to_owned(),
+                count: state.job_count,
+                total_cycles: state.job_total,
+                self_cycles: state.job_total,
+            });
         }
         rows
     }
@@ -175,24 +189,51 @@ impl Observer for Aggregator {
                 self.counters.add(Counter::ExactPageStores, 1);
                 self.counters.add(Counter::ExactPagesCollected, pages);
             }
+            ObsEvent::JobSubmitted { .. } => self.counters.add(Counter::ServeSubmitted, 1),
+            ObsEvent::JobCacheHit { .. } => self.counters.add(Counter::ServeCacheHits, 1),
+            ObsEvent::JobCoalesced { .. } => self.counters.add(Counter::ServeCoalesced, 1),
+            ObsEvent::JobAdmitted { .. } => self.counters.add(Counter::ServeCacheMisses, 1),
+            ObsEvent::JobRejected { .. } => self.counters.add(Counter::ServeRejected, 1),
+            ObsEvent::JobExecuted { micros, .. } => {
+                self.counters.add(Counter::ServeExecuted, 1);
+                self.counters.add(Counter::ServeExecMicros, micros);
+            }
+            ObsEvent::BatchExecuted { .. } => self.counters.add(Counter::ServeBatches, 1),
         }
     }
 
     fn span_enter(&self, core: Option<u32>, kind: SpanKind, at: u64) {
-        if let (Some(core), SpanKind::Sf(class)) = (core, kind) {
-            let mut s = self.spans.lock().expect("span state poisoned");
-            s.open.insert(core, (class, at));
+        match (core, kind) {
+            (Some(core), SpanKind::Sf(class)) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                s.open.insert(core, (class, at));
+            }
+            (Some(slot), SpanKind::Job) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                s.open_jobs.insert(slot, at);
+            }
+            _ => {}
         }
     }
 
     fn span_exit(&self, core: Option<u32>, kind: SpanKind, at: u64) {
-        if let (Some(core), SpanKind::Sf(_)) = (core, kind) {
-            let mut s = self.spans.lock().expect("span state poisoned");
-            if let Some((class, start)) = s.open.remove(&core) {
-                let entry = s.sf.entry(class).or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += at.saturating_sub(start);
+        match (core, kind) {
+            (Some(core), SpanKind::Sf(_)) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                if let Some((class, start)) = s.open.remove(&core) {
+                    let entry = s.sf.entry(class).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += at.saturating_sub(start);
+                }
             }
+            (Some(slot), SpanKind::Job) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                if let Some(start) = s.open_jobs.remove(&slot) {
+                    s.job_count += 1;
+                    s.job_total += at.saturating_sub(start);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -326,6 +367,40 @@ mod tests {
             .expect("sf row");
         assert_eq!(sf.count, 1);
         assert_eq!(sf.total_cycles, 30);
+    }
+
+    #[test]
+    fn serve_events_roll_into_counters_and_job_spans() {
+        let agg = Aggregator::new();
+        agg.event(&ObsEvent::JobSubmitted { at: 1, key: 7 });
+        agg.event(&ObsEvent::JobAdmitted {
+            at: 1,
+            key: 7,
+            depth: 1,
+        });
+        agg.event(&ObsEvent::JobSubmitted { at: 2, key: 7 });
+        agg.event(&ObsEvent::JobCacheHit { at: 2, key: 7 });
+        agg.event(&ObsEvent::JobRejected { at: 3, depth: 64 });
+        agg.event(&ObsEvent::JobExecuted {
+            at: 5,
+            key: 7,
+            micros: 1200,
+        });
+        agg.event(&ObsEvent::BatchExecuted { at: 5, jobs: 1 });
+        agg.span_enter(Some(0), SpanKind::Job, 1_000);
+        agg.span_exit(Some(0), SpanKind::Job, 2_500);
+        let snap = agg.counters();
+        assert_eq!(snap.get(Counter::ServeSubmitted), 2);
+        assert_eq!(snap.get(Counter::ServeCacheMisses), 1);
+        assert_eq!(snap.get(Counter::ServeCacheHits), 1);
+        assert_eq!(snap.get(Counter::ServeRejected), 1);
+        assert_eq!(snap.get(Counter::ServeExecuted), 1);
+        assert_eq!(snap.get(Counter::ServeExecMicros), 1200);
+        assert_eq!(snap.get(Counter::ServeBatches), 1);
+        let rows = agg.span_rows();
+        let job = rows.iter().find(|r| r.kind == "job").expect("job row");
+        assert_eq!(job.count, 1);
+        assert_eq!(job.total_cycles, 1_500);
     }
 
     #[test]

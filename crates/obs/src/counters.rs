@@ -61,6 +61,23 @@ pub enum Counter {
     ExactPageStores,
     /// Total page addresses collected from exact-page buffers.
     ExactPagesCollected,
+    /// Job requests received by the serve layer.
+    ServeSubmitted,
+    /// Job requests answered from the result cache.
+    ServeCacheHits,
+    /// Job requests that missed the cache and were admitted for
+    /// execution.
+    ServeCacheMisses,
+    /// Job requests coalesced onto an identical in-flight execution.
+    ServeCoalesced,
+    /// Job requests rejected because the bounded queue was full.
+    ServeRejected,
+    /// Jobs actually simulated by the worker fleet.
+    ServeExecuted,
+    /// Batches drained from the job queue by the dispatcher.
+    ServeBatches,
+    /// Total wall-clock microseconds spent simulating jobs.
+    ServeExecMicros,
 }
 
 impl Counter {
@@ -68,7 +85,7 @@ impl Counter {
     pub const COUNT: usize = Counter::ALL.len();
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 33] = [
         Counter::Dispatches,
         Counter::Preemptions,
         Counter::Blocks,
@@ -94,6 +111,14 @@ impl Counter {
         Counter::HeatmapBitsSet,
         Counter::ExactPageStores,
         Counter::ExactPagesCollected,
+        Counter::ServeSubmitted,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCoalesced,
+        Counter::ServeRejected,
+        Counter::ServeExecuted,
+        Counter::ServeBatches,
+        Counter::ServeExecMicros,
     ];
 
     /// Stable snake_case name used in summary tables and CI diffs.
@@ -124,6 +149,14 @@ impl Counter {
             Counter::HeatmapBitsSet => "heatmap_bits_set",
             Counter::ExactPageStores => "exact_page_stores",
             Counter::ExactPagesCollected => "exact_pages_collected",
+            Counter::ServeSubmitted => "serve_jobs_submitted",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeCoalesced => "serve_jobs_coalesced",
+            Counter::ServeRejected => "serve_jobs_rejected",
+            Counter::ServeExecuted => "serve_jobs_executed",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeExecMicros => "serve_exec_micros",
         }
     }
 }
@@ -133,9 +166,19 @@ impl Counter {
 /// Increments use `Ordering::Relaxed`: counters are statistics, not
 /// synchronization, and every test that compares them reads after the
 /// producing threads have been joined.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CounterSet {
     slots: [AtomicU64; Counter::COUNT],
+}
+
+// Derived `Default` only covers arrays up to 32 elements; the counter
+// bank outgrew that, so zero the slots by hand.
+impl Default for CounterSet {
+    fn default() -> Self {
+        CounterSet {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl CounterSet {
@@ -167,9 +210,17 @@ impl CounterSet {
 
 /// An immutable point-in-time copy of a [`CounterSet`], comparable and
 /// summable so sweep cells can be rolled up and diffed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSnapshot {
     values: [u64; Counter::COUNT],
+}
+
+impl Default for CounterSnapshot {
+    fn default() -> Self {
+        CounterSnapshot {
+            values: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl CounterSnapshot {

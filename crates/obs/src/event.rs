@@ -120,6 +120,10 @@ pub enum SpanKind {
     Epoch,
     /// One contiguous execution segment of a SuperFunction on a core.
     Sf(SfClass),
+    /// One job handled by the `schedtaskd` serve layer, from admission to
+    /// response. Timestamps are microseconds since server start (the serve
+    /// layer has no cycle clock).
+    Job,
 }
 
 /// One structured observability event.
@@ -262,6 +266,67 @@ pub enum ObsEvent {
         /// Number of page addresses collected.
         pages: u64,
     },
+    /// The serve layer received a job request over the wire.
+    ///
+    /// Serve-layer events are stamped with milliseconds since server
+    /// start instead of a cycle count — `schedtaskd` has no simulation
+    /// clock of its own.
+    JobSubmitted {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// A job request was answered from the result cache without
+    /// re-simulating.
+    JobCacheHit {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// A job request arrived while an identical job was already in
+    /// flight; the caller was coalesced onto the pending execution.
+    JobCoalesced {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// A cache-miss job was admitted into the bounded queue.
+    JobAdmitted {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// The bounded queue was full; the submission was rejected with a
+    /// backpressure response.
+    JobRejected {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Queue depth at rejection time.
+        depth: u32,
+    },
+    /// A worker finished simulating a job.
+    JobExecuted {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+        /// Wall-clock execution time in microseconds.
+        micros: u64,
+    },
+    /// The dispatcher drained one batch of compatible jobs from the
+    /// queue and ran it on the worker fleet.
+    BatchExecuted {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Number of jobs in the batch.
+        jobs: u32,
+    },
 }
 
 impl ObsEvent {
@@ -284,6 +349,13 @@ impl ObsEvent {
             ObsEvent::EpochRealloc { .. } => "epoch_realloc",
             ObsEvent::HeatmapStored { .. } => "heatmap_stored",
             ObsEvent::ExactPagesStored { .. } => "exact_pages_stored",
+            ObsEvent::JobSubmitted { .. } => "job_submitted",
+            ObsEvent::JobCacheHit { .. } => "job_cache_hit",
+            ObsEvent::JobCoalesced { .. } => "job_coalesced",
+            ObsEvent::JobAdmitted { .. } => "job_admitted",
+            ObsEvent::JobRejected { .. } => "job_rejected",
+            ObsEvent::JobExecuted { .. } => "job_executed",
+            ObsEvent::BatchExecuted { .. } => "batch_executed",
         }
     }
 
@@ -305,7 +377,14 @@ impl ObsEvent {
             | ObsEvent::EpochStart { at }
             | ObsEvent::EpochRealloc { at }
             | ObsEvent::HeatmapStored { at, .. }
-            | ObsEvent::ExactPagesStored { at, .. } => at,
+            | ObsEvent::ExactPagesStored { at, .. }
+            | ObsEvent::JobSubmitted { at, .. }
+            | ObsEvent::JobCacheHit { at, .. }
+            | ObsEvent::JobCoalesced { at, .. }
+            | ObsEvent::JobAdmitted { at, .. }
+            | ObsEvent::JobRejected { at, .. }
+            | ObsEvent::JobExecuted { at, .. }
+            | ObsEvent::BatchExecuted { at, .. } => at,
         }
     }
 }

@@ -103,6 +103,24 @@ pub fn event_to_json(ev: &ObsEvent, label: Option<&str>) -> String {
         ObsEvent::ExactPagesStored { core, pages, .. } => {
             line.push_str(&format!(",\"core\":{core},\"pages\":{pages}"));
         }
+        ObsEvent::JobSubmitted { key, .. } | ObsEvent::JobCacheHit { key, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\""));
+        }
+        ObsEvent::JobCoalesced { key, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\""));
+        }
+        ObsEvent::JobAdmitted { key, depth, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\",\"depth\":{depth}"));
+        }
+        ObsEvent::JobRejected { depth, .. } => {
+            line.push_str(&format!(",\"depth\":{depth}"));
+        }
+        ObsEvent::JobExecuted { key, micros, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\",\"micros\":{micros}"));
+        }
+        ObsEvent::BatchExecuted { jobs, .. } => {
+            line.push_str(&format!(",\"jobs\":{jobs}"));
+        }
     }
     line.push('}');
     line

@@ -1,0 +1,257 @@
+//! `schedtaskd` — the simulation-job server daemon.
+//!
+//! ```text
+//! schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N]
+//!            [--batch-max N] [--workers N] [--profile]
+//! ```
+//!
+//! Listens for JSON-line requests (see
+//! `schedtask_experiments::serve_api`) on a TCP address (default
+//! `127.0.0.1:0`; the bound address is printed on stdout) or a Unix
+//! socket. One thread per connection; a shared dispatcher executes
+//! admitted jobs in batches. Exits cleanly — queue closed, backlog
+//! drained, responses flushed — on SIGTERM, SIGINT, or a `shutdown`
+//! request. With `--profile`, the serve counter and span tables are
+//! printed on exit.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use schedtask_serve::{ServeConfig, Server};
+
+/// Set by the signal handler and the `shutdown` request; the accept
+/// loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+// The offline build has no libc crate, but std always links the
+// platform C library, so declare the one symbol the daemon needs.
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_terminate(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_terminate);
+        signal(SIGTERM, on_terminate);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Opts {
+    listen: String,
+    unix_path: Option<String>,
+    cfg: ServeConfig,
+    profile: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("schedtaskd: {msg}");
+    exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        listen: "127.0.0.1:0".to_owned(),
+        unix_path: None,
+        cfg: ServeConfig::default(),
+        profile: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen"),
+            "--unix" => opts.unix_path = Some(value("--unix")),
+            "--queue-capacity" => {
+                opts.cfg.queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --queue-capacity: {e}")))
+            }
+            "--batch-max" => {
+                opts.cfg.batch_max = value("--batch-max")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --batch-max: {e}")))
+            }
+            "--workers" => {
+                opts.cfg.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --workers: {e}")))
+            }
+            "--profile" => opts.profile = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N] \
+                     [--batch-max N] [--workers N] [--profile]"
+                );
+                exit(0);
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if opts.cfg.queue_capacity == 0 || opts.cfg.batch_max == 0 || opts.cfg.workers == 0 {
+        die("--queue-capacity, --batch-max, and --workers must be positive");
+    }
+    opts
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Accepts one connection if one is pending; the listener is in
+    /// non-blocking mode so the accept loop can poll the shutdown flag.
+    fn try_accept(&self) -> std::io::Result<Option<Box<dyn Conn>>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// Serves one connection: one request line in, one response line out,
+/// until the peer hangs up or asks for shutdown.
+fn serve_connection(server: &Server, stream: Box<dyn Conn>) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let (response, shutdown) = server.handle_request_line(&line);
+        let out = reader.get_mut();
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    install_signal_handlers();
+
+    let listener = match &opts.unix_path {
+        #[cfg(unix)]
+        Some(path) => {
+            // A stale socket file from a previous run blocks bind.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)
+                .unwrap_or_else(|e| die(&format!("cannot bind unix socket {path}: {e}")));
+            l.set_nonblocking(true)
+                .unwrap_or_else(|e| die(&format!("cannot set non-blocking: {e}")));
+            println!("schedtaskd listening on unix:{path}");
+            Listener::Unix(l)
+        }
+        #[cfg(not(unix))]
+        Some(_) => die("--unix is not supported on this platform"),
+        None => {
+            let l = TcpListener::bind(&opts.listen)
+                .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", opts.listen)));
+            l.set_nonblocking(true)
+                .unwrap_or_else(|e| die(&format!("cannot set non-blocking: {e}")));
+            let addr = l
+                .local_addr()
+                .unwrap_or_else(|e| die(&format!("cannot read bound address: {e}")));
+            println!("schedtaskd listening on {addr}");
+            Listener::Tcp(l)
+        }
+    };
+    // The readiness line must be visible to a piping supervisor
+    // immediately.
+    let _ = std::io::stdout().flush();
+
+    let server = Arc::new(Server::new(opts.cfg));
+    let dispatcher = server.spawn_dispatcher();
+
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        match listener.try_accept() {
+            Ok(Some(stream)) => {
+                let server = Arc::clone(&server);
+                connections.push(thread::spawn(move || serve_connection(&server, stream)));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(25)),
+            Err(e) => {
+                eprintln!("schedtaskd: accept failed: {e}");
+                thread::sleep(Duration::from_millis(25));
+            }
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+
+    // Clean shutdown: stop admitting, drain the backlog, let in-flight
+    // responses go out, then report and exit 0. Connections blocked on
+    // an idle read die with the process.
+    server.close();
+    let _ = dispatcher.join();
+    let grace = std::time::Instant::now();
+    while connections.iter().any(|handle| !handle.is_finished())
+        && grace.elapsed() < Duration::from_secs(5)
+    {
+        thread::sleep(Duration::from_millis(25));
+    }
+    #[cfg(unix)]
+    if let Some(path) = &opts.unix_path {
+        let _ = std::fs::remove_file(path);
+    }
+    if opts.profile {
+        let text = server.profile_text();
+        if text.is_empty() {
+            println!("schedtaskd: no activity recorded");
+        } else {
+            print!("{text}");
+        }
+    }
+    println!("schedtaskd: shut down cleanly");
+    exit(0);
+}

@@ -1,0 +1,34 @@
+//! `schedtaskd`: a long-running simulation-job server.
+//!
+//! The serve layer turns one-shot `repro` invocations into a service
+//! shaped like a production scheduler front-end:
+//!
+//! - **Protocol** — JSON lines over TCP or a Unix socket; see
+//!   [`schedtask_experiments::serve_api`] for the request/response
+//!   vocabulary and the client.
+//! - **Admission** — a bounded [`queue::JobQueue`]; when full,
+//!   submissions are rejected with a `retry_after_ms` backpressure
+//!   response instead of queueing unboundedly.
+//! - **Batching** — the dispatcher drains runs of cost-compatible
+//!   requests (same core count and instruction budget) and executes
+//!   each batch on the `scoped_pool` worker fleet.
+//! - **Caching** — a content-addressed [`cache::ResultCache`] keyed by
+//!   the canonical hash of the full job spec. The engine is
+//!   deterministic, so a hit replays byte-identical canonical
+//!   `SimStats` JSON and JSONL event text. Identical in-flight
+//!   submissions coalesce onto one execution.
+//! - **Observability** — hits/misses, queue depth, rejections, batch
+//!   sizes, and per-job latency spans all flow through `schedtask-obs`
+//!   counters and the `--profile` tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod queue;
+pub mod server;
+
+pub use cache::{JobOutput, Lookup, ResultCache};
+pub use queue::{Backpressure, JobQueue, QueuedJob};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,202 @@
+//! The bounded admission queue between connection handlers and the
+//! dispatcher.
+//!
+//! Submissions beyond capacity are rejected immediately with a
+//! [`Backpressure`] hint instead of blocking the client — admission
+//! control, not unbounded buffering. The dispatcher blocks on
+//! [`JobQueue::next_batch`], which drains a run of *cost-compatible*
+//! jobs (same core count, instruction budget, and sanitizer setting) so
+//! one batch's workers finish together instead of straggling.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use schedtask_experiments::JobSpec;
+
+use crate::cache::Slot;
+
+/// One admitted job: the spec, its canonical key, and the cache slot
+/// the executor must fill.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// The fully-resolved job.
+    pub spec: JobSpec,
+    /// Canonical cache key of `spec`.
+    pub key: u64,
+    /// The claimed cache slot awaiting this job's output.
+    pub slot: Arc<Slot>,
+}
+
+/// Rejection response data for a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Queue depth at rejection time (equals capacity).
+    pub depth: usize,
+    /// Suggested client back-off before retrying.
+    pub retry_after_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue with a blocking batch consumer.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` jobs at once.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner::default()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("job queue poisoned").jobs.len()
+    }
+
+    /// Admits a job, or rejects it when the queue is full or closed.
+    /// Returns the depth after admission.
+    pub fn submit(&self, job: QueuedJob) -> Result<usize, Backpressure> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            let depth = inner.jobs.len();
+            drop(inner);
+            return Err(Backpressure {
+                depth,
+                // Scale the hint with the backlog: a fuller queue takes
+                // longer to drain. Clamped so clients neither spin nor
+                // stall.
+                retry_after_ms: (depth as u64 * 100).clamp(100, 5_000),
+            });
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one job is queued, then drains up to `max`
+    /// cost-compatible jobs from the front. Returns `None` once the
+    /// queue is closed and empty (dispatcher shutdown).
+    pub fn next_batch(&self, max: usize) -> Option<Vec<QueuedJob>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(first) = inner.jobs.pop_front() {
+                let mut batch = vec![first];
+                while batch.len() < max {
+                    let compatible = inner
+                        .jobs
+                        .front()
+                        .is_some_and(|next| cost_compatible(&batch[0].spec, &next.spec));
+                    if !compatible {
+                        break;
+                    }
+                    let job = inner.jobs.pop_front().expect("front checked above");
+                    batch.push(job);
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("job queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future submissions are rejected, and
+    /// [`JobQueue::next_batch`] returns `None` once drained.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+/// Whether two jobs belong in the same batch: equal core count,
+/// instruction budgets, and sanitizer setting, so their runtimes are
+/// comparable and the batch barrier doesn't straggle.
+fn cost_compatible(a: &JobSpec, b: &JobSpec) -> bool {
+    a.params.cores == b.params.cores
+        && a.params.max_instructions == b.params.max_instructions
+        && a.params.warmup_instructions == b.params.warmup_instructions
+        && a.params.sanitize == b.params.sanitize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedtask_experiments::serve_api::{parse_request, RequestOp};
+
+    fn job(line: &str) -> QueuedJob {
+        let spec = match parse_request(line).expect("parses").op {
+            RequestOp::Run(spec, _) => *spec,
+            other => panic!("expected run, got {other:?}"),
+        };
+        let key = spec.cache_key();
+        // A claimed slot, as the server would hold it.
+        let slot = match crate::cache::ResultCache::new().lookup_or_claim(key) {
+            crate::cache::Lookup::Claimed(slot) => slot,
+            other => panic!("fresh cache must claim, got {other:?}"),
+        };
+        QueuedJob { spec, key, slot }
+    }
+
+    #[test]
+    fn rejects_when_full_with_scaled_retry_hint() {
+        let q = JobQueue::new(2);
+        q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
+        q.submit(job("{\"workload\":\"Iscp\"}")).expect("fits");
+        let bp = q
+            .submit(job("{\"workload\":\"Oscp\"}"))
+            .expect_err("must reject");
+        assert_eq!(bp.depth, 2);
+        assert_eq!(bp.retry_after_ms, 200);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn batches_cost_compatible_prefix() {
+        let q = JobQueue::new(8);
+        q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
+        q.submit(job("{\"workload\":\"Iscp\"}")).expect("fits");
+        // Different core count → different cost class, breaks the batch.
+        q.submit(job("{\"workload\":\"Oscp\",\"cores\":2}"))
+            .expect("fits");
+        q.submit(job("{\"workload\":\"Dss\"}")).expect("fits");
+        let batch = q.next_batch(8).expect("open queue");
+        assert_eq!(batch.len(), 2);
+        let batch = q.next_batch(8).expect("open queue");
+        assert_eq!(batch.len(), 1);
+        let batch = q.next_batch(8).expect("open queue");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
+        q.close();
+        assert!(q.submit(job("{\"workload\":\"Iscp\"}")).is_err());
+        assert_eq!(q.next_batch(4).expect("drains remaining").len(), 1);
+        assert!(q.next_batch(4).is_none());
+    }
+}

@@ -1,0 +1,496 @@
+//! The server core: request handling, the dispatcher, and job
+//! execution. Transport (sockets, signals) lives in the `schedtaskd`
+//! binary; everything here works on request/response strings, which is
+//! what the tests drive directly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use schedtask::{SchedTaskConfig, SchedTaskScheduler};
+use schedtask_experiments::runner::{panic_message, RunBuilder};
+use schedtask_experiments::serve_api::{escape_json, parse_request, JobSpec, RequestOp};
+use schedtask_obs::{
+    render_counter_table, render_span_table, Aggregator, CounterSnapshot, JsonlSink, ObsEvent,
+    Observer, SpanKind,
+};
+
+use crate::cache::{JobOutput, Lookup, ResultCache};
+use crate::queue::{JobQueue, QueuedJob};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// backpressure.
+    pub queue_capacity: usize,
+    /// Maximum jobs the dispatcher drains into one batch.
+    pub batch_max: usize,
+    /// Worker threads simulating one batch.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            batch_max: 8,
+            workers: 4,
+        }
+    }
+}
+
+/// The server core. Transport-agnostic: hand request lines to
+/// [`Server::handle_request_line`] from any number of threads; run
+/// [`Server::run_dispatcher`] (or [`Server::spawn_dispatcher`]) to
+/// execute admitted jobs.
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServeConfig,
+    cache: ResultCache,
+    queue: JobQueue,
+    agg: Arc<Aggregator>,
+    started: Instant,
+}
+
+impl Server {
+    /// A fresh server with an empty cache and queue.
+    pub fn new(cfg: ServeConfig) -> Server {
+        Server {
+            queue: JobQueue::new(cfg.queue_capacity),
+            cfg,
+            cache: ResultCache::new(),
+            agg: Arc::new(Aggregator::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since server start (the `at` clock of serve events).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Microseconds since server start (the job-span clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn emit(&self, ev: ObsEvent) {
+        self.agg.event(&ev);
+    }
+
+    /// Snapshot of the serve counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.agg.counters()
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The result cache (tests probe hit/miss/entry counts).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Closes the admission queue: future runs are rejected and the
+    /// dispatcher exits once the backlog is drained.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// The `--profile` report: counter and span tables.
+    pub fn profile_text(&self) -> String {
+        let mut out = render_counter_table(&[("schedtaskd".to_owned(), self.agg.counters())]);
+        let spans = render_span_table(&self.agg.span_rows());
+        if !spans.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&spans);
+        }
+        out
+    }
+
+    /// Runs the dispatcher until the queue is closed and drained.
+    pub fn run_dispatcher(&self) {
+        while let Some(batch) = self.queue.next_batch(self.cfg.batch_max) {
+            self.run_batch(batch);
+        }
+    }
+
+    /// Spawns the dispatcher on its own thread. Tests that need a full
+    /// queue call this only after staging submissions.
+    pub fn spawn_dispatcher(self: &Arc<Self>) -> thread::JoinHandle<()> {
+        let server = Arc::clone(self);
+        thread::spawn(move || server.run_dispatcher())
+    }
+
+    fn run_batch(&self, batch: Vec<QueuedJob>) {
+        // Single-flight claiming guarantees each queued key is unique,
+        // so the batch needs no dedup. Lane indices only label the job
+        // spans.
+        let items: Vec<(u32, QueuedJob)> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(lane, job)| (lane as u32, job))
+            .collect();
+        let jobs = items.len() as u32;
+        let results = scoped_pool::scoped_map(&items, self.cfg.workers, |(lane, job)| {
+            let enter_us = self.now_us();
+            self.agg.span_enter(Some(*lane), SpanKind::Job, enter_us);
+            let started = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| execute_job(&job.spec)))
+                .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_message(payload))));
+            let micros = started.elapsed().as_micros() as u64;
+            self.agg
+                .span_exit(Some(*lane), SpanKind::Job, enter_us + micros);
+            (micros, result)
+        });
+        for ((_, job), (micros, result)) in items.iter().zip(results) {
+            self.emit(ObsEvent::JobExecuted {
+                at: self.now_ms(),
+                key: job.key,
+                micros,
+            });
+            match result {
+                Ok(output) => {
+                    self.cache.fill(&job.slot, output);
+                }
+                Err(err) => self.cache.fail(job.key, &job.slot, err),
+            }
+        }
+        self.emit(ObsEvent::BatchExecuted {
+            at: self.now_ms(),
+            jobs,
+        });
+    }
+
+    /// Handles one request line and renders one response line. The
+    /// returned flag is `true` when the request asked the server to
+    /// shut down.
+    pub fn handle_request_line(&self, line: &str) -> (String, bool) {
+        let line = line.trim();
+        if line.is_empty() {
+            return (error_response(&None, "empty request"), false);
+        }
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(err) => return (error_response(&None, &err), false),
+        };
+        match req.op {
+            RequestOp::Ping => (
+                format!("{{{}\"status\":\"ok\",\"pong\":true}}", id_field(&req.id)),
+                false,
+            ),
+            RequestOp::Stats => (self.stats_response(&req.id), false),
+            RequestOp::Shutdown => (
+                format!(
+                    "{{{}\"status\":\"ok\",\"shutting_down\":true}}",
+                    id_field(&req.id)
+                ),
+                true,
+            ),
+            RequestOp::Run(spec, want_obs) => (self.handle_run(&req.id, *spec, want_obs), false),
+        }
+    }
+
+    fn handle_run(&self, id: &Option<String>, spec: JobSpec, want_obs: bool) -> String {
+        let key = spec.cache_key();
+        let submitted = Instant::now();
+        self.emit(ObsEvent::JobSubmitted {
+            at: self.now_ms(),
+            key,
+        });
+        let (output, cached, coalesced) = match self.cache.lookup_or_claim(key) {
+            Lookup::Hit(out) => {
+                self.emit(ObsEvent::JobCacheHit {
+                    at: self.now_ms(),
+                    key,
+                });
+                (Ok(out), true, false)
+            }
+            Lookup::InFlight(slot) => {
+                self.emit(ObsEvent::JobCoalesced {
+                    at: self.now_ms(),
+                    key,
+                });
+                (slot.wait(), false, true)
+            }
+            Lookup::Claimed(slot) => {
+                let job = QueuedJob {
+                    spec,
+                    key,
+                    slot: Arc::clone(&slot),
+                };
+                match self.queue.submit(job) {
+                    Ok(depth) => {
+                        self.emit(ObsEvent::JobAdmitted {
+                            at: self.now_ms(),
+                            key,
+                            depth: depth as u32,
+                        });
+                        (slot.wait(), false, false)
+                    }
+                    Err(bp) => {
+                        self.emit(ObsEvent::JobRejected {
+                            at: self.now_ms(),
+                            depth: bp.depth as u32,
+                        });
+                        // Release the claim so a retry after back-off
+                        // re-executes instead of waiting forever.
+                        self.cache
+                            .fail(key, &slot, "rejected: queue full".to_owned());
+                        return format!(
+                            "{{{}\"status\":\"rejected\",\"queue_depth\":{},\"retry_after_ms\":{}}}",
+                            id_field(id),
+                            bp.depth,
+                            bp.retry_after_ms
+                        );
+                    }
+                }
+            }
+        };
+        let latency_us = submitted.elapsed().as_micros() as u64;
+        match output {
+            Ok(out) => {
+                let mut resp = format!(
+                    "{{{}\"status\":\"ok\",\"cached\":{cached},\"coalesced\":{coalesced},\
+                     \"key\":\"{}\",\"queue_depth\":{},\"latency_us\":{latency_us},\"result\":{}",
+                    id_field(id),
+                    out.key,
+                    self.queue.depth(),
+                    out.stats_json
+                );
+                if want_obs {
+                    resp.push_str(&format!(",\"jsonl\":\"{}\"", escape_json(&out.jsonl)));
+                }
+                resp.push('}');
+                resp
+            }
+            Err(err) => error_response(id, &err),
+        }
+    }
+
+    fn stats_response(&self, id: &Option<String>) -> String {
+        let snap = self.agg.counters();
+        let mut counters = String::from("{");
+        let mut first = true;
+        for (c, v) in snap.iter().filter(|&(_, v)| v > 0) {
+            if !first {
+                counters.push(',');
+            }
+            first = false;
+            counters.push_str(&format!("\"{}\":{v}", c.name()));
+        }
+        counters.push('}');
+        format!(
+            "{{{}\"status\":\"ok\",\"queue_depth\":{},\"queue_capacity\":{},\
+             \"cache_entries\":{},\"counters\":{counters}}}",
+            id_field(id),
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.cache.entries()
+        )
+    }
+}
+
+/// Renders the optional leading `"id":"...",` response field.
+fn id_field(id: &Option<String>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\",", escape_json(id)),
+        None => String::new(),
+    }
+}
+
+/// Renders an error response line.
+fn error_response(id: &Option<String>, err: &str) -> String {
+    format!(
+        "{{{}\"status\":\"error\",\"error\":\"{}\"}}",
+        id_field(id),
+        escape_json(err)
+    )
+}
+
+/// Simulates one job and packages the cacheable output. The JSONL
+/// stream is always captured: it is part of the cached artefact, so
+/// replays are byte-identical whether or not the first submitter asked
+/// for it.
+fn execute_job(spec: &JobSpec) -> Result<JobOutput, String> {
+    let label = format!("{}/{}", spec.technique.name(), spec.benchmark.name());
+    let sink = Arc::new(JsonlSink::with_label(Vec::new(), Some(label)));
+    let mut builder =
+        RunBuilder::new(&spec.params).observer(Arc::clone(&sink) as Arc<dyn Observer>);
+    builder = match spec.steal {
+        Some(policy) => builder.scheduler(Box::new(SchedTaskScheduler::new(
+            spec.params.cores,
+            SchedTaskConfig {
+                steal_policy: policy,
+                ..SchedTaskConfig::default()
+            },
+        ))),
+        None => builder.technique(spec.technique),
+    };
+    let stats = builder
+        .benchmark(spec.benchmark, spec.scale)
+        .run()
+        .map_err(|e| e.to_string())?;
+    Ok(JobOutput {
+        key: spec.cache_key_hex(),
+        stats_json: stats.to_canonical_json(),
+        jsonl: sink.take(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedtask_experiments::serve_api::Json;
+    use schedtask_obs::Counter;
+
+    fn quick_run_line(id: &str, workload: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"workload\":\"{workload}\",\"cores\":2,\
+             \"max_instructions\":60000,\"warmup_instructions\":20000}}"
+        )
+    }
+
+    #[test]
+    fn run_then_rerun_hits_cache_with_identical_bytes() {
+        let server = Arc::new(Server::new(ServeConfig {
+            queue_capacity: 4,
+            batch_max: 2,
+            workers: 2,
+        }));
+        let dispatcher = server.spawn_dispatcher();
+
+        let (first, _) = server.handle_request_line(&quick_run_line("a", "Find"));
+        let (second, _) = server.handle_request_line(&quick_run_line("b", "Find"));
+        let parse = |resp: &str| Json::parse(resp).expect("response is JSON");
+        let first_json = parse(&first);
+        let second_json = parse(&second);
+        assert_eq!(
+            first_json.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{first}"
+        );
+        assert_eq!(
+            first_json.get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            second_json.get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+        // The cached replay carries byte-identical result bytes: strip
+        // the differing envelope (id, latency) and compare the payload.
+        let result_of = |resp: &str| {
+            let start = resp.find("\"result\":").expect("result field") + "\"result\":".len();
+            resp[start..resp.len() - 1].to_owned()
+        };
+        assert_eq!(result_of(&first), result_of(&second));
+
+        let snap = server.counters();
+        assert_eq!(snap.get(Counter::ServeSubmitted), 2);
+        assert_eq!(snap.get(Counter::ServeCacheMisses), 1);
+        assert_eq!(snap.get(Counter::ServeCacheHits), 1);
+        assert_eq!(snap.get(Counter::ServeExecuted), 1);
+
+        server.close();
+        dispatcher.join().expect("dispatcher exits");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        // No dispatcher: the queue cannot drain, so filling it is
+        // deterministic.
+        let server = Arc::new(Server::new(ServeConfig {
+            queue_capacity: 2,
+            batch_max: 2,
+            workers: 1,
+        }));
+        let staged: Vec<thread::JoinHandle<String>> = ["Find", "Iscp"]
+            .iter()
+            .enumerate()
+            .map(|(i, workload)| {
+                let server = Arc::clone(&server);
+                let line = quick_run_line(&format!("s{i}"), workload);
+                thread::spawn(move || server.handle_request_line(&line).0)
+            })
+            .collect();
+        // Wait until both staged submissions are admitted.
+        while server.queue_depth() < 2 {
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let (rejected, _) = server.handle_request_line(&quick_run_line("r", "Oscp"));
+        let json = Json::parse(&rejected).expect("response is JSON");
+        assert_eq!(
+            json.get("status").and_then(Json::as_str),
+            Some("rejected"),
+            "{rejected}"
+        );
+        assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(2));
+        assert!(
+            json.get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .expect("hint")
+                >= 100
+        );
+        assert_eq!(server.counters().get(Counter::ServeRejected), 1);
+
+        // Draining the queue completes the staged submissions.
+        let dispatcher = server.spawn_dispatcher();
+        for handle in staged {
+            let resp = handle.join().expect("no panic");
+            let json = Json::parse(&resp).expect("response is JSON");
+            assert_eq!(
+                json.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{resp}"
+            );
+        }
+        // After back-off, the rejected job can be resubmitted and runs.
+        let (retried, _) = server.handle_request_line(&quick_run_line("r2", "Oscp"));
+        let json = Json::parse(&retried).expect("response is JSON");
+        assert_eq!(
+            json.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{retried}"
+        );
+        assert_eq!(json.get("cached").and_then(Json::as_bool), Some(false));
+        server.close();
+        dispatcher.join().expect("dispatcher exits");
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_requests() {
+        let server = Server::new(ServeConfig::default());
+        let (pong, shutdown) = server.handle_request_line("{\"op\":\"ping\",\"id\":\"p\"}");
+        assert!(!shutdown);
+        assert_eq!(pong, "{\"id\":\"p\",\"status\":\"ok\",\"pong\":true}");
+        let (stats, _) = server.handle_request_line("{\"op\":\"stats\"}");
+        let json = Json::parse(&stats).expect("stats is JSON");
+        assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(json.get("queue_capacity").and_then(Json::as_u64), Some(64));
+        let (_, shutdown) = server.handle_request_line("{\"op\":\"shutdown\"}");
+        assert!(shutdown);
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses() {
+        let server = Server::new(ServeConfig::default());
+        for line in ["", "not json", "{\"workload\":\"NoSuch\"}"] {
+            let (resp, shutdown) = server.handle_request_line(line);
+            assert!(!shutdown);
+            let json = Json::parse(&resp).expect("error response is JSON");
+            assert_eq!(
+                json.get("status").and_then(Json::as_str),
+                Some("error"),
+                "{resp}"
+            );
+        }
+    }
+}
