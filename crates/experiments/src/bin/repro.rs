@@ -8,6 +8,7 @@
 //!                    [--obs FILE] [--profile] [--keep-going]
 //! repro serve  [schedtaskd options...]
 //! repro submit [--connect ADDR | --unix PATH] [client options...]
+//! repro chaos  [--chaos SPEC] [--jobs N] [--cache-dir DIR] [--keep-dir]
 //!
 //! experiments:
 //!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
@@ -41,7 +42,14 @@
 //!   waits for server readiness; `--expect-cached` exits non-zero if
 //!   any successful response was not served from the result cache;
 //!   `--stats` prints the server's counters; `--shutdown` asks the
-//!   server to drain and exit.
+//!   server to drain and exit; `--retries N` retries each submission
+//!   with deadline/backoff discipline; `--out FILE` records the result
+//!   payload bytes for later byte-identity comparison.
+//! * `repro chaos` is the crash-recovery harness: it boots `schedtaskd`
+//!   with a persistent cache and a deterministic chaos plan, drives a
+//!   retrying client through it, SIGKILLs the daemon mid-flight,
+//!   restarts it on the same cache directory, and asserts that every
+//!   pre-crash result is replayed byte-identically.
 //!
 //! Robustness options:
 //!
@@ -83,7 +91,9 @@
 
 use schedtask::StealPolicy;
 use schedtask_experiments::runner::run_sweep_observed;
-use schedtask_experiments::serve_api::{RunRequest, ServeClient};
+use schedtask_experiments::serve_api::{
+    submit_with_retry, ClientTimeouts, Endpoint, RetryPolicy, RunRequest, ServeClient,
+};
 use schedtask_experiments::{
     ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
 };
@@ -467,6 +477,7 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("serve") => run_serve(raw.split_off(1)),
         Some("submit") => run_submit(raw.split_off(1)),
+        Some("chaos") => run_chaos(raw.split_off(1)),
         _ => {}
     }
     let opts = parse_args();
@@ -704,6 +715,267 @@ fn run_serve(args: Vec<String>) -> ! {
     }
 }
 
+/// Extracts the `"result":...` payload bytes from an ok response line
+/// (everything from the result field to the closing brace — exactly
+/// the bytes that must replay identically on a cache hit).
+fn result_payload(response: &str) -> Option<String> {
+    let start = response.find("\"result\":")? + "\"result\":".len();
+    Some(response[start..response.len() - 1].to_owned())
+}
+
+fn print_chaos_help() {
+    println!(
+        "repro chaos — crash-recovery harness for schedtaskd\n\n\
+         usage: repro chaos [--chaos SPEC] [--jobs N] [--seed S]\n\
+                [--cache-dir DIR] [--keep-dir] [--retries N]\n\n\
+         Boots schedtaskd with a persistent cache (--cache-dir) and a\n\
+         deterministic chaos plan, submits N distinct jobs through a\n\
+         retrying client, SIGKILLs the daemon mid-flight, restarts it\n\
+         on the same cache directory, resubmits every job, and asserts:\n\
+           1. every resubmission succeeds (retry discipline converges),\n\
+           2. every result is byte-identical to its pre-crash bytes,\n\
+           3. recovery replayed records and served disk-tier hits.\n\n\
+           --chaos SPEC    chaos plan (default light@7); none disables\n\
+           --jobs N        distinct jobs to submit (default 6)\n\
+           --seed S        base engine seed for the jobs (default 1)\n\
+           --cache-dir DIR persistent cache dir (default: fresh tmp dir)\n\
+           --keep-dir      keep the cache dir for inspection\n\
+           --retries N     per-request retry budget (default 10)"
+    );
+}
+
+/// Spawns the sibling `schedtaskd` with a persistent cache, returning
+/// the child, the bound address, and the recovery line it printed.
+fn spawn_chaos_daemon(
+    daemon: &std::path::Path,
+    cache_dir: &std::path::Path,
+    chaos: &str,
+) -> (std::process::Child, String, String) {
+    let mut cmd = std::process::Command::new(daemon);
+    cmd.arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--cache-dir")
+        .arg(cache_dir)
+        .arg("--drain-deadline-ms")
+        .arg("2000")
+        .stdout(std::process::Stdio::piped());
+    if chaos != "none" {
+        cmd.arg("--chaos").arg(chaos);
+    }
+    let mut child = cmd
+        .spawn()
+        .unwrap_or_else(|e| die(&format!("cannot launch {}: {e}", daemon.display())));
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut read_line = |what: &str| -> String {
+        use std::io::BufRead;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => line.trim_end().to_owned(),
+            _ => die(&format!("daemon exited before printing its {what} line")),
+        }
+    };
+    let listening = read_line("listening");
+    let addr = listening
+        .strip_prefix("schedtaskd listening on ")
+        .unwrap_or_else(|| die(&format!("unexpected daemon banner: {listening}")))
+        .to_owned();
+    let recovery = read_line("recovery");
+    // Keep the pipe open so the daemon's shutdown prints don't SIGPIPE;
+    // the reader thread drains anything else it says.
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr, recovery)
+}
+
+/// `repro chaos`: boot → chaos-submit → SIGKILL → restart → verify.
+fn run_chaos(args: Vec<String>) -> ! {
+    use schedtask_experiments::serve_api::Json;
+    use schedtask_obs::{Aggregator, Counter};
+
+    let mut chaos = "light@7".to_owned();
+    let mut jobs: u32 = 6;
+    let mut seed: u64 = 1;
+    let mut cache_dir: Option<String> = None;
+    let mut keep_dir = false;
+    let mut retries: u32 = 10;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--chaos" => chaos = value("--chaos"),
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --jobs: {e}")))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --seed: {e}")))
+            }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
+            "--keep-dir" => keep_dir = true,
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --retries: {e}")))
+            }
+            "--help" | "-h" => {
+                print_chaos_help();
+                std::process::exit(0);
+            }
+            other => die(&format!("chaos: unknown argument {other:?} (try --help)")),
+        }
+    }
+    if jobs == 0 {
+        die("--jobs must be positive");
+    }
+
+    let daemon = std::env::current_exe().ok().and_then(|exe| {
+        exe.parent()
+            .map(|dir| dir.join(format!("schedtaskd{}", std::env::consts::EXE_SUFFIX)))
+    });
+    let Some(daemon) = daemon.filter(|p| p.exists()) else {
+        die("schedtaskd binary not found next to repro; \
+             build it with `cargo build -p schedtask-serve`");
+    };
+    let dir = std::path::PathBuf::from(cache_dir.unwrap_or_else(|| {
+        format!(
+            "{}/schedtask-chaos-{}",
+            std::env::temp_dir().display(),
+            std::process::id()
+        )
+    }));
+
+    let agg = Aggregator::new();
+    let timeouts = ClientTimeouts::default();
+    let policy = RetryPolicy {
+        max_attempts: retries.max(1),
+        ..RetryPolicy::default()
+    };
+    let request_line = |i: u32| -> String {
+        let mut req = RunRequest::new(format!("chaos-{i}"), "Find");
+        req.cores = Some(2);
+        req.max_instructions = Some(60_000);
+        req.warmup_instructions = Some(20_000);
+        req.seed = Some(seed + i as u64);
+        req.to_json_line()
+    };
+
+    // Phase 1: fresh daemon, chaos plan armed, submit every job.
+    println!("[chaos] phase 1: boot daemon (chaos={chaos}) and submit {jobs} jobs");
+    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &dir, &chaos);
+    println!("[chaos] daemon on {addr}; {recovery}");
+    let endpoint = Endpoint::Tcp(addr);
+    let mut before: Vec<String> = Vec::new();
+    for i in 0..jobs {
+        let outcome =
+            submit_with_retry(&endpoint, &timeouts, &policy, &request_line(i), Some(&agg))
+                .unwrap_or_else(|e| die(&format!("job {i} failed pre-crash: {e}")));
+        let payload = result_payload(&outcome.response)
+            .unwrap_or_else(|| die(&format!("job {i}: ok response without result payload")));
+        println!(
+            "[chaos] job {i}: ok on attempt {} ({} ms backoff)",
+            outcome.attempts, outcome.total_backoff_ms
+        );
+        before.push(payload);
+    }
+
+    // SIGKILL with a victim job in flight: no drain, no final fsync
+    // beyond what each append already did — exactly the crash the
+    // segment log must absorb.
+    let victim_line = request_line(jobs);
+    let victim_endpoint = endpoint.clone();
+    let victim_timeouts = timeouts;
+    let victim = std::thread::spawn(move || {
+        let one_shot = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let _ = submit_with_retry(
+            &victim_endpoint,
+            &victim_timeouts,
+            &one_shot,
+            &victim_line,
+            None,
+        );
+    });
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    println!("[chaos] SIGKILL daemon mid-flight");
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = victim.join();
+
+    // Phase 2: restart on the same cache dir; resubmit everything.
+    println!("[chaos] phase 2: restart daemon on the same cache dir and resubmit");
+    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &dir, &chaos);
+    println!("[chaos] daemon on {addr}; {recovery}");
+    let endpoint = Endpoint::Tcp(addr);
+    let mut cached_hits = 0u32;
+    let mut mismatches = 0u32;
+    for (i, expected) in before.iter().enumerate() {
+        let outcome = submit_with_retry(
+            &endpoint,
+            &timeouts,
+            &policy,
+            &request_line(i as u32),
+            Some(&agg),
+        )
+        .unwrap_or_else(|e| die(&format!("job {i} failed post-restart: {e}")));
+        let payload = result_payload(&outcome.response)
+            .unwrap_or_else(|| die(&format!("job {i}: ok response without result payload")));
+        let json = Json::parse(&outcome.response).expect("response parsed by retry loop");
+        let cached = json.get("cached").and_then(Json::as_bool).unwrap_or(false);
+        if cached {
+            cached_hits += 1;
+        }
+        if payload == *expected {
+            println!("[chaos] job {i}: byte-identical (cached={cached})");
+        } else {
+            mismatches += 1;
+            eprintln!("[chaos] job {i}: RESULT BYTES CHANGED ACROSS CRASH (cached={cached})");
+        }
+    }
+    // Shut the daemon down cleanly and reap it.
+    if let Ok(mut c) = ServeClient::dial(&endpoint, &timeouts) {
+        let _ = c.request_line("{\"op\":\"shutdown\"}");
+    }
+    let _ = child.wait();
+
+    let retry_attempts = agg.counters().get(Counter::ServeRetryAttempts);
+    let retry_backoff = agg.counters().get(Counter::ServeRetryBackoffMs);
+    println!(
+        "[chaos] client scheduled {retry_attempts} retries ({retry_backoff} ms total backoff)"
+    );
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        println!("[chaos] cache dir kept at {}", dir.display());
+    }
+    if mismatches > 0 {
+        eprintln!("[chaos] FAIL: {mismatches} result(s) changed across the crash");
+        std::process::exit(1);
+    }
+    if cached_hits == 0 {
+        eprintln!("[chaos] FAIL: recovery served no disk-tier hits — persistence is broken");
+        std::process::exit(1);
+    }
+    println!(
+        "[chaos] PASS: {jobs} jobs byte-identical across SIGKILL, {cached_hits} served from \
+         the recovered disk tier"
+    );
+    std::process::exit(0);
+}
+
 #[cfg(unix)]
 fn connect_unix_client(path: &str) -> std::io::Result<ServeClient> {
     ServeClient::connect_unix(path)
@@ -730,7 +1002,11 @@ fn print_submit_help() {
            --expect-cached   exit 1 if any ok response missed the cache\n\
            --stats           print the server's counters after submitting\n\
            --shutdown        ask the server to drain and exit afterwards\n\
-           --wait-ms N       connection-retry budget (default 10000)"
+           --wait-ms N       connection-retry budget (default 10000)\n\
+           --retries N       per-request retry budget with exponential\n\
+                             backoff (default 0: fail fast)\n\
+           --out FILE        append each ok result payload to FILE for\n\
+                             byte-identity comparison across restarts"
     );
 }
 
@@ -756,6 +1032,8 @@ fn run_submit(args: Vec<String>) -> ! {
     let mut want_stats = false;
     let mut want_shutdown = false;
     let mut wait_ms: u64 = 10_000;
+    let mut retries: u32 = 0;
+    let mut out_file: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -818,6 +1096,12 @@ fn run_submit(args: Vec<String>) -> ! {
                     .parse()
                     .unwrap_or_else(|e| die(&format!("bad --wait-ms: {e}")))
             }
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --retries: {e}")))
+            }
+            "--out" => out_file = Some(value("--out")),
             "--help" | "-h" => {
                 print_submit_help();
                 std::process::exit(0);
@@ -857,6 +1141,18 @@ fn run_submit(args: Vec<String>) -> ! {
         std::process::exit(0);
     }
 
+    let endpoint = match (&connect, &unix_path) {
+        (Some(addr), _) => Some(Endpoint::Tcp(addr.clone())),
+        #[cfg(unix)]
+        (None, Some(path)) => Some(Endpoint::Unix(path.clone())),
+        _ => None,
+    };
+    let timeouts = ClientTimeouts::default();
+    let policy = RetryPolicy {
+        max_attempts: retries.max(1),
+        ..RetryPolicy::default()
+    };
+    let mut out_lines: Vec<String> = Vec::new();
     let mut ok = 0u32;
     let mut cache_hits = 0u32;
     let mut coalesced_n = 0u32;
@@ -878,9 +1174,29 @@ fn run_submit(args: Vec<String>) -> ! {
             req.seed = seed;
             req.faults = faults.clone();
             req.sanitize = sanitize;
-            let response = client
-                .request_line(&req.to_json_line())
-                .unwrap_or_else(|e| die(&format!("request failed: {e}")));
+            let line = req.to_json_line();
+            let response = if retries > 0 {
+                let endpoint = endpoint.as_ref().unwrap_or_else(|| {
+                    die("--retries needs --connect or --unix");
+                });
+                match submit_with_retry(endpoint, &timeouts, &policy, &line, None) {
+                    Ok(outcome) => {
+                        if outcome.attempts > 1 {
+                            println!(
+                                "[submit] {tech}/{wl}: succeeded on attempt {} \
+                                 after {} ms of backoff",
+                                outcome.attempts, outcome.total_backoff_ms
+                            );
+                        }
+                        outcome.response
+                    }
+                    Err(e) => die(&format!("request failed: {e}")),
+                }
+            } else {
+                client
+                    .request_line(&line)
+                    .unwrap_or_else(|e| die(&format!("request failed: {e}")))
+            };
             let json = Json::parse(&response)
                 .unwrap_or_else(|e| die(&format!("unparseable response: {e}")));
             match json.get("status").and_then(Json::as_str).unwrap_or("?") {
@@ -905,6 +1221,12 @@ fn run_submit(args: Vec<String>) -> ! {
                         "[submit] {tech}/{wl}: ok cached={cached} coalesced={coalesced} \
                          key={key} latency_us={latency}"
                     );
+                    if out_file.is_some() {
+                        match result_payload(&response) {
+                            Some(payload) => out_lines.push(format!("{tech}/{wl} {payload}")),
+                            None => die("ok response without a result payload"),
+                        }
+                    }
                 }
                 "rejected" => {
                     rejected += 1;
@@ -924,6 +1246,15 @@ fn run_submit(args: Vec<String>) -> ! {
                 }
             }
         }
+    }
+    if let Some(path) = &out_file {
+        let mut text = out_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!(
+            "[submit] wrote {} result payloads to {path}",
+            out_lines.len()
+        );
     }
     if want_stats {
         let response = client

@@ -12,12 +12,14 @@
 //! [`SimStats`]: schedtask_kernel::SimStats
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
 
 use schedtask::StealPolicy;
 use schedtask_kernel::FaultPlan;
+use schedtask_obs::{ObsEvent, Observer};
 use schedtask_workload::BenchmarkKind;
 
 use crate::runner::{ExpParams, Technique};
@@ -628,6 +630,47 @@ impl RunRequest {
 // ---------------------------------------------------------------------------
 // Client.
 
+/// Where a `schedtaskd` daemon listens; kept by retrying clients so a
+/// dropped connection can be re-dialled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix domain socket path.
+    #[cfg(unix)]
+    Unix(String),
+}
+
+/// Socket deadlines for the client. A field of `0` disables that
+/// deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// TCP connect deadline, in milliseconds.
+    pub connect_ms: u64,
+    /// Per-read deadline, in milliseconds. This bounds how long a
+    /// client waits on a stalled or chaos-delayed server before
+    /// treating the attempt as failed.
+    pub read_ms: u64,
+    /// Per-write deadline, in milliseconds.
+    pub write_ms: u64,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            connect_ms: 5_000,
+            // Generous: a cold standard-size simulation takes seconds;
+            // the deadline only has to beat "forever".
+            read_ms: 120_000,
+            write_ms: 10_000,
+        }
+    }
+}
+
+fn ms(v: u64) -> Option<Duration> {
+    (v > 0).then(|| Duration::from_millis(v))
+}
+
 /// A blocking line-oriented client for `schedtaskd`.
 pub struct ServeClient {
     reader: BufReader<Box<dyn Read + Send>>,
@@ -635,7 +678,7 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects over TCP (`host:port`).
+    /// Connects over TCP (`host:port`) with no socket deadlines.
     pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
         let reader = stream.try_clone()?;
@@ -645,7 +688,7 @@ impl ServeClient {
         })
     }
 
-    /// Connects over a Unix domain socket.
+    /// Connects over a Unix domain socket with no socket deadlines.
     #[cfg(unix)]
     pub fn connect_unix(path: &str) -> io::Result<ServeClient> {
         let stream = UnixStream::connect(path)?;
@@ -654,6 +697,44 @@ impl ServeClient {
             reader: BufReader::new(Box::new(reader)),
             writer: Box::new(stream),
         })
+    }
+
+    /// Dials `endpoint` and arms every configured socket deadline.
+    pub fn dial(endpoint: &Endpoint, timeouts: &ClientTimeouts) -> io::Result<ServeClient> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = match ms(timeouts.connect_ms) {
+                    Some(limit) => {
+                        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                format!("cannot resolve {addr}"),
+                            )
+                        })?;
+                        TcpStream::connect_timeout(&resolved, limit)?
+                    }
+                    None => TcpStream::connect(addr)?,
+                };
+                stream.set_read_timeout(ms(timeouts.read_ms))?;
+                stream.set_write_timeout(ms(timeouts.write_ms))?;
+                let reader = stream.try_clone()?;
+                Ok(ServeClient {
+                    reader: BufReader::new(Box::new(reader)),
+                    writer: Box::new(stream),
+                })
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(ms(timeouts.read_ms))?;
+                stream.set_write_timeout(ms(timeouts.write_ms))?;
+                let reader = stream.try_clone()?;
+                Ok(ServeClient {
+                    reader: BufReader::new(Box::new(reader)),
+                    writer: Box::new(stream),
+                })
+            }
+        }
     }
 
     /// Sends one request line and reads one response line.
@@ -682,6 +763,197 @@ impl ServeClient {
             Json::parse(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(json.get("status").and_then(Json::as_str) == Some("ok"))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Retry discipline.
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Retrying a run request is always safe: jobs are content-addressed,
+/// so a resubmission either coalesces onto the in-flight execution or
+/// replays the cached result — it can never execute twice with
+/// different outputs. That idempotency argument is what licenses the
+/// aggressive retry loop in [`submit_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds; doubles each
+    /// attempt.
+    pub base_ms: u64,
+    /// Ceiling on one backoff step, in milliseconds.
+    pub max_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_ms: 50,
+            max_ms: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based), honouring
+    /// the server's `retry_after_ms` hint when one was given: the wait
+    /// is at least the hint, at least the exponential step, at most
+    /// [`RetryPolicy::max_ms`] — plus up to 25% deterministic jitter
+    /// so a fleet of identical clients doesn't retry in lockstep.
+    pub fn backoff_ms(&self, attempt: u32, hint: Option<u64>) -> u64 {
+        let exponential = self.base_ms.saturating_mul(1u64 << attempt.min(16));
+        let step = hint.unwrap_or(0).max(exponential).min(self.max_ms.max(1));
+        // SplitMix64 over (seed, attempt): reruns of the same policy
+        // wait the same schedule, different seeds decorrelate clients.
+        let mut z = self
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        step + z % (step / 4 + 1)
+    }
+}
+
+/// What [`submit_with_retry`] achieved.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// The final `status:"ok"` response line.
+    pub response: String,
+    /// Attempts spent, 1 meaning first-try success.
+    pub attempts: u32,
+    /// Total milliseconds slept across backoffs.
+    pub total_backoff_ms: u64,
+}
+
+/// Whether a `status:"error"` message is worth retrying: execution
+/// hiccups (panicked workers, timeouts, a daemon mid-restart) are;
+/// request parse and validation errors are permanent.
+fn error_is_transient(message: &str) -> bool {
+    ["panicked", "timed out", "shutting down", "queue closed"]
+        .iter()
+        .any(|marker| message.contains(marker))
+}
+
+/// Submits one request line with reconnect, deadline, and backoff
+/// discipline, until an ok response arrives or the policy's attempt
+/// budget runs out.
+///
+/// Handles every failure mode the chaos plan can inject: connection
+/// refused (daemon restarting) and dropped or truncated responses
+/// re-dial the endpoint; `status:"rejected"` honours the server's
+/// `retry_after_ms` hint; transient `status:"error"` responses (e.g. a
+/// panicked worker) resubmit the idempotent job. Each scheduled retry
+/// is announced to `observer` as an [`ObsEvent::RetryScheduled`].
+pub fn submit_with_retry(
+    endpoint: &Endpoint,
+    timeouts: &ClientTimeouts,
+    policy: &RetryPolicy,
+    line: &str,
+    observer: Option<&dyn Observer>,
+) -> Result<RetryOutcome, String> {
+    let started = Instant::now();
+    // Best-effort key for the retry events; non-run requests hash to 0.
+    let key = parse_request(line)
+        .ok()
+        .and_then(|req| match req.op {
+            RequestOp::Run(spec, _) => Some(spec.cache_key()),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let mut client: Option<ServeClient> = None;
+    let mut total_backoff_ms = 0u64;
+    let mut last_error = String::from("no attempts made");
+    for attempt in 0..policy.max_attempts.max(1) {
+        let retry = |hint: Option<u64>, total: &mut u64| {
+            let backoff = policy.backoff_ms(attempt, hint);
+            if let Some(obs) = observer {
+                obs.event(&ObsEvent::RetryScheduled {
+                    at: started.elapsed().as_millis() as u64,
+                    key,
+                    attempt: attempt + 1,
+                    backoff_ms: backoff,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(backoff));
+            *total += backoff;
+        };
+        let conn = match client.take() {
+            Some(conn) => conn,
+            None => match ServeClient::dial(endpoint, timeouts) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_error = format!("connect failed: {e}");
+                    retry(None, &mut total_backoff_ms);
+                    continue;
+                }
+            },
+        };
+        let mut conn = conn;
+        let response = match conn.request_line(line) {
+            Ok(response) => response,
+            Err(e) => {
+                // Transport failure (dropped mid-exchange, read
+                // deadline, server gone): throw the connection away
+                // and re-dial after backoff.
+                last_error = format!("request failed: {e}");
+                retry(None, &mut total_backoff_ms);
+                continue;
+            }
+        };
+        let json = match Json::parse(&response) {
+            Ok(json) => json,
+            Err(e) => {
+                // A truncated response line is indistinguishable from
+                // garbage; the connection's framing is gone with it.
+                last_error = format!("unparseable response ({e}): {response}");
+                retry(None, &mut total_backoff_ms);
+                continue;
+            }
+        };
+        match json.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                return Ok(RetryOutcome {
+                    response,
+                    attempts: attempt + 1,
+                    total_backoff_ms,
+                })
+            }
+            Some("rejected") => {
+                let hint = json.get("retry_after_ms").and_then(Json::as_u64);
+                last_error = format!("rejected with backpressure: {response}");
+                client = Some(conn); // the connection is still good
+                retry(hint, &mut total_backoff_ms);
+            }
+            Some("error") => {
+                let message = json
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                if !error_is_transient(message) {
+                    return Err(format!("permanent error: {message}"));
+                }
+                last_error = format!("transient error: {message}");
+                client = Some(conn);
+                retry(None, &mut total_backoff_ms);
+            }
+            other => {
+                last_error = format!("unrecognized status {other:?}: {response}");
+                retry(None, &mut total_backoff_ms);
+            }
+        }
+    }
+    Err(format!(
+        "gave up after {} attempts ({} ms of backoff): {last_error}",
+        policy.max_attempts.max(1),
+        total_backoff_ms
+    ))
 }
 
 #[cfg(test)]

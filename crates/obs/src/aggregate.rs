@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use crate::counters::{Counter, CounterSet, CounterSnapshot};
-use crate::event::{ObsEvent, SfClass, SpanKind, StealLevel};
+use crate::event::{ChaosKind, ObsEvent, SfClass, SpanKind, StealLevel};
 use crate::{FaultKind, Observer};
 
 /// One row of the span summary: how many spans of a kind ran, their
@@ -199,6 +199,38 @@ impl Observer for Aggregator {
                 self.counters.add(Counter::ServeExecMicros, micros);
             }
             ObsEvent::BatchExecuted { .. } => self.counters.add(Counter::ServeBatches, 1),
+            ObsEvent::DiskCacheHit { .. } => self.counters.add(Counter::ServeDiskHits, 1),
+            ObsEvent::DiskWritten { bytes, .. } => {
+                self.counters.add(Counter::ServeDiskWrites, 1);
+                self.counters.add(Counter::ServeDiskWriteBytes, bytes);
+            }
+            ObsEvent::DiskWriteFailed { .. } => self.counters.add(Counter::ServeDiskWriteErrors, 1),
+            ObsEvent::DiskRecovered {
+                records,
+                corrupt,
+                truncated,
+                ..
+            } => {
+                self.counters.add(Counter::ServeDiskRecovered, records);
+                self.counters.add(Counter::ServeDiskCorrupt, corrupt);
+                self.counters
+                    .add(Counter::ServeDiskTruncatedTails, truncated);
+            }
+            ObsEvent::ChaosInjected { kind, .. } => {
+                let counter = match kind {
+                    ChaosKind::TornWrite => Counter::ServeChaosTornWrites,
+                    ChaosKind::DiskFull => Counter::ServeChaosDiskFull,
+                    ChaosKind::WorkerPanic => Counter::ServeChaosWorkerPanics,
+                    ChaosKind::DelayedResponse => Counter::ServeChaosDelayedResponses,
+                    ChaosKind::TruncatedResponse => Counter::ServeChaosTruncatedResponses,
+                    ChaosKind::DroppedConnection => Counter::ServeChaosDroppedConns,
+                };
+                self.counters.add(counter, 1);
+            }
+            ObsEvent::RetryScheduled { backoff_ms, .. } => {
+                self.counters.add(Counter::ServeRetryAttempts, 1);
+                self.counters.add(Counter::ServeRetryBackoffMs, backoff_ms);
+            }
         }
     }
 

@@ -78,6 +78,38 @@ pub enum Counter {
     ServeBatches,
     /// Total wall-clock microseconds spent simulating jobs.
     ServeExecMicros,
+    /// Job requests answered from the persistent on-disk cache tier.
+    ServeDiskHits,
+    /// Completed jobs appended to the persistent cache.
+    ServeDiskWrites,
+    /// Total bytes appended to the persistent cache (incl. framing).
+    ServeDiskWriteBytes,
+    /// Persistent-cache appends that failed (I/O error, injected tear,
+    /// simulated disk-full).
+    ServeDiskWriteErrors,
+    /// Intact records recovered from the segment log at startup.
+    ServeDiskRecovered,
+    /// Corrupt records quarantined during recovery (never served).
+    ServeDiskCorrupt,
+    /// Torn segment tails truncated during recovery.
+    ServeDiskTruncatedTails,
+    /// Client retry attempts scheduled after a rejection or transport
+    /// failure (counted by client-side harnesses).
+    ServeRetryAttempts,
+    /// Total client back-off milliseconds across retry attempts.
+    ServeRetryBackoffMs,
+    /// Injected torn disk writes (chaos).
+    ServeChaosTornWrites,
+    /// Injected disk-full append failures (chaos).
+    ServeChaosDiskFull,
+    /// Injected worker panics (chaos).
+    ServeChaosWorkerPanics,
+    /// Injected response delays (chaos).
+    ServeChaosDelayedResponses,
+    /// Injected truncated responses (chaos).
+    ServeChaosTruncatedResponses,
+    /// Injected dropped connections (chaos).
+    ServeChaosDroppedConns,
 }
 
 impl Counter {
@@ -85,7 +117,7 @@ impl Counter {
     pub const COUNT: usize = Counter::ALL.len();
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 48] = [
         Counter::Dispatches,
         Counter::Preemptions,
         Counter::Blocks,
@@ -119,6 +151,21 @@ impl Counter {
         Counter::ServeExecuted,
         Counter::ServeBatches,
         Counter::ServeExecMicros,
+        Counter::ServeDiskHits,
+        Counter::ServeDiskWrites,
+        Counter::ServeDiskWriteBytes,
+        Counter::ServeDiskWriteErrors,
+        Counter::ServeDiskRecovered,
+        Counter::ServeDiskCorrupt,
+        Counter::ServeDiskTruncatedTails,
+        Counter::ServeRetryAttempts,
+        Counter::ServeRetryBackoffMs,
+        Counter::ServeChaosTornWrites,
+        Counter::ServeChaosDiskFull,
+        Counter::ServeChaosWorkerPanics,
+        Counter::ServeChaosDelayedResponses,
+        Counter::ServeChaosTruncatedResponses,
+        Counter::ServeChaosDroppedConns,
     ];
 
     /// Stable snake_case name used in summary tables and CI diffs.
@@ -157,6 +204,21 @@ impl Counter {
             Counter::ServeExecuted => "serve_jobs_executed",
             Counter::ServeBatches => "serve_batches",
             Counter::ServeExecMicros => "serve_exec_micros",
+            Counter::ServeDiskHits => "serve_disk_hits",
+            Counter::ServeDiskWrites => "serve_disk_writes",
+            Counter::ServeDiskWriteBytes => "serve_disk_write_bytes",
+            Counter::ServeDiskWriteErrors => "serve_disk_write_errors",
+            Counter::ServeDiskRecovered => "serve_disk_recovered",
+            Counter::ServeDiskCorrupt => "serve_disk_corrupt",
+            Counter::ServeDiskTruncatedTails => "serve_disk_truncated_tails",
+            Counter::ServeRetryAttempts => "serve_retry_attempts",
+            Counter::ServeRetryBackoffMs => "serve_retry_backoff_ms",
+            Counter::ServeChaosTornWrites => "serve_chaos_torn_writes",
+            Counter::ServeChaosDiskFull => "serve_chaos_disk_full",
+            Counter::ServeChaosWorkerPanics => "serve_chaos_worker_panics",
+            Counter::ServeChaosDelayedResponses => "serve_chaos_delayed_responses",
+            Counter::ServeChaosTruncatedResponses => "serve_chaos_truncated_responses",
+            Counter::ServeChaosDroppedConns => "serve_chaos_dropped_conns",
         }
     }
 }

@@ -103,6 +103,50 @@ impl FaultKind {
     }
 }
 
+/// The kind of serve-layer chaos the injector fired, mirroring the
+/// serve crate's `ChaosPlan` classes without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosKind {
+    /// A persistent-cache append was torn mid-record (simulated crash
+    /// during a disk write).
+    TornWrite,
+    /// A persistent-cache append failed outright (simulated disk full).
+    DiskFull,
+    /// A worker panicked while executing a job.
+    WorkerPanic,
+    /// A response was delayed before hitting the socket.
+    DelayedResponse,
+    /// Only a prefix of a response reached the socket before the
+    /// connection dropped.
+    TruncatedResponse,
+    /// The connection was dropped before any response bytes were sent.
+    DroppedConnection,
+}
+
+impl ChaosKind {
+    /// All chaos kinds, in a stable order.
+    pub const ALL: [ChaosKind; 6] = [
+        ChaosKind::TornWrite,
+        ChaosKind::DiskFull,
+        ChaosKind::WorkerPanic,
+        ChaosKind::DelayedResponse,
+        ChaosKind::TruncatedResponse,
+        ChaosKind::DroppedConnection,
+    ];
+
+    /// Stable snake_case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::TornWrite => "torn_write",
+            ChaosKind::DiskFull => "disk_full",
+            ChaosKind::WorkerPanic => "worker_panic",
+            ChaosKind::DelayedResponse => "delayed_response",
+            ChaosKind::TruncatedResponse => "truncated_response",
+            ChaosKind::DroppedConnection => "dropped_connection",
+        }
+    }
+}
+
 /// Span kinds forming the run → epoch → SuperFunction hierarchy.
 ///
 /// Run and epoch spans are derived by sinks from [`ObsEvent::RunStart`],
@@ -327,6 +371,62 @@ pub enum ObsEvent {
         /// Number of jobs in the batch.
         jobs: u32,
     },
+    /// A job request missed the in-memory cache but was answered from
+    /// the persistent on-disk tier without re-simulating.
+    DiskCacheHit {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// A completed job's output was appended to the persistent cache.
+    DiskWritten {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+        /// Record size on disk, including framing, in bytes.
+        bytes: u64,
+    },
+    /// An append to the persistent cache failed (I/O error, injected
+    /// tear, or simulated disk-full); the in-memory tier still serves
+    /// the result, so only durability is lost.
+    DiskWriteFailed {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// Persistent-cache recovery finished scanning the segment log.
+    DiskRecovered {
+        /// Milliseconds since server start.
+        at: u64,
+        /// Intact records recovered into the index.
+        records: u64,
+        /// Corrupt records quarantined (counted, never served).
+        corrupt: u64,
+        /// Torn segment tails truncated.
+        truncated: u64,
+    },
+    /// The serve-layer chaos injector fired.
+    ChaosInjected {
+        /// Milliseconds since server start.
+        at: u64,
+        /// What kind of chaos was injected.
+        kind: ChaosKind,
+    },
+    /// A retrying client scheduled a back-off before its next attempt
+    /// (emitted by client-side harnesses such as `repro chaos`).
+    RetryScheduled {
+        /// Milliseconds since harness start.
+        at: u64,
+        /// Truncated canonical cache key of the retried job.
+        key: u64,
+        /// 1-based attempt number that just failed or was rejected.
+        attempt: u32,
+        /// Chosen back-off before the next attempt, in milliseconds.
+        backoff_ms: u64,
+    },
 }
 
 impl ObsEvent {
@@ -356,6 +456,12 @@ impl ObsEvent {
             ObsEvent::JobRejected { .. } => "job_rejected",
             ObsEvent::JobExecuted { .. } => "job_executed",
             ObsEvent::BatchExecuted { .. } => "batch_executed",
+            ObsEvent::DiskCacheHit { .. } => "disk_cache_hit",
+            ObsEvent::DiskWritten { .. } => "disk_written",
+            ObsEvent::DiskWriteFailed { .. } => "disk_write_failed",
+            ObsEvent::DiskRecovered { .. } => "disk_recovered",
+            ObsEvent::ChaosInjected { .. } => "chaos",
+            ObsEvent::RetryScheduled { .. } => "retry_scheduled",
         }
     }
 
@@ -384,7 +490,13 @@ impl ObsEvent {
             | ObsEvent::JobAdmitted { at, .. }
             | ObsEvent::JobRejected { at, .. }
             | ObsEvent::JobExecuted { at, .. }
-            | ObsEvent::BatchExecuted { at, .. } => at,
+            | ObsEvent::BatchExecuted { at, .. }
+            | ObsEvent::DiskCacheHit { at, .. }
+            | ObsEvent::DiskWritten { at, .. }
+            | ObsEvent::DiskWriteFailed { at, .. }
+            | ObsEvent::DiskRecovered { at, .. }
+            | ObsEvent::ChaosInjected { at, .. }
+            | ObsEvent::RetryScheduled { at, .. } => at,
         }
     }
 }

@@ -121,6 +121,35 @@ pub fn event_to_json(ev: &ObsEvent, label: Option<&str>) -> String {
         ObsEvent::BatchExecuted { jobs, .. } => {
             line.push_str(&format!(",\"jobs\":{jobs}"));
         }
+        ObsEvent::DiskCacheHit { key, .. } | ObsEvent::DiskWriteFailed { key, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\""));
+        }
+        ObsEvent::DiskWritten { key, bytes, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\",\"bytes\":{bytes}"));
+        }
+        ObsEvent::DiskRecovered {
+            records,
+            corrupt,
+            truncated,
+            ..
+        } => {
+            line.push_str(&format!(
+                ",\"records\":{records},\"corrupt\":{corrupt},\"truncated\":{truncated}"
+            ));
+        }
+        ObsEvent::ChaosInjected { kind, .. } => {
+            line.push_str(&format!(",\"kind\":\"{}\"", kind.name()));
+        }
+        ObsEvent::RetryScheduled {
+            key,
+            attempt,
+            backoff_ms,
+            ..
+        } => {
+            line.push_str(&format!(
+                ",\"key\":\"{key:016x}\",\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"
+            ));
+        }
     }
     line.push('}');
     line

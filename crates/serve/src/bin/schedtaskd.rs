@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N]
-//!            [--batch-max N] [--workers N] [--profile]
+//!            [--batch-max N] [--workers N] [--cache-dir DIR]
+//!            [--chaos SPEC] [--read-timeout-ms N]
+//!            [--drain-deadline-ms N] [--profile]
 //! ```
 //!
 //! Listens for JSON-line requests (see
@@ -10,25 +12,41 @@
 //! `127.0.0.1:0`; the bound address is printed on stdout) or a Unix
 //! socket. One thread per connection; a shared dispatcher executes
 //! admitted jobs in batches. Exits cleanly — queue closed, backlog
-//! drained, responses flushed — on SIGTERM, SIGINT, or a `shutdown`
-//! request. With `--profile`, the serve counter and span tables are
-//! printed on exit.
+//! drained (bounded by `--drain-deadline-ms`), responses flushed — on
+//! SIGTERM, SIGINT, or a `shutdown` request. With `--profile`, the
+//! serve counter and span tables are printed on exit.
+//!
+//! Reliability knobs:
+//!
+//! * `--cache-dir DIR` — crash-safe persistent result cache; on
+//!   restart, recovered records are served as byte-identical hits.
+//! * `--read-timeout-ms N` — per-connection read deadline (slowloris
+//!   defense): a peer that stalls mid-request is disconnected. `0`
+//!   disables the deadline.
+//! * `--chaos SPEC` — deterministic fault injection (`none`, `light`,
+//!   `heavy`, optionally `@SEED`, or `key=value,...`); see
+//!   `schedtask_serve::chaos`.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use schedtask_serve::{ServeConfig, Server};
+use schedtask_serve::{ChaosPlan, ResponseAction, ServeConfig, Server};
 
 /// Set by the signal handler and the `shutdown` request; the accept
 /// loop polls it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Longest accepted request line; longer frames are discarded up to
+/// the next newline and answered with an error, keeping the connection
+/// alive for well-formed requests that follow.
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 // The offline build has no libc crate, but std always links the
 // platform C library, so declare the one symbol the daemon needs.
@@ -59,6 +77,8 @@ struct Opts {
     listen: String,
     unix_path: Option<String>,
     cfg: ServeConfig,
+    read_timeout_ms: u64,
+    drain_deadline_ms: u64,
     profile: bool,
 }
 
@@ -72,6 +92,8 @@ fn parse_args() -> Opts {
         listen: "127.0.0.1:0".to_owned(),
         unix_path: None,
         cfg: ServeConfig::default(),
+        read_timeout_ms: 30_000,
+        drain_deadline_ms: 5_000,
         profile: false,
     };
     let mut args = std::env::args().skip(1);
@@ -98,11 +120,31 @@ fn parse_args() -> Opts {
                     .parse()
                     .unwrap_or_else(|e| die(&format!("bad --workers: {e}")))
             }
+            "--cache-dir" => {
+                opts.cfg.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")))
+            }
+            "--chaos" => {
+                let spec = value("--chaos");
+                let plan = ChaosPlan::parse(&spec, 0x5EED)
+                    .unwrap_or_else(|e| die(&format!("bad --chaos: {e}")));
+                opts.cfg.chaos = Some(plan);
+            }
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = value("--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --read-timeout-ms: {e}")))
+            }
+            "--drain-deadline-ms" => {
+                opts.drain_deadline_ms = value("--drain-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad --drain-deadline-ms: {e}")))
+            }
             "--profile" => opts.profile = true,
             "--help" | "-h" => {
                 println!(
                     "usage: schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N] \
-                     [--batch-max N] [--workers N] [--profile]"
+                     [--batch-max N] [--workers N] [--cache-dir DIR] [--chaos SPEC] \
+                     [--read-timeout-ms N] [--drain-deadline-ms N] [--profile]"
                 );
                 exit(0);
             }
@@ -111,6 +153,9 @@ fn parse_args() -> Opts {
     }
     if opts.cfg.queue_capacity == 0 || opts.cfg.batch_max == 0 || opts.cfg.workers == 0 {
         die("--queue-capacity, --batch-max, and --workers must be positive");
+    }
+    if opts.drain_deadline_ms == 0 {
+        die("--drain-deadline-ms must be positive");
     }
     opts
 }
@@ -147,33 +192,169 @@ impl Listener {
     }
 }
 
-trait Conn: Read + Write + Send {}
-impl<T: Read + Write + Send> Conn for T {}
+trait Conn: Read + Write + Send {
+    /// Arms the per-connection read deadline.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, dur)
+    }
+}
+
+/// What one attempt to read a request line produced.
+enum LineEvent {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// A frame longer than [`MAX_LINE_BYTES`]; the excess was discarded
+    /// up to the next newline, the connection stays usable.
+    Oversized,
+    /// Peer hung up (or errored) — close the connection.
+    Closed,
+    /// The read deadline elapsed mid-request — slowloris; close.
+    TimedOut,
+}
+
+/// Newline-framed reader over a raw stream. `BufRead::read_line` is
+/// unreliable under read timeouts (a timeout mid-line loses the
+/// partial data), so this keeps its own carry-over buffer: bytes read
+/// past one newline are retained for the next request (pipelining).
+struct LineReader {
+    stream: Box<dyn Conn>,
+    buf: Vec<u8>,
+    discarding: bool,
+}
+
+impl LineReader {
+    fn new(stream: Box<dyn Conn>) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::with_capacity(4096),
+            discarding: false,
+        }
+    }
+
+    fn next_line(&mut self) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if self.discarding {
+                    self.discarding = false;
+                    return LineEvent::Oversized;
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                // Too long without a newline: drop what we have and
+                // keep discarding until the frame ends.
+                self.buf.clear();
+                self.discarding = true;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Closed,
+                Ok(n) => {
+                    if !self.discarding {
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    } else if let Some(pos) = chunk[..n].iter().position(|&b| b == b'\n') {
+                        self.buf.extend_from_slice(&chunk[pos + 1..n]);
+                        self.discarding = false;
+                        return LineEvent::Oversized;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::TimedOut
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Closed,
+            }
+        }
+    }
+}
+
+/// Writes one response line, letting the chaos plan delay, truncate,
+/// or drop it. Returns `false` when the connection must close.
+fn write_response(reader: &mut LineReader, server: &Server, response: &str) -> bool {
+    let mut line = String::with_capacity(response.len() + 1);
+    line.push_str(response);
+    line.push('\n');
+    match server.chaos_response_action(line.len()) {
+        ResponseAction::Normal => {}
+        ResponseAction::Delay(ms) => thread::sleep(Duration::from_millis(ms)),
+        ResponseAction::Truncate(n) => {
+            let cut = n.min(line.len());
+            let _ = reader
+                .stream
+                .write_all(&line.as_bytes()[..cut])
+                .and_then(|()| reader.stream.flush());
+            return false;
+        }
+        ResponseAction::Drop => return false,
+    }
+    reader
+        .stream
+        .write_all(line.as_bytes())
+        .and_then(|()| reader.stream.flush())
+        .is_ok()
+}
 
 /// Serves one connection: one request line in, one response line out,
-/// until the peer hangs up or asks for shutdown.
-fn serve_connection(server: &Server, stream: Box<dyn Conn>) {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        let (response, shutdown) = server.handle_request_line(&line);
-        let out = reader.get_mut();
-        if writeln!(out, "{response}")
-            .and_then(|()| out.flush())
+/// until the peer hangs up, stalls past the read deadline, or asks for
+/// shutdown.
+fn serve_connection(server: &Server, stream: Box<dyn Conn>, read_timeout_ms: u64) {
+    if read_timeout_ms > 0
+        && stream
+            .set_read_timeout(Some(Duration::from_millis(read_timeout_ms)))
             .is_err()
-        {
-            return;
-        }
+    {
+        return;
+    }
+    let mut reader = LineReader::new(stream);
+    loop {
+        let line = match reader.next_line() {
+            LineEvent::Line(line) => line,
+            LineEvent::Oversized => {
+                // Malformed frame: error the request, keep the
+                // connection — the next well-formed line still works.
+                let resp = format!(
+                    "{{\"status\":\"error\",\"error\":\"request line exceeds {MAX_LINE_BYTES} bytes\"}}"
+                );
+                if !write_response(&mut reader, server, &resp) {
+                    return;
+                }
+                continue;
+            }
+            LineEvent::Closed | LineEvent::TimedOut => return,
+        };
+        let (response, shutdown) = server.handle_request_line(&line);
         if shutdown {
+            // Set the flag before attempting the write: a chaos-dropped
+            // response must not lose the shutdown request.
             SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        if !write_response(&mut reader, server, &response) || shutdown {
             return;
         }
     }
+}
+
+/// True when a live daemon answers on the Unix socket at `path`.
+#[cfg(unix)]
+fn unix_socket_is_live(path: &str) -> bool {
+    UnixStream::connect(path).is_ok()
 }
 
 fn main() {
@@ -183,8 +364,18 @@ fn main() {
     let listener = match &opts.unix_path {
         #[cfg(unix)]
         Some(path) => {
-            // A stale socket file from a previous run blocks bind.
-            let _ = std::fs::remove_file(path);
+            // A stale socket file from a previous run blocks bind —
+            // but only delete it after probing: if a live daemon still
+            // answers on it, deleting would silently orphan that
+            // daemon and steal its clients.
+            if std::fs::metadata(path).is_ok() {
+                if unix_socket_is_live(path) {
+                    die(&format!(
+                        "refusing to remove {path}: a live daemon is answering on it"
+                    ));
+                }
+                let _ = std::fs::remove_file(path);
+            }
             let l = UnixListener::bind(path)
                 .unwrap_or_else(|e| die(&format!("cannot bind unix socket {path}: {e}")));
             l.set_nonblocking(true)
@@ -210,7 +401,17 @@ fn main() {
     // immediately.
     let _ = std::io::stdout().flush();
 
-    let server = Arc::new(Server::new(opts.cfg));
+    let read_timeout_ms = opts.read_timeout_ms;
+    let server = Arc::new(
+        Server::try_new(opts.cfg).unwrap_or_else(|e| die(&format!("cannot open cache dir: {e}"))),
+    );
+    if let Some(report) = server.recovery() {
+        println!(
+            "schedtaskd: recovered {} cache records ({} corrupt quarantined, {} torn tails truncated)",
+            report.records, report.corrupt, report.truncated_tails
+        );
+        let _ = std::io::stdout().flush();
+    }
     let dispatcher = server.spawn_dispatcher();
 
     let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
@@ -218,7 +419,9 @@ fn main() {
         match listener.try_accept() {
             Ok(Some(stream)) => {
                 let server = Arc::clone(&server);
-                connections.push(thread::spawn(move || serve_connection(&server, stream)));
+                connections.push(thread::spawn(move || {
+                    serve_connection(&server, stream, read_timeout_ms)
+                }));
             }
             Ok(None) => thread::sleep(Duration::from_millis(25)),
             Err(e) => {
@@ -229,16 +432,24 @@ fn main() {
         connections.retain(|handle| !handle.is_finished());
     }
 
-    // Clean shutdown: stop admitting, drain the backlog, let in-flight
-    // responses go out, then report and exit 0. Connections blocked on
-    // an idle read die with the process.
+    // Clean shutdown: stop admitting, drain the backlog and in-flight
+    // responses — but never for longer than the drain deadline, so a
+    // SIGTERM cannot hang on a wedged batch or a stalled peer.
     server.close();
-    let _ = dispatcher.join();
-    let grace = std::time::Instant::now();
-    while connections.iter().any(|handle| !handle.is_finished())
-        && grace.elapsed() < Duration::from_secs(5)
+    let drain_start = Instant::now();
+    let deadline = Duration::from_millis(opts.drain_deadline_ms);
+    while (!dispatcher.is_finished() || connections.iter().any(|h| !h.is_finished()))
+        && drain_start.elapsed() < deadline
     {
-        thread::sleep(Duration::from_millis(25));
+        thread::sleep(Duration::from_millis(10));
+    }
+    if dispatcher.is_finished() {
+        let _ = dispatcher.join();
+    } else {
+        eprintln!(
+            "schedtaskd: drain deadline ({} ms) exceeded; abandoning backlog",
+            opts.drain_deadline_ms
+        );
     }
     #[cfg(unix)]
     if let Some(path) = &opts.unix_path {

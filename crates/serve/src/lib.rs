@@ -20,15 +20,26 @@
 //! - **Observability** — hits/misses, queue depth, rejections, batch
 //!   sizes, and per-job latency spans all flow through `schedtask-obs`
 //!   counters and the `--profile` tables.
+//! - **Durability** — with `--cache-dir`, every result is also appended
+//!   to a crash-safe [`disk::DiskCache`] segment log; restart recovery
+//!   truncates torn tails, quarantines corrupt records, and serves
+//!   everything that survived as byte-identical cache hits.
+//! - **Chaos** — a seed-driven [`chaos::ChaosPlan`] can tear disk
+//!   writes, panic workers, and mangle responses deterministically, so
+//!   tests assert recovery invariants instead of getting lucky.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
+pub mod chaos;
+pub mod disk;
 pub mod queue;
 pub mod server;
 
 pub use cache::{JobOutput, Lookup, ResultCache};
-pub use queue::{Backpressure, JobQueue, QueuedJob};
+pub use chaos::{ChaosInjector, ChaosPlan, ResponseAction};
+pub use disk::{crc32, DiskCache, DiskRecord, RecoveryReport};
+pub use queue::{Backpressure, JobQueue, QueuedJob, SubmitError};
 pub use server::{ServeConfig, Server};

@@ -36,9 +36,22 @@ pub struct Backpressure {
     pub retry_after_ms: u64,
 }
 
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — transient; retry after the hint.
+    Full(Backpressure),
+    /// The queue is closed (daemon shutting down) — terminal; retrying
+    /// this endpoint will never succeed.
+    Closed,
+}
+
 #[derive(Debug, Default)]
 struct QueueInner {
     jobs: VecDeque<QueuedJob>,
+    /// Jobs handed to the dispatcher but not yet finished — they still
+    /// occupy workers, so the backpressure hint must account for them.
+    in_flight: usize,
     closed: bool,
 }
 
@@ -70,20 +83,37 @@ impl JobQueue {
         self.inner.lock().expect("job queue poisoned").jobs.len()
     }
 
+    /// Jobs currently dispatched but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().expect("job queue poisoned").in_flight
+    }
+
     /// Admits a job, or rejects it when the queue is full or closed.
     /// Returns the depth after admission.
-    pub fn submit(&self, job: QueuedJob) -> Result<usize, Backpressure> {
+    ///
+    /// A [`SubmitError::Closed`] rejection is terminal — producers must
+    /// observe shutdown promptly and report a hard error, not a
+    /// backpressure hint that invites a futile retry.
+    pub fn submit(&self, job: QueuedJob) -> Result<usize, SubmitError> {
         let mut inner = self.inner.lock().expect("job queue poisoned");
-        if inner.closed || inner.jobs.len() >= self.capacity {
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
             let depth = inner.jobs.len();
+            // The backlog a new job waits behind is the queue *plus*
+            // the batch the workers are chewing on right now; a hint
+            // derived from queue depth alone under-estimates drain
+            // time whenever a batch is in flight.
+            let backlog = depth + inner.in_flight;
             drop(inner);
-            return Err(Backpressure {
+            return Err(SubmitError::Full(Backpressure {
                 depth,
-                // Scale the hint with the backlog: a fuller queue takes
-                // longer to drain. Clamped so clients neither spin nor
-                // stall.
-                retry_after_ms: (depth as u64 * 100).clamp(100, 5_000),
-            });
+                // Scale the hint with the backlog: a fuller pipeline
+                // takes longer to drain. Clamped so clients neither
+                // spin nor stall.
+                retry_after_ms: (backlog as u64 * 100).clamp(100, 5_000),
+            }));
         }
         inner.jobs.push_back(job);
         let depth = inner.jobs.len();
@@ -112,6 +142,7 @@ impl JobQueue {
                     let job = inner.jobs.pop_front().expect("front checked above");
                     batch.push(job);
                 }
+                inner.in_flight += batch.len();
                 return Some(batch);
             }
             if inner.closed {
@@ -119,6 +150,13 @@ impl JobQueue {
             }
             inner = self.cv.wait(inner).expect("job queue poisoned");
         }
+    }
+
+    /// Marks `n` dispatched jobs as finished; the dispatcher calls this
+    /// after a batch completes so backpressure hints deflate again.
+    pub fn finish_batch(&self, n: usize) {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        inner.in_flight = inner.in_flight.saturating_sub(n);
     }
 
     /// Closes the queue: future submissions are rejected, and
@@ -160,17 +198,52 @@ mod tests {
         QueuedJob { spec, key, slot }
     }
 
+    fn full_rejection(err: SubmitError) -> Backpressure {
+        match err {
+            SubmitError::Full(bp) => bp,
+            SubmitError::Closed => panic!("expected Full, got Closed"),
+        }
+    }
+
     #[test]
     fn rejects_when_full_with_scaled_retry_hint() {
         let q = JobQueue::new(2);
         q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
         q.submit(job("{\"workload\":\"Iscp\"}")).expect("fits");
-        let bp = q
-            .submit(job("{\"workload\":\"Oscp\"}"))
-            .expect_err("must reject");
+        let bp = full_rejection(
+            q.submit(job("{\"workload\":\"Oscp\"}"))
+                .expect_err("must reject"),
+        );
         assert_eq!(bp.depth, 2);
         assert_eq!(bp.retry_after_ms, 200);
         assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn retry_hint_counts_in_flight_batch() {
+        let q = JobQueue::new(2);
+        q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
+        q.submit(job("{\"workload\":\"Iscp\"}")).expect("fits");
+        // The dispatcher takes both jobs; the queue is momentarily
+        // empty but the workers are busy.
+        let batch = q.next_batch(8).expect("open queue");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.in_flight(), 2);
+        q.submit(job("{\"workload\":\"Oscp\"}")).expect("fits");
+        q.submit(job("{\"workload\":\"Dss\"}")).expect("fits");
+        let bp = full_rejection(
+            q.submit(job("{\"workload\":\"Find\"}"))
+                .expect_err("must reject"),
+        );
+        // Backlog = 2 queued + 2 in flight, not just the 2 queued.
+        assert_eq!(bp.retry_after_ms, 400);
+        q.finish_batch(batch.len());
+        assert_eq!(q.in_flight(), 0);
+        let bp = full_rejection(
+            q.submit(job("{\"workload\":\"Find\"}"))
+                .expect_err("still full"),
+        );
+        assert_eq!(bp.retry_after_ms, 200, "hint deflates after finish");
     }
 
     #[test]
@@ -195,8 +268,41 @@ mod tests {
         let q = JobQueue::new(4);
         q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
         q.close();
-        assert!(q.submit(job("{\"workload\":\"Iscp\"}")).is_err());
+        assert_eq!(
+            q.submit(job("{\"workload\":\"Iscp\"}"))
+                .expect_err("closed queue rejects"),
+            SubmitError::Closed
+        );
         assert_eq!(q.next_batch(4).expect("drains remaining").len(), 1);
         assert!(q.next_batch(4).is_none());
+    }
+
+    #[test]
+    fn close_while_full_is_terminal_not_backpressure() {
+        // A producer hitting a full queue gets a retry hint; the moment
+        // the queue closes, the same producer must get the terminal
+        // `Closed` error instead — a backpressure hint would send the
+        // client into a retry loop against a dying daemon.
+        let q = JobQueue::new(1);
+        q.submit(job("{\"workload\":\"Find\"}")).expect("fits");
+        assert!(matches!(
+            q.submit(job("{\"workload\":\"Iscp\"}")),
+            Err(SubmitError::Full(_))
+        ));
+        q.close();
+        assert_eq!(
+            q.submit(job("{\"workload\":\"Iscp\"}"))
+                .expect_err("closed wins over full"),
+            SubmitError::Closed
+        );
+        // The already-admitted job still drains.
+        assert_eq!(q.next_batch(4).expect("drains").len(), 1);
+        assert!(q.next_batch(4).is_none());
+        // And producers keep observing Closed promptly afterwards.
+        assert_eq!(
+            q.submit(job("{\"workload\":\"Oscp\"}"))
+                .expect_err("still closed"),
+            SubmitError::Closed
+        );
     }
 }

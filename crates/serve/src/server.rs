@@ -3,24 +3,29 @@
 //! binary; everything here works on request/response strings, which is
 //! what the tests drive directly.
 
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_experiments::runner::{panic_message, RunBuilder};
 use schedtask_experiments::serve_api::{escape_json, parse_request, JobSpec, RequestOp};
+use schedtask_kernel::SimStats;
 use schedtask_obs::{
-    render_counter_table, render_span_table, Aggregator, CounterSnapshot, JsonlSink, ObsEvent,
-    Observer, SpanKind,
+    render_counter_table, render_span_table, Aggregator, ChaosKind, CounterSnapshot, JsonlSink,
+    ObsEvent, Observer, SpanKind,
 };
 
 use crate::cache::{JobOutput, Lookup, ResultCache};
-use crate::queue::{JobQueue, QueuedJob};
+use crate::chaos::{ChaosInjector, ChaosPlan, ResponseAction};
+use crate::disk::{DiskCache, RecoveryReport};
+use crate::queue::{JobQueue, QueuedJob, SubmitError};
 
 /// Tunables for one server instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bounded queue capacity; submissions beyond it are rejected with
     /// backpressure.
@@ -29,6 +34,11 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Worker threads simulating one batch.
     pub workers: usize,
+    /// Directory for the persistent cache tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Chaos plan for fault injection; `None` (or an inactive plan)
+    /// disables it.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +47,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             batch_max: 8,
             workers: 4,
+            cache_dir: None,
+            chaos: None,
         }
     }
 }
@@ -49,21 +61,74 @@ impl Default for ServeConfig {
 pub struct Server {
     cfg: ServeConfig,
     cache: ResultCache,
+    disk: Option<DiskCache>,
+    recovery: Option<RecoveryReport>,
+    chaos: Option<Mutex<ChaosInjector>>,
     queue: JobQueue,
     agg: Arc<Aggregator>,
     started: Instant,
 }
 
+/// What a chaos-inflected disk append should do.
+enum DiskAction {
+    Persist,
+    Torn(usize),
+    Fail,
+}
+
 impl Server {
-    /// A fresh server with an empty cache and queue.
+    /// A fresh server with an empty cache and queue. Panics if the
+    /// configured cache directory cannot be opened; the daemon uses
+    /// [`Server::try_new`] to report that as a startup error instead.
     pub fn new(cfg: ServeConfig) -> Server {
-        Server {
+        Server::try_new(cfg).expect("failed to open cache dir")
+    }
+
+    /// A fresh server, recovering the persistent tier when
+    /// `cfg.cache_dir` is set. Recovery results are published as a
+    /// [`ObsEvent::DiskRecovered`] event (visible in `--profile`) and
+    /// via [`Server::recovery`].
+    pub fn try_new(cfg: ServeConfig) -> io::Result<Server> {
+        let started = Instant::now();
+        let agg = Arc::new(Aggregator::new());
+        let (disk, recovery) = match &cfg.cache_dir {
+            Some(dir) => {
+                let (disk, report) = DiskCache::open(dir)?;
+                agg.event(&ObsEvent::DiskRecovered {
+                    at: started.elapsed().as_millis() as u64,
+                    records: report.records,
+                    corrupt: report.corrupt,
+                    truncated: report.truncated_tails,
+                });
+                (Some(disk), Some(report))
+            }
+            None => (None, None),
+        };
+        let chaos = cfg
+            .chaos
+            .as_ref()
+            .filter(|plan| plan.is_active())
+            .map(|plan| Mutex::new(ChaosInjector::new(plan.clone())));
+        Ok(Server {
             queue: JobQueue::new(cfg.queue_capacity),
             cfg,
             cache: ResultCache::new(),
-            agg: Arc::new(Aggregator::new()),
-            started: Instant::now(),
-        }
+            disk,
+            recovery,
+            chaos,
+            agg,
+            started,
+        })
+    }
+
+    /// What startup recovery of the persistent tier found, if it ran.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Number of records in the persistent tier's index.
+    pub fn disk_entries(&self) -> usize {
+        self.disk.as_ref().map_or(0, DiskCache::len)
     }
 
     /// Milliseconds since server start (the `at` clock of serve events).
@@ -142,8 +207,13 @@ impl Server {
             let enter_us = self.now_us();
             self.agg.span_enter(Some(*lane), SpanKind::Job, enter_us);
             let started = Instant::now();
-            let result = catch_unwind(AssertUnwindSafe(|| execute_job(&job.spec)))
-                .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_message(payload))));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if self.chaos_worker_panic() {
+                    panic!("chaos: injected worker panic");
+                }
+                execute_job(&job.spec)
+            }))
+            .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_message(payload))));
             let micros = started.elapsed().as_micros() as u64;
             self.agg
                 .span_exit(Some(*lane), SpanKind::Job, enter_us + micros);
@@ -157,15 +227,122 @@ impl Server {
             });
             match result {
                 Ok(output) => {
+                    // Persist (and fsync) before publishing: once a
+                    // response leaves the server, the record must
+                    // survive a crash.
+                    self.persist(job.key, &output);
                     self.cache.fill(&job.slot, output);
                 }
                 Err(err) => self.cache.fail(job.key, &job.slot, err),
             }
         }
+        self.queue.finish_batch(items.len());
         self.emit(ObsEvent::BatchExecuted {
             at: self.now_ms(),
             jobs,
         });
+    }
+
+    /// Appends one fresh result to the persistent tier (when enabled),
+    /// letting the chaos plan tear or fail the write. Persistence
+    /// failures never fail the job — the result is already served from
+    /// memory; the disk tier just loses one record, which a resubmit
+    /// after restart will regenerate.
+    fn persist(&self, key: u64, out: &JobOutput) {
+        let Some(disk) = &self.disk else { return };
+        let record_len = out.stats_json.len() + out.jsonl.len() + 24;
+        match self.chaos_disk_action(record_len) {
+            DiskAction::Persist => match disk.append(key, &out.stats_json, &out.jsonl) {
+                Ok(bytes) => self.emit(ObsEvent::DiskWritten {
+                    at: self.now_ms(),
+                    key,
+                    bytes,
+                }),
+                Err(_) => self.emit(ObsEvent::DiskWriteFailed {
+                    at: self.now_ms(),
+                    key,
+                }),
+            },
+            DiskAction::Torn(keep) => {
+                let _ = disk.append_torn(key, &out.stats_json, &out.jsonl, keep);
+                self.emit(ObsEvent::DiskWriteFailed {
+                    at: self.now_ms(),
+                    key,
+                });
+            }
+            DiskAction::Fail => self.emit(ObsEvent::DiskWriteFailed {
+                at: self.now_ms(),
+                key,
+            }),
+        }
+    }
+
+    /// Rolls the chaos dice for one disk append.
+    fn chaos_disk_action(&self, record_len: usize) -> DiskAction {
+        let Some(chaos) = &self.chaos else {
+            return DiskAction::Persist;
+        };
+        let mut inj = chaos.lock().expect("chaos injector poisoned");
+        if let Some(keep) = inj.torn_write(record_len) {
+            drop(inj);
+            self.emit(ObsEvent::ChaosInjected {
+                at: self.now_ms(),
+                kind: ChaosKind::TornWrite,
+            });
+            return DiskAction::Torn(keep);
+        }
+        if inj.disk_full() {
+            drop(inj);
+            self.emit(ObsEvent::ChaosInjected {
+                at: self.now_ms(),
+                kind: ChaosKind::DiskFull,
+            });
+            return DiskAction::Fail;
+        }
+        DiskAction::Persist
+    }
+
+    /// Rolls the chaos dice for one worker execution.
+    fn chaos_worker_panic(&self) -> bool {
+        let Some(chaos) = &self.chaos else {
+            return false;
+        };
+        let fire = chaos
+            .lock()
+            .expect("chaos injector poisoned")
+            .worker_panic();
+        if fire {
+            self.emit(ObsEvent::ChaosInjected {
+                at: self.now_ms(),
+                kind: ChaosKind::WorkerPanic,
+            });
+        }
+        fire
+    }
+
+    /// Rolls the chaos dice for one outgoing response line of
+    /// `line_len` bytes. The transport layer (the daemon) applies the
+    /// returned action; chaos events are emitted here so `--profile`
+    /// accounts every injection.
+    pub fn chaos_response_action(&self, line_len: usize) -> ResponseAction {
+        let Some(chaos) = &self.chaos else {
+            return ResponseAction::Normal;
+        };
+        let action = chaos
+            .lock()
+            .expect("chaos injector poisoned")
+            .response_action(line_len);
+        let kind = match action {
+            ResponseAction::Normal => return action,
+            ResponseAction::Delay(_) => ChaosKind::DelayedResponse,
+            ResponseAction::Truncate(_) => ChaosKind::TruncatedResponse,
+            ResponseAction::Drop => ChaosKind::DroppedConnection,
+        };
+        self.emit(ObsEvent::ChaosInjected {
+            at: self.now_ms(),
+            kind,
+        });
+        action
     }
 
     /// Handles one request line and renders one response line. The
@@ -220,35 +397,65 @@ impl Server {
                 (slot.wait(), false, true)
             }
             Lookup::Claimed(slot) => {
-                let job = QueuedJob {
-                    spec,
-                    key,
-                    slot: Arc::clone(&slot),
-                };
-                match self.queue.submit(job) {
-                    Ok(depth) => {
-                        self.emit(ObsEvent::JobAdmitted {
-                            at: self.now_ms(),
-                            key,
-                            depth: depth as u32,
-                        });
-                        (slot.wait(), false, false)
-                    }
-                    Err(bp) => {
-                        self.emit(ObsEvent::JobRejected {
-                            at: self.now_ms(),
-                            depth: bp.depth as u32,
-                        });
-                        // Release the claim so a retry after back-off
-                        // re-executes instead of waiting forever.
-                        self.cache
-                            .fail(key, &slot, "rejected: queue full".to_owned());
-                        return format!(
-                            "{{{}\"status\":\"rejected\",\"queue_depth\":{},\"retry_after_ms\":{}}}",
-                            id_field(id),
-                            bp.depth,
-                            bp.retry_after_ms
-                        );
+                // Memory miss: probe the persistent tier before paying
+                // for an execution. A disk hit fills the claimed slot,
+                // so coalesced waiters and later submitters replay the
+                // promoted bytes from memory.
+                if let Some(record) = self.disk.as_ref().and_then(|disk| disk.get(key)) {
+                    self.emit(ObsEvent::DiskCacheHit {
+                        at: self.now_ms(),
+                        key,
+                    });
+                    let out = self.cache.fill(
+                        &slot,
+                        JobOutput {
+                            key: format!("{key:016x}"),
+                            stats: SimStats::default(),
+                            stats_json: record.stats_json,
+                            jsonl: record.jsonl,
+                        },
+                    );
+                    (Ok(out), true, false)
+                } else {
+                    let job = QueuedJob {
+                        spec,
+                        key,
+                        slot: Arc::clone(&slot),
+                    };
+                    match self.queue.submit(job) {
+                        Ok(depth) => {
+                            self.emit(ObsEvent::JobAdmitted {
+                                at: self.now_ms(),
+                                key,
+                                depth: depth as u32,
+                            });
+                            (slot.wait(), false, false)
+                        }
+                        Err(SubmitError::Full(bp)) => {
+                            self.emit(ObsEvent::JobRejected {
+                                at: self.now_ms(),
+                                depth: bp.depth as u32,
+                            });
+                            // Release the claim so a retry after
+                            // back-off re-executes instead of waiting
+                            // forever.
+                            self.cache
+                                .fail(key, &slot, "rejected: queue full".to_owned());
+                            return format!(
+                                "{{{}\"status\":\"rejected\",\"queue_depth\":{},\"retry_after_ms\":{}}}",
+                                id_field(id),
+                                bp.depth,
+                                bp.retry_after_ms
+                            );
+                        }
+                        Err(SubmitError::Closed) => {
+                            // Terminal: the daemon is shutting down. No
+                            // retry hint — the client must not spin
+                            // against a dying endpoint.
+                            self.cache
+                                .fail(key, &slot, "server shutting down".to_owned());
+                            return error_response(id, "server shutting down; queue closed");
+                        }
                     }
                 }
             }
@@ -288,11 +495,12 @@ impl Server {
         counters.push('}');
         format!(
             "{{{}\"status\":\"ok\",\"queue_depth\":{},\"queue_capacity\":{},\
-             \"cache_entries\":{},\"counters\":{counters}}}",
+             \"cache_entries\":{},\"disk_entries\":{},\"counters\":{counters}}}",
             id_field(id),
             self.queue.depth(),
             self.queue.capacity(),
-            self.cache.entries()
+            self.cache.entries(),
+            self.disk_entries()
         )
     }
 }
@@ -364,6 +572,7 @@ mod tests {
             queue_capacity: 4,
             batch_max: 2,
             workers: 2,
+            ..ServeConfig::default()
         }));
         let dispatcher = server.spawn_dispatcher();
 
@@ -411,6 +620,7 @@ mod tests {
             queue_capacity: 2,
             batch_max: 2,
             workers: 1,
+            ..ServeConfig::default()
         }));
         let staged: Vec<thread::JoinHandle<String>> = ["Find", "Iscp"]
             .iter()
@@ -477,6 +687,69 @@ mod tests {
         assert_eq!(json.get("queue_capacity").and_then(Json::as_u64), Some(64));
         let (_, shutdown) = server.handle_request_line("{\"op\":\"shutdown\"}");
         assert!(shutdown);
+    }
+
+    #[test]
+    fn restart_serves_disk_tier_as_byte_identical_cache_hit() {
+        let dir =
+            std::env::temp_dir().join(format!("schedtask-server-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            batch_max: 2,
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            chaos: None,
+        };
+        let result_of = |resp: &str| {
+            let start = resp.find("\"result\":").expect("result field") + "\"result\":".len();
+            resp[start..resp.len() - 1].to_owned()
+        };
+        // First lifetime: execute and persist.
+        let first = {
+            let server = Arc::new(Server::new(cfg.clone()));
+            let dispatcher = server.spawn_dispatcher();
+            let (resp, _) = server.handle_request_line(&quick_run_line("a", "Find"));
+            let json = Json::parse(&resp).expect("response is JSON");
+            assert_eq!(
+                json.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{resp}"
+            );
+            assert_eq!(server.disk_entries(), 1, "result persisted");
+            server.close();
+            dispatcher.join().expect("dispatcher exits");
+            resp
+        };
+        // Second lifetime, same directory: recovery promotes the disk
+        // record — no execution, byte-identical result payload.
+        let server = Arc::new(Server::new(cfg));
+        assert_eq!(server.recovery().expect("recovery ran").records, 1);
+        let (second, _) = server.handle_request_line(&quick_run_line("b", "Find"));
+        let json = Json::parse(&second).expect("response is JSON");
+        assert_eq!(
+            json.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "{second}"
+        );
+        assert_eq!(result_of(&first), result_of(&second));
+        assert_eq!(server.counters().get(Counter::ServeDiskHits), 1);
+        assert_eq!(server.counters().get(Counter::ServeExecuted), 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn closed_queue_yields_terminal_error_response() {
+        let server = Server::new(ServeConfig::default());
+        server.close();
+        let (resp, _) = server.handle_request_line(&quick_run_line("x", "Find"));
+        let json = Json::parse(&resp).expect("response is JSON");
+        assert_eq!(
+            json.get("status").and_then(Json::as_str),
+            Some("error"),
+            "closed queue must be a terminal error, not backpressure: {resp}"
+        );
+        assert!(json.get("retry_after_ms").is_none(), "{resp}");
     }
 
     #[test]

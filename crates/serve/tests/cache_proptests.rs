@@ -88,6 +88,7 @@ proptest! {
             queue_capacity: 4,
             batch_max: 2,
             workers: 2,
+            ..ServeConfig::default()
         }));
         let dispatcher = server.spawn_dispatcher();
         let (first, _) = server.handle_request_line(&line);
@@ -128,6 +129,7 @@ proptest! {
             queue_capacity: 16,
             batch_max: 4,
             workers: 2,
+            ..ServeConfig::default()
         }));
         let dispatcher = server.spawn_dispatcher();
         let handles: Vec<std::thread::JoinHandle<String>> = (0..submitters)

@@ -57,6 +57,7 @@ fn tcp_round_trip_caches_and_acknowledges_shutdown() {
         queue_capacity: 8,
         batch_max: 4,
         workers: 2,
+        ..ServeConfig::default()
     });
     let mut client = ServeClient::connect_tcp(&addr).expect("connect");
     assert!(client.ping().expect("ping"), "server answers ping");
