@@ -5,6 +5,7 @@
 //! ```text
 //! repro <experiment> [--quick] [--markdown] [--cores N] [--seed S] [--jobs N]
 //!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
+//!                    [--driving MODE] [--device KIND[:PERIOD]]
 //!                    [--obs FILE] [--profile] [--keep-going]
 //! repro serve  [schedtaskd options...]
 //! repro submit [--connect ADDR | --unix PATH] [client options...]
@@ -64,6 +65,17 @@
 //!   `SimStats` are bit-identical to the serial run (each cell's seed is
 //!   a pure function of the parameters); only wall-clock time changes.
 //!
+//! Engine component options:
+//!
+//! * `--driving MODE` selects how the engine advances its component set:
+//!   `de` (discrete-event, the default) or `cyclebox[:WINDOW[:SHARDS]]`
+//!   (epoch-barrier cycle boxes; window in cycles, default 50000, shards
+//!   default 1). Both modes produce bit-identical results; cycle-box
+//!   with shards > 1 plans component work across threads inside one run.
+//! * `--device KIND[:PERIOD]` attaches an interrupt-injecting device
+//!   model (`disk`, `network`, or `timer`; mean inter-arrival period in
+//!   cycles, default 25000) to every run. Repeatable.
+//!
 //! Observability options (sweep experiment):
 //!
 //! * `--obs FILE` attaches a JSONL sink to every sweep cell and writes
@@ -90,7 +102,7 @@
 //! historical exit-0 behaviour for exploratory sessions.
 
 use schedtask::StealPolicy;
-use schedtask_experiments::runner::run_sweep_observed;
+use schedtask_experiments::runner::{parse_device_spec, parse_driving_spec, run_sweep_observed};
 use schedtask_experiments::serve_api::{
     submit_with_retry, ClientTimeouts, Endpoint, RetryPolicy, RunRequest, ServeClient,
 };
@@ -114,6 +126,8 @@ struct Opts {
     sanitize: bool,
     force_fail: Option<(Technique, BenchmarkKind, u64)>,
     jobs: usize,
+    driving: Option<String>,
+    devices: Vec<String>,
     obs: Option<String>,
     profile: bool,
     json: Option<String>,
@@ -132,6 +146,8 @@ fn parse_args() -> Opts {
         sanitize: false,
         force_fail: None,
         jobs: 1,
+        driving: None,
+        devices: Vec::new(),
         obs: None,
         profile: false,
         json: None,
@@ -178,6 +194,18 @@ fn parse_args() -> Opts {
             }
             "--faults" => {
                 opts.faults = Some(args.next().unwrap_or_else(|| die("--faults needs a spec")));
+            }
+            "--driving" => {
+                opts.driving = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--driving needs a mode (de or cyclebox[:W[:S]])")),
+                );
+            }
+            "--device" => {
+                opts.devices.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--device needs KIND[:PERIOD]")),
+                );
             }
             "--jobs" => {
                 opts.jobs = args
@@ -243,12 +271,19 @@ fn print_help() {
         "repro — regenerate the SchedTask paper's tables and figures\n\n\
          usage: repro <experiment> [--quick] [--markdown] [--cores N] [--seed S]\n\
                 [--jobs N] [--faults none|light|heavy[@SEED]] [--sanitize]\n\
-                [--force-fail TECH:BENCH[:N]] [--obs FILE] [--profile]\n\
+                [--force-fail TECH:BENCH[:N]] [--driving MODE]\n\
+                [--device KIND[:PERIOD]] [--obs FILE] [--profile]\n\
                 [--keep-going]\n\
                 repro serve  [schedtaskd options...]   launch the job server\n\
                 repro submit [client options...]       submit jobs to a server\n\n\
          sweep exit code: non-zero when any cell fails; --keep-going\n\
          restores the historical always-0 behaviour\n\n\
+         engine components:\n\
+           --driving MODE        de (default) or cyclebox[:WINDOW[:SHARDS]];\n\
+                                 both modes are bit-identical, cyclebox\n\
+                                 shards plan work across threads per run\n\
+           --device KIND[:PERIOD] attach a disk/network/timer interrupt\n\
+                                 source (period in cycles, default 25000)\n\n\
          observability (sweep experiment):\n\
            --obs FILE   write every cell's event log as JSON Lines to FILE\n\
            --profile    print per-technique counter and span summaries\n\n\
@@ -286,6 +321,18 @@ fn params(opts: &Opts) -> ExpParams {
     }
     if opts.sanitize {
         p = p.with_sanitize();
+    }
+    if let Some(spec) = &opts.driving {
+        match parse_driving_spec(spec) {
+            Ok(mode) => p = p.with_driving(mode),
+            Err(e) => die(&format!("--driving: {e}")),
+        }
+    }
+    for spec in &opts.devices {
+        match parse_device_spec(spec) {
+            Ok(device) => p = p.with_device(device),
+            Err(e) => die(&format!("--device: {e}")),
+        }
     }
     p
 }
@@ -993,6 +1040,7 @@ fn print_submit_help() {
                 [--workload LIST] [--technique LIST] [--steal NAME]\n\
                 [--scale F] [--standard] [--cores N] [--max-instructions N]\n\
                 [--warmup N] [--seed S] [--faults SPEC] [--sanitize]\n\
+                [--driving MODE] [--device KIND[:PERIOD]]\n\
                 [--ping] [--stats] [--shutdown] [--expect-cached]\n\
                 [--wait-ms N]\n\n\
          One run request is sent per technique x workload pair (comma\n\
@@ -1027,6 +1075,8 @@ fn run_submit(args: Vec<String>) -> ! {
     let mut seed: Option<u64> = None;
     let mut faults: Option<String> = None;
     let mut sanitize = false;
+    let mut driving: Option<String> = None;
+    let mut devices: Vec<String> = Vec::new();
     let mut expect_cached = false;
     let mut ping_only = false;
     let mut want_stats = false;
@@ -1087,6 +1137,8 @@ fn run_submit(args: Vec<String>) -> ! {
             }
             "--faults" => faults = Some(value("--faults")),
             "--sanitize" => sanitize = true,
+            "--driving" => driving = Some(value("--driving")),
+            "--device" => devices.push(value("--device")),
             "--expect-cached" => expect_cached = true,
             "--ping" => ping_only = true,
             "--stats" => want_stats = true,
@@ -1174,6 +1226,8 @@ fn run_submit(args: Vec<String>) -> ! {
             req.seed = seed;
             req.faults = faults.clone();
             req.sanitize = sanitize;
+            req.driving = driving.clone();
+            req.devices = devices.clone();
             let line = req.to_json_line();
             let response = if retries > 0 {
                 let endpoint = endpoint.as_ref().unwrap_or_else(|| {

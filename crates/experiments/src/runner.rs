@@ -13,8 +13,8 @@ use schedtask_baselines::{
 };
 use schedtask_kernel::obs::{Aggregator, CounterSnapshot, JsonlSink, Observer, SpanRow};
 use schedtask_kernel::{
-    CoreId, Engine, EngineConfig, EngineCore, EngineError, FaultPlan, SchedError, SchedEvent,
-    Scheduler, SfId, SimStats, SwitchReason, WorkloadSpec,
+    CoreId, DeviceModelConfig, DrivingMode, Engine, EngineConfig, EngineCore, EngineError,
+    FaultPlan, SchedError, SchedEvent, Scheduler, SfId, SimStats, SwitchReason, WorkloadSpec,
 };
 use schedtask_sim::SystemConfig;
 use schedtask_workload::BenchmarkKind;
@@ -203,6 +203,12 @@ pub struct ExpParams {
     pub faults: Option<FaultPlan>,
     /// Run the engine's invariant sanitizer on every run.
     pub sanitize: bool,
+    /// How the engine advances its component set (discrete-event or
+    /// cycle-box epoch barriers). Both modes are bit-identical; cycle-box
+    /// additionally shards component planning across threads.
+    pub driving: DrivingMode,
+    /// Interrupt-injecting device models attached to every run.
+    pub devices: Vec<DeviceModelConfig>,
 }
 
 impl ExpParams {
@@ -218,6 +224,8 @@ impl ExpParams {
             epoch_cycles: 60_000,
             faults: None,
             sanitize: false,
+            driving: DrivingMode::DiscreteEvent,
+            devices: Vec::new(),
         }
     }
 
@@ -232,6 +240,8 @@ impl ExpParams {
             epoch_cycles: 50_000,
             faults: None,
             sanitize: false,
+            driving: DrivingMode::DiscreteEvent,
+            devices: Vec::new(),
         }
     }
 
@@ -259,6 +269,19 @@ impl ExpParams {
         self
     }
 
+    /// Same params with a different engine driving mode.
+    pub fn with_driving(mut self, driving: DrivingMode) -> Self {
+        self.driving = driving;
+        self
+    }
+
+    /// Same params with an interrupt-injecting device model attached to
+    /// every run (may be called repeatedly).
+    pub fn with_device(mut self, device: DeviceModelConfig) -> Self {
+        self.devices.push(device);
+        self
+    }
+
     /// The engine configuration for `technique`.
     pub fn engine_config(&self, technique: Technique) -> EngineConfig {
         let engine_cores = if technique.doubles_cores() {
@@ -279,6 +302,10 @@ impl ExpParams {
         if self.sanitize {
             cfg = cfg.with_sanitizer();
         }
+        cfg = cfg.with_driving(self.driving);
+        for d in &self.devices {
+            cfg = cfg.with_device(*d);
+        }
         cfg
     }
 
@@ -297,13 +324,11 @@ impl ExpParams {
     }
 }
 
-/// Fluent, single entry point for running one simulation.
-///
-/// Consolidates the historical [`run`], [`run_with_scheduler`],
-/// [`run_configured`], and [`run_benchmark`] free functions (which now
-/// forward here): a [`Technique`] or a custom scheduler, an optional
-/// full engine-config override, fault plans, the invariant sanitizer,
-/// and any number of [`Observer`]s are all accepted uniformly.
+/// Fluent, single entry point for running one simulation: a
+/// [`Technique`] or a custom scheduler, an optional full engine-config
+/// override, fault plans, the invariant sanitizer, device components,
+/// the driving mode, and any number of [`Observer`]s are all accepted
+/// uniformly.
 ///
 /// Resolution rules:
 ///
@@ -313,10 +338,10 @@ impl ExpParams {
 ///   [`technique`](Self::technique); with neither, `run` fails with a
 ///   [`FailureCause::Builder`] diagnosis.
 /// * An explicit [`config`](Self::config) wins over the config derived
-///   from the parameters; builder-level [`faults`](Self::faults) and
-///   [`sanitize`](Self::sanitize) are applied on top of either.
-/// * Without a technique the derived config never doubles cores (the
-///   historical `run_with_scheduler` behaviour).
+///   from the parameters; builder-level [`faults`](Self::faults),
+///   [`sanitize`](Self::sanitize), [`driving`](Self::driving), and
+///   [`device`](Self::device) are applied on top of either.
+/// * Without a technique the derived config never doubles cores.
 ///
 /// # Examples
 ///
@@ -344,6 +369,8 @@ pub struct RunBuilder {
     workload: Option<WorkloadSpec>,
     faults: Option<FaultPlan>,
     sanitize: bool,
+    driving: Option<DrivingMode>,
+    devices: Vec<DeviceModelConfig>,
     observers: Vec<Arc<dyn Observer>>,
 }
 
@@ -359,12 +386,13 @@ impl RunBuilder {
             workload: None,
             faults: None,
             sanitize: false,
+            driving: None,
+            devices: Vec::new(),
             observers: Vec::new(),
         }
     }
 
-    /// Starts a run from an already-built engine configuration (the
-    /// historical `run_configured` entry).
+    /// Starts a run from an already-built engine configuration.
     pub fn from_config(cfg: EngineConfig) -> Self {
         RunBuilder {
             params: None,
@@ -375,6 +403,8 @@ impl RunBuilder {
             workload: None,
             faults: None,
             sanitize: false,
+            driving: None,
+            devices: Vec::new(),
             observers: Vec::new(),
         }
     }
@@ -429,6 +459,20 @@ impl RunBuilder {
         self
     }
 
+    /// Overrides the engine driving mode (applied on top of whatever
+    /// config source is used).
+    pub fn driving(mut self, mode: DrivingMode) -> Self {
+        self.driving = Some(mode);
+        self
+    }
+
+    /// Attaches an interrupt-injecting device model. May be called
+    /// repeatedly; devices keep their attach order.
+    pub fn device(mut self, device: DeviceModelConfig) -> Self {
+        self.devices.push(device);
+        self
+    }
+
     /// Attaches an observer for the whole run (warm-up included). May be
     /// called repeatedly; observers see events in attach order.
     pub fn observer(mut self, obs: Arc<dyn Observer>) -> Self {
@@ -473,6 +517,12 @@ impl RunBuilder {
         if self.sanitize {
             cfg = cfg.with_sanitizer();
         }
+        if let Some(mode) = self.driving.take() {
+            cfg = cfg.with_driving(mode);
+        }
+        for d in self.devices.drain(..) {
+            cfg = cfg.with_device(d);
+        }
         let sched = match self.scheduler.take() {
             Some(s) => s,
             None => self
@@ -501,81 +551,76 @@ impl RunBuilder {
     }
 }
 
-/// Runs `technique` on `workload` and returns the statistics.
-///
-/// Deprecated: prefer [`RunBuilder`]; this forwards to it and is kept so
-/// existing experiments compile unchanged.
-#[deprecated(
-    since = "0.5.0",
-    note = "use RunBuilder::new(params).technique(..).workload(..).run()"
-)]
-pub fn run(
-    technique: Technique,
-    params: &ExpParams,
-    workload: &WorkloadSpec,
-) -> Result<SimStats, ExperimentError> {
-    RunBuilder::new(params)
-        .technique(technique)
-        .workload(workload)
-        .run()
+/// Parses a driving-mode spec as accepted by `repro --driving` and the
+/// serve wire protocol: `de` / `discrete-event`, or
+/// `cyclebox[:WINDOW[:SHARDS]]` (window in cycles, default 50 000;
+/// shards default 1).
+pub fn parse_driving_spec(spec: &str) -> Result<DrivingMode, String> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default().to_ascii_lowercase();
+    match head.as_str() {
+        "de" | "discrete-event" | "discreteevent" => match parts.next() {
+            None => Ok(DrivingMode::DiscreteEvent),
+            Some(_) => Err(format!("driving mode {head:?} takes no parameters")),
+        },
+        "cyclebox" | "cycle-box" => {
+            let window_cycles = match parts.next() {
+                None => 50_000,
+                Some(w) => w
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad cyclebox window {w:?}: {e}"))?,
+            };
+            let shards = match parts.next() {
+                None => 1,
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad cyclebox shards {s:?}: {e}"))?,
+            };
+            if parts.next().is_some() {
+                return Err("cyclebox spec is cyclebox[:WINDOW[:SHARDS]]".to_owned());
+            }
+            Ok(DrivingMode::CycleBox {
+                window_cycles,
+                shards,
+            })
+        }
+        other => Err(format!(
+            "unknown driving mode {other:?} (expected de or cyclebox[:WINDOW[:SHARDS]])"
+        )),
+    }
 }
 
-/// Runs a custom scheduler (e.g. a SchedTask variant) on `workload`.
-///
-/// Deprecated: prefer [`RunBuilder::scheduler`]; this forwards to it.
-#[deprecated(
-    since = "0.5.0",
-    note = "use RunBuilder::new(params).scheduler(..).workload(..).run()"
-)]
-pub fn run_with_scheduler(
-    sched: Box<dyn Scheduler>,
-    params: &ExpParams,
-    workload: &WorkloadSpec,
-) -> Result<SimStats, ExperimentError> {
-    RunBuilder::new(params)
-        .scheduler(sched)
-        .workload(workload)
-        .run()
-}
-
-/// Runs an already-built configuration, labelling failures with
-/// `technique`.
-///
-/// Deprecated: prefer [`RunBuilder::from_config`]; this forwards to it.
-#[deprecated(
-    since = "0.5.0",
-    note = "use RunBuilder::from_config(cfg).label(..).scheduler(..).workload(..).run()"
-)]
-pub fn run_configured(
-    technique: &str,
-    cfg: EngineConfig,
-    workload: &WorkloadSpec,
-    sched: Box<dyn Scheduler>,
-) -> Result<SimStats, ExperimentError> {
-    RunBuilder::from_config(cfg)
-        .label(technique)
-        .scheduler(sched)
-        .workload(workload)
-        .run()
-}
-
-/// Runs `technique` on one benchmark at `scale`.
-///
-/// Deprecated: prefer [`RunBuilder::benchmark`]; this forwards to it.
-#[deprecated(
-    since = "0.5.0",
-    note = "use RunBuilder::new(params).technique(..).benchmark(..).run()"
-)]
-pub fn run_benchmark(
-    technique: Technique,
-    params: &ExpParams,
-    kind: BenchmarkKind,
-    scale: f64,
-) -> Result<SimStats, ExperimentError> {
-    RunBuilder::new(params)
-        .technique(technique)
-        .benchmark(kind, scale)
-        .run()
+/// Parses a device spec as accepted by `repro --device` and the serve
+/// wire protocol: `KIND[:PERIOD]` where `KIND` is `disk`, `network`, or
+/// `timer` and `PERIOD` is the mean inter-arrival time in cycles
+/// (default 25 000).
+pub fn parse_device_spec(spec: &str) -> Result<DeviceModelConfig, String> {
+    use schedtask_workload::DeviceKind;
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default().to_ascii_lowercase();
+    let kind = match head.as_str() {
+        "disk" => DeviceKind::Disk,
+        "network" | "nic" => DeviceKind::Network,
+        "timer" => DeviceKind::Timer,
+        other => {
+            return Err(format!(
+                "unknown device kind {other:?} (expected disk, network, or timer)"
+            ))
+        }
+    };
+    let period_cycles = match parts.next() {
+        None => 25_000,
+        Some(p) => p
+            .parse::<u64>()
+            .map_err(|e| format!("bad device period {p:?}: {e}"))?,
+    };
+    if parts.next().is_some() {
+        return Err("device spec is KIND[:PERIOD]".to_owned());
+    }
+    Ok(DeviceModelConfig {
+        kind,
+        period_cycles,
+    })
 }
 
 fn workload_label(workload: &WorkloadSpec) -> String {
@@ -1018,20 +1063,84 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the forwarder is exactly what this test pins down
-    fn run_builder_matches_forwarding_wrappers() {
+    fn driving_and_device_specs_parse() {
+        use schedtask_workload::DeviceKind;
+        assert_eq!(
+            parse_driving_spec("de").expect("parses"),
+            DrivingMode::DiscreteEvent
+        );
+        assert_eq!(
+            parse_driving_spec("cyclebox").expect("parses"),
+            DrivingMode::CycleBox {
+                window_cycles: 50_000,
+                shards: 1
+            }
+        );
+        assert_eq!(
+            parse_driving_spec("cyclebox:20000:4").expect("parses"),
+            DrivingMode::CycleBox {
+                window_cycles: 20_000,
+                shards: 4
+            }
+        );
+        assert!(parse_driving_spec("warp").is_err());
+        assert!(parse_driving_spec("de:7").is_err());
+        assert!(parse_driving_spec("cyclebox:x").is_err());
+
+        let d = parse_device_spec("network").expect("parses");
+        assert_eq!(d.kind, DeviceKind::Network);
+        assert_eq!(d.period_cycles, 25_000);
+        let d = parse_device_spec("disk:40000").expect("parses");
+        assert_eq!(d.kind, DeviceKind::Disk);
+        assert_eq!(d.period_cycles, 40_000);
+        assert!(parse_device_spec("floppy").is_err());
+        assert!(parse_device_spec("disk:x").is_err());
+    }
+
+    #[test]
+    fn engine_config_carries_driving_and_devices() {
+        let p = ExpParams::quick()
+            .with_driving(DrivingMode::CycleBox {
+                window_cycles: 20_000,
+                shards: 2,
+            })
+            .with_device(parse_device_spec("network:30000").expect("parses"));
+        let cfg = p.engine_config(Technique::Linux);
+        assert_eq!(
+            cfg.driving,
+            DrivingMode::CycleBox {
+                window_cycles: 20_000,
+                shards: 2
+            }
+        );
+        assert_eq!(cfg.devices.len(), 1);
+        assert_eq!(cfg.devices[0].period_cycles, 30_000);
+    }
+
+    #[test]
+    fn run_builder_driving_modes_agree_with_devices() {
         let mut p = ExpParams::quick();
         p.cores = 4;
         p.max_instructions = 120_000;
         p.warmup_instructions = 30_000;
-        let w = WorkloadSpec::single(BenchmarkKind::Find, 1.0);
-        let via_fn = run(Technique::Linux, &p, &w).expect("run succeeds");
-        let via_builder = RunBuilder::new(&p)
-            .technique(Technique::Linux)
-            .workload(&w)
+        let dev = parse_device_spec("network:25000").expect("parses");
+        let de = RunBuilder::new(&p)
+            .technique(Technique::SchedTask)
+            .benchmark(BenchmarkKind::Find, 1.0)
+            .device(dev)
             .run()
-            .expect("builder run succeeds");
-        assert_eq!(via_fn, via_builder);
+            .expect("discrete-event run succeeds");
+        let boxed = RunBuilder::new(&p)
+            .technique(Technique::SchedTask)
+            .benchmark(BenchmarkKind::Find, 1.0)
+            .device(dev)
+            .driving(DrivingMode::CycleBox {
+                window_cycles: 20_000,
+                shards: 4,
+            })
+            .run()
+            .expect("cycle-box run succeeds");
+        assert_eq!(de.to_canonical_json(), boxed.to_canonical_json());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use schedtask_kernel::FaultPlan;
 use schedtask_obs::{ObsEvent, Observer};
 use schedtask_workload::BenchmarkKind;
 
-use crate::runner::{ExpParams, Technique};
+use crate::runner::{parse_device_spec, parse_driving_spec, ExpParams, Technique};
 
 // ---------------------------------------------------------------------------
 // Canonical job identity.
@@ -382,6 +382,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "seed",
         "faults",
         "sanitize",
+        "driving",
+        "devices",
         "obs",
     ];
     for (key, _) in obj {
@@ -508,6 +510,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     if let Some(v) = json.get("sanitize") {
         params.sanitize = v.as_bool().ok_or("sanitize must be a boolean")?;
     }
+    match json.get("driving") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let spec = v.as_str().ok_or("driving must be a mode spec string")?;
+            params.driving = parse_driving_spec(spec)?;
+        }
+    }
+    match json.get("devices") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(items)) => {
+            for item in items {
+                let spec = item
+                    .as_str()
+                    .ok_or("devices must be an array of KIND[:PERIOD] strings")?;
+                params.devices.push(parse_device_spec(spec)?);
+            }
+        }
+        Some(_) => return Err("devices must be an array of KIND[:PERIOD] strings".to_owned()),
+    }
     let want_obs = match json.get("obs") {
         None => false,
         Some(v) => v.as_bool().ok_or("obs must be a boolean")?,
@@ -558,6 +579,10 @@ pub struct RunRequest {
     pub faults: Option<String>,
     /// Run the engine sanitizer.
     pub sanitize: bool,
+    /// Driving-mode spec string (e.g. `"cyclebox:20000:4"`).
+    pub driving: Option<String>,
+    /// Device specs (e.g. `"network:25000"`), attach order preserved.
+    pub devices: Vec<String>,
     /// Ask for the JSONL event stream in the response.
     pub want_obs: bool,
 }
@@ -579,6 +604,8 @@ impl RunRequest {
             seed: None,
             faults: None,
             sanitize: false,
+            driving: None,
+            devices: Vec::new(),
             want_obs: false,
         }
     }
@@ -618,6 +645,17 @@ impl RunRequest {
         }
         if self.sanitize {
             line.push_str(",\"sanitize\":true");
+        }
+        if let Some(spec) = &self.driving {
+            line.push_str(&format!(",\"driving\":\"{}\"", escape_json(spec)));
+        }
+        if !self.devices.is_empty() {
+            let specs: Vec<String> = self
+                .devices
+                .iter()
+                .map(|d| format!("\"{}\"", escape_json(d)))
+                .collect();
+            line.push_str(&format!(",\"devices\":[{}]", specs.join(",")));
         }
         if self.want_obs {
             line.push_str(",\"obs\":true");
@@ -1007,6 +1045,8 @@ mod tests {
         req.seed = Some(42);
         req.faults = Some("light@7".to_owned());
         req.sanitize = true;
+        req.driving = Some("cyclebox:20000:4".to_owned());
+        req.devices = vec!["network:25000".to_owned(), "disk".to_owned()];
         req.want_obs = true;
         let parsed = parse_request(&req.to_json_line()).expect("parses");
         assert_eq!(parsed.id.as_deref(), Some("job-1"));
@@ -1023,6 +1063,16 @@ mod tests {
         assert_eq!(spec.params.seed, 42);
         assert_eq!(spec.params.faults, Some(FaultPlan::light(7)));
         assert!(spec.params.sanitize);
+        assert_eq!(
+            spec.params.driving,
+            schedtask_kernel::DrivingMode::CycleBox {
+                window_cycles: 20_000,
+                shards: 4
+            }
+        );
+        assert_eq!(spec.params.devices.len(), 2);
+        assert_eq!(spec.params.devices[0].period_cycles, 25_000);
+        assert_eq!(spec.params.devices[1].period_cycles, 25_000);
     }
 
     #[test]
@@ -1058,6 +1108,10 @@ mod tests {
             "{\"workload\":\"Find\",\"steal\":\"nothing\"}",
             "{\"workload\":\"Find\",\"sanitize\":true}",
             "{\"workload\":\"Find\",\"quick\":false}",
+            "{\"workload\":\"Find\",\"driving\":\"cyclebox\"}",
+            "{\"workload\":\"Find\",\"driving\":\"cyclebox:20000:4\"}",
+            "{\"workload\":\"Find\",\"devices\":[\"network\"]}",
+            "{\"workload\":\"Find\",\"devices\":[\"network\",\"disk:40000\"]}",
         ] {
             let other = run_spec(line);
             assert_ne!(base.cache_key(), other.cache_key(), "collision for {line}");

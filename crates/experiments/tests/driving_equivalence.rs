@@ -1,0 +1,170 @@
+//! Driving-mode equivalence: the discrete-event and cycle-box
+//! epoch-barrier drivers must produce **byte-identical** outputs — the
+//! canonical `SimStats` JSON *and* the JSONL observability stream — for
+//! any seed, any cycle-box window, any shard count, with fault
+//! injection and device components enabled.
+//!
+//! This is the contract that makes `--driving cyclebox[:W[:S]]` safe for
+//! paper artefacts: the driving mode is a wall-clock knob, never a
+//! semantic one. The serial cycle-box (shards = 1) and the sharded
+//! cycle-box are both compared against the discrete-event reference, so
+//! a divergence pinpoints whether the barrier structure or the parallel
+//! plan phase broke determinism.
+
+use proptest::prelude::*;
+use schedtask_experiments::runner::{parse_device_spec, RunBuilder};
+use schedtask_experiments::{ExpParams, Technique};
+use schedtask_kernel::obs::{JsonlSink, Observer};
+use schedtask_kernel::{DeviceModelConfig, DrivingMode, FaultPlan};
+use schedtask_workload::BenchmarkKind;
+use std::sync::Arc;
+
+/// A small-but-real run: large enough that timers, epochs, IRQs, and
+/// device arrivals all fire, small enough for a property loop.
+fn params(seed: u64) -> ExpParams {
+    let mut p = ExpParams::quick();
+    p.cores = 4;
+    p.max_instructions = 120_000;
+    p.warmup_instructions = 30_000;
+    p.seed = seed;
+    p
+}
+
+/// Runs one cell under `driving` and returns the canonical stats JSON
+/// plus the full JSONL event stream.
+fn run_one(
+    p: &ExpParams,
+    driving: DrivingMode,
+    device: Option<DeviceModelConfig>,
+    faults: Option<FaultPlan>,
+) -> (String, String) {
+    let sink = Arc::new(JsonlSink::with_label(Vec::new(), None));
+    let mut builder = RunBuilder::new(p)
+        .technique(Technique::SchedTask)
+        .benchmark(BenchmarkKind::Find, 1.0)
+        .driving(driving)
+        .observer(Arc::clone(&sink) as Arc<dyn Observer>);
+    if let Some(d) = device {
+        builder = builder.device(d);
+    }
+    if let Some(f) = faults {
+        builder = builder.faults(f);
+    }
+    let stats = builder.run().expect("run succeeds");
+    (stats.to_canonical_json(), sink.take())
+}
+
+/// Asserts all three drivers (discrete-event, serial cycle-box, sharded
+/// cycle-box) agree byte-for-byte on stats and events.
+fn assert_modes_identical(
+    p: &ExpParams,
+    window_cycles: u64,
+    shards: usize,
+    device: Option<DeviceModelConfig>,
+    faults: Option<FaultPlan>,
+) {
+    let (de_stats, de_jsonl) = run_one(p, DrivingMode::DiscreteEvent, device, faults.clone());
+    let (serial_stats, serial_jsonl) = run_one(
+        p,
+        DrivingMode::CycleBox {
+            window_cycles,
+            shards: 1,
+        },
+        device,
+        faults.clone(),
+    );
+    let (sharded_stats, sharded_jsonl) = run_one(
+        p,
+        DrivingMode::CycleBox {
+            window_cycles,
+            shards,
+        },
+        device,
+        faults,
+    );
+    assert_eq!(de_stats, serial_stats, "serial cycle-box stats diverged");
+    assert_eq!(de_stats, sharded_stats, "sharded cycle-box stats diverged");
+    assert_eq!(de_jsonl, serial_jsonl, "serial cycle-box JSONL diverged");
+    assert_eq!(de_jsonl, sharded_jsonl, "sharded cycle-box JSONL diverged");
+    assert!(!de_jsonl.is_empty(), "observer stream was empty");
+}
+
+#[test]
+fn modes_agree_on_a_plain_run() {
+    assert_modes_identical(&params(0x5EED_5EED), 50_000, 4, None, None);
+}
+
+#[test]
+fn modes_agree_with_a_device_and_light_faults() {
+    let device = parse_device_spec("network:25000").expect("parses");
+    assert_modes_identical(
+        &params(0x5EED_5EED),
+        20_000,
+        4,
+        Some(device),
+        Some(FaultPlan::light(11)),
+    );
+}
+
+#[test]
+fn modes_agree_with_two_devices_and_sanitizer() {
+    let p = params(0xFACE).with_sanitize();
+    let (de_stats, de_jsonl) = {
+        let sink = Arc::new(JsonlSink::with_label(Vec::new(), None));
+        let stats = RunBuilder::new(&p)
+            .technique(Technique::SchedTask)
+            .benchmark(BenchmarkKind::MailSrvIo, 1.0)
+            .device(parse_device_spec("network:25000").expect("parses"))
+            .device(parse_device_spec("disk:40000").expect("parses"))
+            .observer(Arc::clone(&sink) as Arc<dyn Observer>)
+            .run()
+            .expect("run succeeds");
+        (stats.to_canonical_json(), sink.take())
+    };
+    let (cb_stats, cb_jsonl) = {
+        let sink = Arc::new(JsonlSink::with_label(Vec::new(), None));
+        let stats = RunBuilder::new(&p)
+            .technique(Technique::SchedTask)
+            .benchmark(BenchmarkKind::MailSrvIo, 1.0)
+            .device(parse_device_spec("network:25000").expect("parses"))
+            .device(parse_device_spec("disk:40000").expect("parses"))
+            .driving(DrivingMode::CycleBox {
+                window_cycles: 30_000,
+                shards: 3,
+            })
+            .observer(Arc::clone(&sink) as Arc<dyn Observer>)
+            .run()
+            .expect("run succeeds");
+        (stats.to_canonical_json(), sink.take())
+    };
+    assert_eq!(de_stats, cb_stats);
+    assert_eq!(de_jsonl, cb_jsonl);
+    assert!(de_jsonl.contains("component"), "no component events seen");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any seed, window, and shard count: the three drivers agree
+    /// byte-for-byte, with a device attached and light faults injected.
+    #[test]
+    fn driving_equivalence_holds_for_any_seed_window_shards(
+        seed in 0u64..1_000,
+        window_kcycles in 5u64..80,
+        shards in 2usize..6,
+        fault_seed in 0u64..1_000,
+        with_device in proptest::bool::ANY,
+        with_faults in proptest::bool::ANY,
+    ) {
+        let device = with_device
+            .then(|| parse_device_spec("network:25000").expect("parses"));
+        let faults = with_faults.then(|| FaultPlan::light(fault_seed));
+        assert_modes_identical(
+            &params(seed),
+            window_kcycles * 1_000,
+            shards,
+            device,
+            faults,
+        );
+    }
+}

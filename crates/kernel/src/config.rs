@@ -3,6 +3,44 @@
 use crate::error::ConfigError;
 use crate::faults::FaultPlan;
 use schedtask_sim::SystemConfig;
+use schedtask_workload::DeviceKind;
+
+/// How the engine advances its component set through simulated time.
+///
+/// Both modes drive the same `Component` set and commit every state
+/// change through the identical serial micro-step, so they produce
+/// bit-identical results; see DESIGN.md §13 for the determinism
+/// argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrivingMode {
+    /// Pure discrete-event: pop the globally earliest action (component
+    /// wakeup or queued event) under the `(time, seq)` total order.
+    DiscreteEvent,
+    /// Cycle-box epoch-barrier mode: time is cut into fixed windows; at
+    /// each barrier every component *plans* its window concurrently
+    /// (pure precomputation sharded across `scoped_pool` threads), then
+    /// the window is committed serially with the same micro-step as
+    /// [`DrivingMode::DiscreteEvent`].
+    CycleBox {
+        /// Window length in cycles between barriers.
+        window_cycles: u64,
+        /// Worker threads the planning phase is sharded across
+        /// (`<= 1` plans serially; commit is always serial).
+        shards: usize,
+    },
+}
+
+/// One DMA/NIC-style device model injecting spontaneous interrupt
+/// traffic, independent of any SuperFunction blocking on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceModelConfig {
+    /// Which device's interrupt vector the model raises.
+    pub kind: DeviceKind,
+    /// Mean inter-arrival period in cycles; actual arrivals jitter
+    /// uniformly in `[period/2, period + period/2]` from the device's
+    /// private RNG stream.
+    pub period_cycles: u64,
+}
 
 /// Watchdog budgets: the engine's defence against livelock. Each field
 /// set to zero disables that budget.
@@ -98,6 +136,15 @@ pub struct EngineConfig {
     pub sanitize: bool,
     /// Livelock watchdog budgets.
     pub watchdog: WatchdogConfig,
+    /// How the component set is advanced through time.
+    pub driving: DrivingMode,
+    /// DMA/NIC-style device models injecting interrupt traffic.
+    pub devices: Vec<DeviceModelConfig>,
+    /// Per-core clock dividers: core `c` runs at `1/dividers[c]` of the
+    /// reference clock, so every cycle it charges (instruction execution
+    /// and scheduler overhead) is multiplied by its divider. Empty means
+    /// all cores run at the reference clock (divider 1).
+    pub core_clock_dividers: Vec<u64>,
 }
 
 impl EngineConfig {
@@ -125,6 +172,9 @@ impl EngineConfig {
             faults: None,
             sanitize: false,
             watchdog: WatchdogConfig::default(),
+            driving: DrivingMode::DiscreteEvent,
+            devices: Vec::new(),
+            core_clock_dividers: Vec::new(),
             system,
         }
     }
@@ -183,6 +233,24 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the driving mode.
+    pub fn with_driving(mut self, driving: DrivingMode) -> Self {
+        self.driving = driving;
+        self
+    }
+
+    /// Adds a device model component.
+    pub fn with_device(mut self, device: DeviceModelConfig) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Sets per-core clock dividers (one entry per core).
+    pub fn with_core_clock_dividers(mut self, dividers: Vec<u64>) -> Self {
+        self.core_clock_dividers = dividers;
+        self
+    }
+
     /// Validates the whole configuration. [`crate::Engine::new`] calls
     /// this, so a bad configuration fails fast with a typed error
     /// instead of panicking mid-run.
@@ -211,6 +279,30 @@ impl EngineConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
+        }
+        if let DrivingMode::CycleBox { window_cycles, .. } = self.driving {
+            if window_cycles == 0 {
+                return Err(ConfigError::BadDrivingMode {
+                    detail: "cycle-box window_cycles must be positive",
+                });
+            }
+        }
+        for (index, dev) in self.devices.iter().enumerate() {
+            if dev.period_cycles == 0 {
+                return Err(ConfigError::BadDevicePeriod { index });
+            }
+        }
+        if !self.core_clock_dividers.is_empty() {
+            if self.core_clock_dividers.len() != self.system.num_cores {
+                return Err(ConfigError::BadClockDividers {
+                    detail: "must be empty or have one entry per core",
+                });
+            }
+            if self.core_clock_dividers.iter().any(|&d| d == 0 || d > 1024) {
+                return Err(ConfigError::BadClockDividers {
+                    detail: "each divider must be in 1..=1024",
+                });
+            }
         }
         Ok(())
     }
@@ -306,6 +398,52 @@ mod tests {
         assert!(matches!(
             cfg.validate(),
             Err(ConfigError::BadFaultRate { .. })
+        ));
+    }
+
+    #[test]
+    fn driving_device_and_divider_builders_validate() {
+        let cfg = EngineConfig::fast()
+            .with_driving(DrivingMode::CycleBox {
+                window_cycles: 50_000,
+                shards: 4,
+            })
+            .with_device(DeviceModelConfig {
+                kind: DeviceKind::Network,
+                period_cycles: 80_000,
+            })
+            .with_core_clock_dividers(vec![1; SystemConfig::table2().num_cores]);
+        assert!(cfg.validate().is_ok());
+
+        let cfg = EngineConfig::fast().with_driving(DrivingMode::CycleBox {
+            window_cycles: 0,
+            shards: 1,
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadDrivingMode { .. })
+        ));
+
+        let cfg = EngineConfig::fast().with_device(DeviceModelConfig {
+            kind: DeviceKind::Disk,
+            period_cycles: 0,
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadDevicePeriod { index: 0 })
+        ));
+
+        let cfg = EngineConfig::fast().with_core_clock_dividers(vec![1, 2]);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadClockDividers { .. })
+        ));
+        let cfg =
+            EngineConfig::fast()
+                .with_core_clock_dividers(vec![0; SystemConfig::table2().num_cores]);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadClockDividers { .. })
         ));
     }
 

@@ -7,12 +7,12 @@
 //! pick_next, on_switch_out, on_complete, and the overhead charges.
 
 use super::machine::Boundary;
-use super::{Engine, EngineCore, EventKind, KERNEL_TID};
+use super::{EngineCore, EventKind, KERNEL_TID};
 use crate::error::EngineError;
 use crate::faults::FaultInjector;
 use crate::ids::{CoreId, SfId, ThreadId};
 use crate::observe::class_of;
-use crate::scheduler::{SchedEvent, SwitchReason};
+use crate::scheduler::{SchedEvent, Scheduler, SwitchReason};
 use crate::superfunction::{SfBody, SfState, SuperFunction};
 use schedtask_obs::{FaultKind, ObsEvent, SfClass, SpanKind};
 use schedtask_workload::{DeviceKind, FootprintWalker, SfCategory, WalkParams};
@@ -155,218 +155,208 @@ impl EngineCore {
     }
 }
 
-impl Engine {
-    /// Advances core `c` by one step: service an interrupt, else ask the
-    /// scheduler for work, else execute one quantum and handle whatever
-    /// boundary it reached.
-    pub(super) fn step_core(&mut self, c: usize) -> Result<(), EngineError> {
-        // 0. Fault injection: the core stalls (SMM excursion / frequency
-        // dip). Queues and pending interrupts stay intact; time is lost.
-        if let Some(stall) = self
-            .core
-            .injector
-            .as_mut()
-            .and_then(FaultInjector::stall_core)
-        {
-            self.core.cores[c].clock += stall;
-            self.core.stats.core_time[c].idle_cycles += stall;
-            let at = self.core.cores[c].clock;
-            self.core.obs.emit(|| ObsEvent::FaultInjected {
-                at,
-                kind: FaultKind::CoreStall,
+/// Advances core `c` by one step: service an interrupt, else ask the
+/// scheduler for work, else execute one quantum and handle whatever
+/// boundary it reached.
+///
+/// A free function over `(EngineCore, Scheduler)` rather than an
+/// `Engine` method so the [`super::component::Component`] tick path can
+/// call it with the engine's fields split-borrowed.
+pub(super) fn step_core(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+) -> Result<(), EngineError> {
+    // 0. Fault injection: the core stalls (SMM excursion / frequency
+    // dip). Queues and pending interrupts stay intact; time is lost.
+    if let Some(stall) = core.injector.as_mut().and_then(FaultInjector::stall_core) {
+        core.cores[c].clock += stall;
+        core.stats.core_time[c].idle_cycles += stall;
+        let at = core.cores[c].clock;
+        core.obs.emit(|| ObsEvent::FaultInjected {
+            at,
+            kind: FaultKind::CoreStall,
+        });
+        return Ok(());
+    }
+
+    // 1. Service a pending interrupt: preempt whatever runs.
+    if super::interrupts::service_pending_irq(core, sched, c)? {
+        return Ok(());
+    }
+
+    // 2. Nothing running? Ask the scheduler.
+    if core.cores[c].current.is_none() {
+        match sched.pick_next(core, CoreId(c))? {
+            Some(sf) => {
+                core.prepare_dispatch(c, sf)?;
+                sched.on_dispatch(core, CoreId(c), sf);
+            }
+            None => core.go_idle(c),
+        }
+        return Ok(());
+    }
+
+    // 3. Execute one quantum.
+    match core.execute_quantum(c)? {
+        Boundary::None => Ok(()),
+        Boundary::AppBurstEnd => on_app_burst_end(core, sched, c),
+        Boundary::Blocked(device) => on_blocked(core, sched, c, device),
+        Boundary::Completed => on_completed(core, sched, c),
+    }
+}
+
+fn on_app_burst_end(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+) -> Result<(), EngineError> {
+    let app_sf = core.cores[c]
+        .current
+        .take()
+        .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+    let tid = core.try_sf(app_sf)?.tid;
+    core.span_exit_current(c, app_sf);
+    core.sfs
+        .get_mut(&app_sf)
+        .ok_or(EngineError::UnknownSuperFunction(app_sf))?
+        .state = SfState::PausedForChild;
+    sched.on_switch_out(core, CoreId(c), app_sf, SwitchReason::PausedForChild);
+
+    let syscall_sf = core.create_syscall_sf(c, tid, app_sf)?;
+    let overhead = sched.overhead_for(core, SchedEvent::SfStart, Some(syscall_sf));
+    core.charge_sched_overhead(c, overhead);
+    sched.enqueue(core, syscall_sf, Some(CoreId(c)))?;
+    core.wake_all_idle();
+    Ok(())
+}
+
+fn on_blocked(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+    device: DeviceKind,
+) -> Result<(), EngineError> {
+    let sf = core.cores[c]
+        .current
+        .take()
+        .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+    core.span_exit_current(c, sf);
+    core.try_sf_mut(sf)?.state = SfState::Waiting;
+    let at = core.cores[c].clock;
+    core.obs.emit(|| ObsEvent::Blocked { at, sf: sf.0 });
+    sched.on_switch_out(core, CoreId(c), sf, SwitchReason::Blocked);
+    sched.on_block(core, sf);
+    let overhead = sched.overhead_for(core, SchedEvent::SfPause, Some(sf));
+    core.charge_sched_overhead(c, overhead);
+
+    let latency = match device {
+        DeviceKind::Disk => core.cfg.disk_latency_cycles,
+        DeviceKind::Network => core.cfg.network_latency_cycles,
+        DeviceKind::Timer => core.cfg.timer_sleep_cycles,
+    };
+    let when = core.cores[c].clock + latency.max(1);
+    core.schedule_event(when, EventKind::DeviceComplete { device, waiter: sf });
+    Ok(())
+}
+
+fn on_completed(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+) -> Result<(), EngineError> {
+    let sf_id = core.cores[c]
+        .current
+        .take()
+        .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
+    core.span_exit_current(c, sf_id);
+    let at = core.cores[c].clock;
+    core.obs.emit(|| ObsEvent::Completed { at, sf: sf_id.0 });
+    let overhead = sched.overhead_for(core, SchedEvent::SfStop, Some(sf_id));
+    core.charge_sched_overhead(c, overhead);
+    core.try_sf_mut(sf_id)?.state = SfState::Done;
+    sched.on_switch_out(core, CoreId(c), sf_id, SwitchReason::Completed);
+    sched.on_complete(core, sf_id);
+
+    let sf = core
+        .sfs
+        .remove(&sf_id)
+        .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
+    core.retired_completed += sf.instructions_retired;
+    match sf.body {
+        SfBody::Syscall { .. } => {
+            // Operation accounting: one application-level operation
+            // per `op_syscalls` completed system calls of the
+            // benchmark.
+            let bench = core.threads[sf.tid.0 as usize].benchmark;
+            core.op_progress[bench] += 1;
+            core.syscalls_completed[bench] += 1;
+            if core.op_progress[bench] >= core.instances[bench].spec.op_syscalls {
+                core.op_progress[bench] = 0;
+                core.stats.ops_per_benchmark[bench] += 1;
+            }
+            // Return to the parent (the paper's parentSuperFuncPtr
+            // hand-off in TMigrate).
+            let parent = sf.parent.ok_or_else(|| EngineError::StateCorruption {
+                detail: format!("syscall {sf_id} completed without a parent"),
+            })?;
+            let p = core
+                .sfs
+                .get_mut(&parent)
+                .ok_or(EngineError::UnknownSuperFunction(parent))?;
+            debug_assert_eq!(p.state, SfState::PausedForChild);
+            p.state = SfState::Runnable;
+            p.runnable_since = core.cores[c].clock;
+            sched.enqueue(core, parent, Some(CoreId(c)))?;
+        }
+        SfBody::Interrupt {
+            bottom_half,
+            waiter,
+            ..
+        } => {
+            if let Some(bh_name) = bottom_half {
+                let bh = core.create_bottom_half_sf(c, bh_name, waiter)?;
+                let overhead = sched.overhead_for(core, SchedEvent::SfStart, Some(bh));
+                core.charge_sched_overhead(c, overhead);
+                sched.enqueue(core, bh, Some(CoreId(c)))?;
+            } else if let Some(w) = waiter {
+                wake_sf(core, sched, c, w)?;
+            }
+            // Resume whatever the interrupt preempted.
+            if let Some(prev) = core.cores[c].preempt_stack.pop() {
+                core.prepare_dispatch(c, prev)?;
+                sched.on_dispatch(core, CoreId(c), prev);
+            }
+        }
+        SfBody::BottomHalf { wake, .. } => {
+            if let Some(w) = wake {
+                wake_sf(core, sched, c, w)?;
+            }
+        }
+        SfBody::Application { .. } => {
+            return Err(EngineError::StateCorruption {
+                detail: format!("application {sf_id} reached Completed boundary"),
             });
-            return Ok(());
-        }
-
-        // 1. Service a pending interrupt: preempt whatever runs.
-        if self.service_pending_irq(c)? {
-            return Ok(());
-        }
-
-        // 2. Nothing running? Ask the scheduler.
-        if self.core.cores[c].current.is_none() {
-            match self.scheduler.pick_next(&mut self.core, CoreId(c))? {
-                Some(sf) => {
-                    self.core.prepare_dispatch(c, sf)?;
-                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
-                }
-                None => self.core.go_idle(c),
-            }
-            return Ok(());
-        }
-
-        // 3. Execute one quantum.
-        match self.core.execute_quantum(c)? {
-            Boundary::None => Ok(()),
-            Boundary::AppBurstEnd => self.on_app_burst_end(c),
-            Boundary::Blocked(device) => self.on_blocked(c, device),
-            Boundary::Completed => self.on_completed(c),
         }
     }
+    core.wake_all_idle();
+    Ok(())
+}
 
-    fn on_app_burst_end(&mut self, c: usize) -> Result<(), EngineError> {
-        let app_sf = self.core.cores[c]
-            .current
-            .take()
-            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
-        let tid = self.core.try_sf(app_sf)?.tid;
-        self.core.span_exit_current(c, app_sf);
-        self.core
-            .sfs
-            .get_mut(&app_sf)
-            .ok_or(EngineError::UnknownSuperFunction(app_sf))?
-            .state = SfState::PausedForChild;
-        self.scheduler.on_switch_out(
-            &mut self.core,
-            CoreId(c),
-            app_sf,
-            SwitchReason::PausedForChild,
-        );
-
-        let syscall_sf = self.core.create_syscall_sf(c, tid, app_sf)?;
-        let overhead =
-            self.scheduler
-                .overhead_for(&self.core, SchedEvent::SfStart, Some(syscall_sf));
-        self.core.charge_sched_overhead(c, overhead);
-        self.scheduler
-            .enqueue(&mut self.core, syscall_sf, Some(CoreId(c)))?;
-        self.core.wake_all_idle();
-        Ok(())
-    }
-
-    fn on_blocked(&mut self, c: usize, device: DeviceKind) -> Result<(), EngineError> {
-        let sf = self.core.cores[c]
-            .current
-            .take()
-            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
-        self.core.span_exit_current(c, sf);
-        self.core.try_sf_mut(sf)?.state = SfState::Waiting;
-        let at = self.core.cores[c].clock;
-        self.core.obs.emit(|| ObsEvent::Blocked { at, sf: sf.0 });
-        self.scheduler
-            .on_switch_out(&mut self.core, CoreId(c), sf, SwitchReason::Blocked);
-        self.scheduler.on_block(&mut self.core, sf);
-        let overhead = self
-            .scheduler
-            .overhead_for(&self.core, SchedEvent::SfPause, Some(sf));
-        self.core.charge_sched_overhead(c, overhead);
-
-        let latency = match device {
-            DeviceKind::Disk => self.core.cfg.disk_latency_cycles,
-            DeviceKind::Network => self.core.cfg.network_latency_cycles,
-            DeviceKind::Timer => self.core.cfg.timer_sleep_cycles,
-        };
-        let when = self.core.cores[c].clock + latency.max(1);
-        self.core
-            .schedule_event(when, EventKind::DeviceComplete { device, waiter: sf });
-        Ok(())
-    }
-
-    fn on_completed(&mut self, c: usize) -> Result<(), EngineError> {
-        let sf_id = self.core.cores[c]
-            .current
-            .take()
-            .ok_or(EngineError::NoCurrentSf { core: CoreId(c) })?;
-        self.core.span_exit_current(c, sf_id);
-        let at = self.core.cores[c].clock;
-        self.core
-            .obs
-            .emit(|| ObsEvent::Completed { at, sf: sf_id.0 });
-        let overhead = self
-            .scheduler
-            .overhead_for(&self.core, SchedEvent::SfStop, Some(sf_id));
-        self.core.charge_sched_overhead(c, overhead);
-        self.core.try_sf_mut(sf_id)?.state = SfState::Done;
-        self.scheduler
-            .on_switch_out(&mut self.core, CoreId(c), sf_id, SwitchReason::Completed);
-        self.scheduler.on_complete(&mut self.core, sf_id);
-
-        let sf = self
-            .core
-            .sfs
-            .remove(&sf_id)
-            .ok_or(EngineError::UnknownSuperFunction(sf_id))?;
-        if let Some(state) = self.sanitizer.as_mut() {
-            state.note_completed(sf.instructions_retired);
-        }
-        match sf.body {
-            SfBody::Syscall { .. } => {
-                // Operation accounting: one application-level operation
-                // per `op_syscalls` completed system calls of the
-                // benchmark.
-                let bench = self.core.threads[sf.tid.0 as usize].benchmark;
-                self.core.op_progress[bench] += 1;
-                self.core.syscalls_completed[bench] += 1;
-                if self.core.op_progress[bench] >= self.core.instances[bench].spec.op_syscalls {
-                    self.core.op_progress[bench] = 0;
-                    self.core.stats.ops_per_benchmark[bench] += 1;
-                }
-                // Return to the parent (the paper's parentSuperFuncPtr
-                // hand-off in TMigrate).
-                let parent = sf.parent.ok_or_else(|| EngineError::StateCorruption {
-                    detail: format!("syscall {sf_id} completed without a parent"),
-                })?;
-                let p = self
-                    .core
-                    .sfs
-                    .get_mut(&parent)
-                    .ok_or(EngineError::UnknownSuperFunction(parent))?;
-                debug_assert_eq!(p.state, SfState::PausedForChild);
-                p.state = SfState::Runnable;
-                p.runnable_since = self.core.cores[c].clock;
-                self.scheduler
-                    .enqueue(&mut self.core, parent, Some(CoreId(c)))?;
-            }
-            SfBody::Interrupt {
-                bottom_half,
-                waiter,
-                ..
-            } => {
-                if let Some(bh_name) = bottom_half {
-                    let bh = self.core.create_bottom_half_sf(c, bh_name, waiter)?;
-                    let overhead =
-                        self.scheduler
-                            .overhead_for(&self.core, SchedEvent::SfStart, Some(bh));
-                    self.core.charge_sched_overhead(c, overhead);
-                    self.scheduler
-                        .enqueue(&mut self.core, bh, Some(CoreId(c)))?;
-                } else if let Some(w) = waiter {
-                    self.wake_sf(c, w)?;
-                }
-                // Resume whatever the interrupt preempted.
-                if let Some(prev) = self.core.cores[c].preempt_stack.pop() {
-                    self.core.prepare_dispatch(c, prev)?;
-                    self.scheduler.on_dispatch(&mut self.core, CoreId(c), prev);
-                }
-            }
-            SfBody::BottomHalf { wake, .. } => {
-                if let Some(w) = wake {
-                    self.wake_sf(c, w)?;
-                }
-            }
-            SfBody::Application { .. } => {
-                return Err(EngineError::StateCorruption {
-                    detail: format!("application {sf_id} reached Completed boundary"),
-                });
-            }
-        }
-        self.core.wake_all_idle();
-        Ok(())
-    }
-
-    fn wake_sf(&mut self, c: usize, sf: SfId) -> Result<(), EngineError> {
-        let overhead = self
-            .scheduler
-            .overhead_for(&self.core, SchedEvent::SfWakeup, Some(sf));
-        self.core.charge_sched_overhead(c, overhead);
-        let clock = self.core.cores[c].clock;
-        let s = self.core.try_sf_mut(sf)?;
-        debug_assert_eq!(s.state, SfState::Waiting);
-        s.state = SfState::Runnable;
-        s.runnable_since = clock;
-        self.scheduler
-            .enqueue(&mut self.core, sf, Some(CoreId(c)))?;
-        self.core.wake_all_idle();
-        Ok(())
-    }
+fn wake_sf(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+    sf: SfId,
+) -> Result<(), EngineError> {
+    let overhead = sched.overhead_for(core, SchedEvent::SfWakeup, Some(sf));
+    core.charge_sched_overhead(c, overhead);
+    let clock = core.cores[c].clock;
+    let s = core.try_sf_mut(sf)?;
+    debug_assert_eq!(s.state, SfState::Waiting);
+    s.state = SfState::Runnable;
+    s.runnable_since = clock;
+    sched.enqueue(core, sf, Some(CoreId(c)))?;
+    core.wake_all_idle();
+    Ok(())
 }

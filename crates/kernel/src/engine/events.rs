@@ -1,6 +1,5 @@
 //! The events subsystem: the global timer/epoch/device event queue and
-//! its deterministic ordering, plus the dispatch of popped events to the
-//! interrupt and scheduling subsystems.
+//! its deterministic ordering.
 //!
 //! The queue pops the earliest event first; ties break on insertion
 //! sequence, which keeps runs bit-reproducible regardless of container
@@ -9,13 +8,12 @@
 //! (timer ticks, device completions) with O(1) pushes and an O(1)
 //! cached-minimum peek, while a [`BinaryHeap`] holds the far-future
 //! tail beyond the ring's window.
+//!
+//! Popped events are routed to the owning [`super::component::Component`]
+//! by the engine driver in `mod.rs`; this module owns only the container
+//! and its ordering contract.
 
-use super::Engine;
-use crate::error::EngineError;
-use crate::faults::FaultInjector;
 use crate::ids::SfId;
-use crate::scheduler::SchedEvent;
-use schedtask_obs::{FaultKind, ObsEvent};
 use schedtask_workload::DeviceKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,6 +41,12 @@ pub(crate) enum EventKind {
     },
     /// The scheduler's TAlloc epoch boundary.
     Epoch,
+    /// A DMA/NIC-style device model's next interrupt arrival
+    /// ([`super::device::DmaDevice`]).
+    DeviceTick {
+        /// Index into the engine's configured device models.
+        device: usize,
+    },
 }
 
 /// An entry in the global event queue.
@@ -248,149 +252,6 @@ impl super::EngineCore {
             seq: self.event_seq,
             kind,
         });
-    }
-}
-
-impl Engine {
-    /// Seeds the queue with the recurring events every run starts from:
-    /// staggered per-core timer ticks, the first TAlloc epoch, and each
-    /// benchmark's spontaneous-interrupt stream.
-    pub(super) fn prime_periodic_events(&mut self) {
-        let tick = self.core.cfg.timer_tick_cycles;
-        if tick > 0 {
-            for c in 0..self.core.num_cores() {
-                let stagger = tick / self.core.num_cores() as u64 * c as u64;
-                self.core
-                    .schedule_event(tick + stagger, EventKind::TimerTick { core: c });
-            }
-        }
-        self.core
-            .schedule_event(self.core.cfg.epoch_cycles, EventKind::Epoch);
-        for bench in 0..self.core.instances.len() {
-            if self.core.instances[bench].spec.spontaneous_irq.is_some() {
-                let interval = self.core.irq_rate_interval[bench];
-                self.core
-                    .schedule_event(interval, EventKind::ExternalIrq { bench });
-            }
-        }
-    }
-
-    /// Pops the earliest event and dispatches it to the owning subsystem.
-    pub(super) fn process_next_event(&mut self) -> Result<(), EngineError> {
-        let ev = self
-            .core
-            .events
-            .pop()
-            .ok_or(EngineError::EventQueueUnderflow)?;
-        self.core.now = ev.time;
-
-        // Fault injection: the interrupt carried by this event is lost.
-        // A dropped event is re-raised after the modelled retry delay
-        // (hardware timeout / software re-poll), so wakeups are delayed —
-        // never lost — and slowdown stays bounded.
-        if !matches!(ev.kind, EventKind::Epoch) {
-            if let Some(delay) = self
-                .core
-                .injector
-                .as_mut()
-                .and_then(FaultInjector::drop_irq)
-            {
-                self.core.schedule_event(ev.time + delay, ev.kind);
-                self.core.obs.emit(|| ObsEvent::FaultInjected {
-                    at: ev.time,
-                    kind: FaultKind::DroppedIrq,
-                });
-                return Ok(());
-            }
-        }
-
-        match ev.kind {
-            EventKind::DeviceComplete { device, waiter } => {
-                let irq_name = self.core.catalog.interrupt_for_device(device).name;
-                let irq_id = self.core.catalog.interrupt_for_device(device).irq;
-                let target = self
-                    .scheduler
-                    .route_completion(&mut self.core, irq_id, waiter);
-                self.core.obs.emit(|| ObsEvent::IrqRouted {
-                    at: ev.time,
-                    irq: irq_id,
-                    core: target.0 as u32,
-                });
-                self.deliver_irq(target.0, irq_name, Some(waiter), ev.time);
-            }
-            EventKind::ExternalIrq { bench } => {
-                let Some((irq_name, _)) = self.core.instances[bench].spec.spontaneous_irq else {
-                    return Err(EngineError::StateCorruption {
-                        detail: format!(
-                            "external irq scheduled for benchmark {bench} with no spontaneous rate"
-                        ),
-                    });
-                };
-                let irq_id = self
-                    .core
-                    .catalog
-                    .try_interrupt(irq_name)
-                    .ok_or_else(|| EngineError::UnknownService {
-                        kind: "interrupt",
-                        name: irq_name.to_string(),
-                    })?
-                    .irq;
-                let target = self.scheduler.route_interrupt(&mut self.core, irq_id);
-                self.core.obs.emit(|| ObsEvent::IrqRouted {
-                    at: ev.time,
-                    irq: irq_id,
-                    core: target.0 as u32,
-                });
-                self.deliver_irq(target.0, irq_name, None, ev.time);
-                // Re-arm with ±50 % jitter.
-                let base = self.core.irq_rate_interval[bench];
-                let jitter = {
-                    use rand::Rng;
-                    self.core.rng.gen_range(base / 2..=base + base / 2)
-                };
-                self.core
-                    .schedule_event(ev.time + jitter.max(1), EventKind::ExternalIrq { bench });
-            }
-            EventKind::TimerTick { core } => {
-                let irq_name = "timer_irq";
-                self.deliver_irq(core, irq_name, None, ev.time);
-                self.core.schedule_event(
-                    ev.time + self.core.cfg.timer_tick_cycles,
-                    EventKind::TimerTick { core },
-                );
-            }
-            EventKind::Epoch => {
-                self.core.obs.emit(|| ObsEvent::EpochStart { at: ev.time });
-                let overhead =
-                    self.scheduler
-                        .overhead_for(&self.core, SchedEvent::EpochAlloc, None);
-                self.core.charge_sched_overhead(0, overhead);
-                self.scheduler.on_epoch(&mut self.core)?;
-                if self.core.cfg.collect_epoch_breakups {
-                    self.core.snapshot_epoch_breakup();
-                }
-                self.core
-                    .schedule_event(ev.time + self.core.cfg.epoch_cycles, EventKind::Epoch);
-            }
-        }
-
-        // Fault injection: a spurious interrupt (no waiting SuperFunction)
-        // lands on a deterministic-random core.
-        let num_cores = self.core.cores.len();
-        let spurious = self
-            .core
-            .injector
-            .as_mut()
-            .and_then(|inj| inj.spurious_irq().then(|| inj.spurious_target(num_cores)));
-        if let Some(target) = spurious {
-            let at = self.core.now;
-            self.core.obs.emit(|| ObsEvent::FaultInjected {
-                at,
-                kind: FaultKind::SpuriousIrq,
-            });
-            self.deliver_irq(target, "timer_irq", None, at);
-        }
-        Ok(())
     }
 }
 

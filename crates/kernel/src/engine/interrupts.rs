@@ -5,10 +5,10 @@
 //! interrupt and deferred-work (bottom-half) SuperFunctions are minted
 //! here from the OS service catalog.
 
-use super::{Engine, EngineCore, KERNEL_TID};
+use super::{EngineCore, KERNEL_TID};
 use crate::error::EngineError;
 use crate::ids::{CoreId, SfId};
-use crate::scheduler::{SchedEvent, SwitchReason};
+use crate::scheduler::{SchedEvent, Scheduler, SwitchReason};
 use crate::superfunction::{SfBody, SfState, SuperFunction};
 use schedtask_obs::{ObsEvent, SfClass};
 use schedtask_workload::{Footprint, FootprintWalker, WalkParams};
@@ -137,60 +137,59 @@ impl EngineCore {
     }
 }
 
-impl Engine {
-    /// Queues an interrupt on core `c` and wakes the core if idle.
-    pub(super) fn deliver_irq(
-        &mut self,
-        c: usize,
-        name: &'static str,
-        waiter: Option<SfId>,
-        raised_at: u64,
-    ) {
-        self.core.cores[c].pending_irqs.push_back(PendingIrq {
-            name,
-            waiter,
-            raised_at,
-        });
-        self.core.wake_core(c);
-    }
+/// Queues an interrupt on core `c` and wakes the core if idle.
+///
+/// Free function (not an `Engine` method) so device components can
+/// deliver interrupts through a split-borrowed [`EngineCore`].
+pub(super) fn deliver_irq(
+    core: &mut EngineCore,
+    c: usize,
+    name: &'static str,
+    waiter: Option<SfId>,
+    raised_at: u64,
+) {
+    core.cores[c].pending_irqs.push_back(PendingIrq {
+        name,
+        waiter,
+        raised_at,
+    });
+    core.wake_core(c);
+}
 
-    /// Services the head of core `c`'s pending-interrupt queue, if any:
-    /// preempts the current SuperFunction, mints the interrupt
-    /// SuperFunction, and dispatches it. Returns `true` when an
-    /// interrupt was serviced (the core step is then complete).
-    pub(super) fn service_pending_irq(&mut self, c: usize) -> Result<bool, EngineError> {
-        let Some(pending) = self.core.cores[c].pending_irqs.pop_front() else {
-            return Ok(false);
-        };
-        if let Some(cur) = self.core.cores[c].current.take() {
-            self.core.span_exit_current(c, cur);
-            let at = self.core.cores[c].clock;
-            self.core.obs.emit(|| ObsEvent::Preempted {
-                at,
-                sf: cur.0,
-                core: c as u32,
-            });
-            self.core
-                .sfs
-                .get_mut(&cur)
-                .ok_or(EngineError::UnknownSuperFunction(cur))?
-                .state = SfState::Preempted;
-            self.core.cores[c].preempt_stack.push(cur);
-            self.scheduler
-                .on_switch_out(&mut self.core, CoreId(c), cur, SwitchReason::Preempted);
-        }
-        let clock = self.core.cores[c].clock;
-        self.core.stats.interrupts_delivered += 1;
-        self.core.stats.interrupt_latency_cycles += clock.saturating_sub(pending.raised_at);
-        let sf = self
-            .core
-            .create_interrupt_sf(c, pending.name, pending.waiter)?;
-        let overhead = self
-            .scheduler
-            .overhead_for(&self.core, SchedEvent::SfStart, Some(sf));
-        self.core.charge_sched_overhead(c, overhead);
-        self.core.prepare_dispatch(c, sf)?;
-        self.scheduler.on_dispatch(&mut self.core, CoreId(c), sf);
-        Ok(true)
+/// Services the head of core `c`'s pending-interrupt queue, if any:
+/// preempts the current SuperFunction, mints the interrupt
+/// SuperFunction, and dispatches it. Returns `true` when an
+/// interrupt was serviced (the core step is then complete).
+pub(super) fn service_pending_irq(
+    core: &mut EngineCore,
+    sched: &mut dyn Scheduler,
+    c: usize,
+) -> Result<bool, EngineError> {
+    let Some(pending) = core.cores[c].pending_irqs.pop_front() else {
+        return Ok(false);
+    };
+    if let Some(cur) = core.cores[c].current.take() {
+        core.span_exit_current(c, cur);
+        let at = core.cores[c].clock;
+        core.obs.emit(|| ObsEvent::Preempted {
+            at,
+            sf: cur.0,
+            core: c as u32,
+        });
+        core.sfs
+            .get_mut(&cur)
+            .ok_or(EngineError::UnknownSuperFunction(cur))?
+            .state = SfState::Preempted;
+        core.cores[c].preempt_stack.push(cur);
+        sched.on_switch_out(core, CoreId(c), cur, SwitchReason::Preempted);
     }
+    let clock = core.cores[c].clock;
+    core.stats.interrupts_delivered += 1;
+    core.stats.interrupt_latency_cycles += clock.saturating_sub(pending.raised_at);
+    let sf = core.create_interrupt_sf(c, pending.name, pending.waiter)?;
+    let overhead = sched.overhead_for(core, SchedEvent::SfStart, Some(sf));
+    core.charge_sched_overhead(c, overhead);
+    core.prepare_dispatch(c, sf)?;
+    sched.on_dispatch(core, CoreId(c), sf);
+    Ok(true)
 }

@@ -48,6 +48,11 @@ pub(crate) struct CoreState {
     pub(crate) preempt_stack: Vec<SfId>,
     pub(crate) pending_irqs: VecDeque<PendingIrq>,
     pub(super) idle: bool,
+    /// Clock divider: every cycle this core charges is multiplied by
+    /// this factor, modelling a core running at `1/divider` of the
+    /// reference clock (the seed of ROADMAP item 4's big.LITTLE
+    /// support). `1` everywhere is the homogeneous default.
+    pub(super) divider: u64,
     /// The hardware Page-heatmap register (Section 5.4), if armed.
     heatmap: Option<PageHeatmap>,
     /// Exact page collection (Figure 11's ideal-ranking baseline).
@@ -102,6 +107,11 @@ pub struct EngineCore {
     /// Deterministic fault injector, when the configuration has a
     /// [`crate::faults::FaultPlan`].
     pub(super) injector: Option<FaultInjector>,
+    /// Instructions retired by SuperFunctions that completed and were
+    /// reaped (they no longer appear in [`EngineCore::sfs`]).
+    /// Maintained unconditionally by the completion path; read by the
+    /// opt-in sanitizer's instruction-conservation check.
+    pub(crate) retired_completed: u64,
 }
 
 impl EngineCore {
@@ -347,6 +357,7 @@ impl EngineCore {
             executed += block.instructions as u64;
         }
         cycles += (executed as f64 * base_cpi).round() as u64;
+        cycles = cycles.saturating_mul(core.divider);
         core.clock += cycles;
         self.stats.core_time[c].busy_cycles += cycles;
         self.stats.instructions.scheduler += executed;
@@ -406,6 +417,7 @@ impl EngineCore {
         self.stats.branches += branches;
         self.stats.branch_mispredictions += mispredicts;
         cycles += (executed as f64 * base_cpi).round() as u64;
+        cycles = cycles.saturating_mul(core.divider);
 
         core.clock += cycles;
         sf.cycles_used += cycles;
@@ -636,6 +648,7 @@ impl EngineCore {
                 preempt_stack: Vec::new(),
                 pending_irqs: VecDeque::new(),
                 idle: false,
+                divider: cfg.core_clock_dividers.get(c).copied().unwrap_or(1),
                 heatmap: None,
                 exact_pages: None,
                 sched_walker: FootprintWalker::new(
@@ -680,6 +693,7 @@ impl EngineCore {
             op_progress: vec![0; num_benchmarks],
             syscalls_completed: vec![0; num_benchmarks],
             injector,
+            retired_completed: 0,
         }
     }
 }

@@ -14,9 +14,15 @@
 //!
 //! # Subsystem layering
 //!
-//! This module is an orchestrator over four subsystems, each behind a
-//! narrow internal API, so the main loop reads as "pop the earliest
-//! event → dispatch it to the owning subsystem":
+//! This module is an orchestrator over six subsystems, each behind a
+//! narrow internal API. Everything that evolves over simulated time is a
+//! `component::Component` — the per-core machines, the timer/epoch/IRQ
+//! sources, the device-completion bank, and optional DMA device models —
+//! and the engine drives the same component set in either of two modes
+//! ([`crate::DrivingMode`]): classic discrete-event, or cycle-box
+//! "epoch-barrier" execution that fans a pure per-component plan phase
+//! across threads between barriers while keeping the commit phase
+//! serial, so both modes are bit-identical.
 //!
 //! * `machine` — per-core execution state (clocks, preempt stacks, the
 //!   hardware Page-heatmap registers), the [`EngineCore`] context passed
@@ -27,13 +33,19 @@
 //! * `interrupts` — the device/IRQ/bottom-half model: delivery,
 //!   pending queues, and interrupt/bottom-half SuperFunction creation;
 //! * `dispatch` — the TMigrate/TAlloc hook sites: quantum boundaries,
-//!   system-call creation, blocking, completion, and wakeups.
+//!   system-call creation, blocking, completion, and wakeups;
+//! * `component` — the `Component` trait (`next_tick`/`tick`,
+//!   event routing, clock dividers, plan/install for the barrier mode)
+//!   and the two driving-mode loops;
+//! * `device` — the DMA/NIC-style interrupt-injecting device model.
 //!
 //! Everything in the pipeline is [`Send`]: an [`Engine`] can be built on
 //! one thread and run on another, which is what lets sweep harnesses run
 //! independent (technique × benchmark) cells on worker threads while
 //! keeping every cell's statistics bit-identical to a serial run.
 
+pub(crate) mod component;
+pub(crate) mod device;
 pub(crate) mod dispatch;
 pub(crate) mod events;
 pub(crate) mod interrupts;
@@ -114,6 +126,13 @@ struct WatchState {
 pub struct Engine {
     pub(crate) core: EngineCore,
     pub(crate) scheduler: Box<dyn Scheduler>,
+    /// Every time-evolving piece of the machine in deterministic order:
+    /// per-core machines first (component index == core index), then the
+    /// timer/epoch/IRQ sources, the device-completion bank, and any
+    /// configured DMA device models.
+    pub(crate) components: Vec<Box<dyn component::Component>>,
+    /// Routing table from [`EventKind`] to the owning component index.
+    pub(crate) comp_idx: component::ComponentIndex,
     finished: bool,
     pub(crate) sanitizer: Option<SanitizerState>,
     watch: WatchState,
@@ -168,9 +187,12 @@ impl Engine {
             core.attach_observer(Arc::clone(&ring) as Arc<dyn Observer>);
             ring
         });
+        let (components, comp_idx) = component::build_components(&core);
         Ok(Engine {
             core,
             scheduler,
+            components,
+            comp_idx,
             finished: false,
             sanitizer,
             watch: WatchState {
@@ -213,6 +235,17 @@ impl Engine {
         self.scheduler.name()
     }
 
+    /// The component inventory in driving order: `(name, class, clock
+    /// divider)` per component. Core machines come first (component
+    /// index == core index), then the timer/epoch/IRQ sources, the
+    /// device-completion bank, and any configured device models.
+    pub fn components(&self) -> Vec<(&'static str, schedtask_obs::ComponentClass, u64)> {
+        self.components
+            .iter()
+            .map(|c| (c.name(), c.class(), c.clock_divider()))
+            .collect()
+    }
+
     /// Runs the simulation to completion and returns the statistics.
     ///
     /// # Errors
@@ -240,72 +273,53 @@ impl Engine {
             self.scheduler.enqueue(&mut self.core, sf, None)?;
         }
 
-        self.prime_periodic_events();
-
-        // Main loop: process whichever is earliest — the next queued
-        // event or the lowest-clock busy core — and hand it to the
-        // owning subsystem.
-        loop {
-            let core_next = self
-                .core
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, cs)| !cs.idle)
-                .min_by_key(|(i, cs)| (cs.clock, *i))
-                .map(|(i, cs)| (cs.clock, i));
-            let event_next = self.core.events.peek().map(|e| e.time);
-
-            match (core_next, event_next) {
-                (None, None) => break,
-                (Some((ct, c)), Some(et)) => {
-                    if et <= ct {
-                        self.process_next_event()?;
-                    } else {
-                        self.core.now = ct;
-                        self.step_core(c)?;
-                    }
-                }
-                (Some((ct, c)), None) => {
-                    self.core.now = ct;
-                    self.step_core(c)?;
-                }
-                (None, Some(_)) => {
-                    self.process_next_event()?;
-                }
-            }
-
-            // Invariant sanitizer (opt-in): conservation must hold after
-            // every step.
-            if let Some(state) = self.sanitizer.as_mut() {
-                state
-                    .check(&self.core, self.scheduler.as_ref())
-                    .map_err(EngineError::InvariantViolation)?;
-            }
-
-            self.watchdog_check()?;
-
-            // Warm-up and stop conditions. After the warm-up reset the
-            // counters restart, so the stop check must not see the stale
-            // pre-reset count.
-            let workload_instr = self.core.stats.instructions.total_workload();
-            if !self.core.warmed_up {
-                if workload_instr >= self.core.cfg.warmup_instructions {
-                    self.core.reset_for_measurement();
-                    if let Some(state) = self.sanitizer.as_mut() {
-                        state.rebaseline(&self.core);
-                    }
-                }
-            } else if workload_instr >= self.core.cfg.max_instructions {
-                break;
-            }
-            if self.core.now >= self.core.cfg.max_cycles {
-                break;
-            }
+        // Prime every component in index order: recurring event streams
+        // (timer ticks, the first epoch, spontaneous-interrupt and device
+        // arrivals) are seeded with deterministic queue sequence numbers.
+        for i in 0..self.components.len() {
+            self.components[i].prime(&mut self.core);
         }
+
+        // Hand control to the configured driving mode; both modes run
+        // the identical serial micro-step and are bit-identical.
+        self.drive()?;
 
         self.finalize();
         Ok(&self.core.stats)
+    }
+
+    /// Sanitizer, watchdog, warm-up, and stop checks after one progressed
+    /// step (an event or a core quantum). Returns `true` when the run
+    /// should stop.
+    pub(crate) fn post_step(&mut self) -> Result<bool, EngineError> {
+        // Invariant sanitizer (opt-in): conservation must hold after
+        // every step.
+        if let Some(state) = self.sanitizer.as_mut() {
+            state
+                .check(&self.core, self.scheduler.as_ref())
+                .map_err(EngineError::InvariantViolation)?;
+        }
+
+        self.watchdog_check()?;
+
+        // Warm-up and stop conditions. After the warm-up reset the
+        // counters restart, so the stop check must not see the stale
+        // pre-reset count.
+        let workload_instr = self.core.stats.instructions.total_workload();
+        if !self.core.warmed_up {
+            if workload_instr >= self.core.cfg.warmup_instructions {
+                self.core.reset_for_measurement();
+                if let Some(state) = self.sanitizer.as_mut() {
+                    state.rebaseline(&self.core);
+                }
+            }
+        } else if workload_instr >= self.core.cfg.max_instructions {
+            return Ok(true);
+        }
+        if self.core.now >= self.core.cfg.max_cycles {
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// Watchdog: convert livelock and runaway runs into structured

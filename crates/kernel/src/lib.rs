@@ -59,7 +59,7 @@ pub mod trace;
 /// separate dependency edge).
 pub use schedtask_obs as obs;
 
-pub use config::{EngineConfig, WatchdogConfig};
+pub use config::{DeviceModelConfig, DrivingMode, EngineConfig, WatchdogConfig};
 
 #[doc(hidden)]
 pub use engine::events::BenchEventQueue;

@@ -34,9 +34,6 @@ use std::collections::{HashMap, HashSet};
 pub(crate) struct SanitizerState {
     last_now: u64,
     last_clocks: Vec<u64>,
-    /// Instructions retired by SuperFunctions that completed and were
-    /// reaped (they no longer appear in the live map).
-    retired_completed: u64,
     /// Offset absorbing the warm-up statistics reset: at rebaseline the
     /// counters restart from zero while SuperFunctions keep their
     /// lifetime totals.
@@ -49,21 +46,20 @@ impl SanitizerState {
         SanitizerState {
             last_now: 0,
             last_clocks: vec![0; num_cores],
-            retired_completed: 0,
             baseline: 0,
             checks: 0,
         }
     }
 
-    /// A SuperFunction completed and is being removed from the live map.
-    pub(crate) fn note_completed(&mut self, instructions_retired: u64) {
-        self.retired_completed += instructions_retired;
-    }
-
     /// The warm-up statistics reset just zeroed the counters.
+    ///
+    /// Instructions retired by already-reaped SuperFunctions live in
+    /// [`EngineCore::retired_completed`], maintained unconditionally by
+    /// the completion path so component code never needs a sanitizer
+    /// handle.
     pub(crate) fn rebaseline(&mut self, core: &EngineCore) {
         let live: u64 = core.sfs.values().map(|s| s.instructions_retired).sum();
-        self.baseline = live + self.retired_completed;
+        self.baseline = live + core.retired_completed;
     }
 
     /// Runs one full pass; returns the first violation found.
@@ -261,7 +257,7 @@ impl SanitizerState {
 
         // Instruction conservation.
         let live: u64 = core.sfs.values().map(|s| s.instructions_retired).sum();
-        let lhs = live + self.retired_completed;
+        let lhs = live + core.retired_completed;
         let rhs = core.stats.instructions.total_workload() + self.baseline;
         if lhs != rhs {
             return fail(
@@ -269,7 +265,7 @@ impl SanitizerState {
                 format!(
                     "retired by SuperFunctions = {lhs} but counters say {rhs} \
                      (live {live}, completed {}, baseline {})",
-                    self.retired_completed, self.baseline
+                    core.retired_completed, self.baseline
                 ),
             );
         }

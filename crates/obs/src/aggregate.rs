@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use crate::counters::{Counter, CounterSet, CounterSnapshot};
-use crate::event::{ChaosKind, ObsEvent, SfClass, SpanKind, StealLevel};
+use crate::event::{ChaosKind, ComponentClass, ObsEvent, SfClass, SpanKind, StealLevel};
 use crate::{FaultKind, Observer};
 
 /// One row of the span summary: how many spans of a kind ran, their
@@ -35,6 +35,10 @@ struct SpanState {
     open: HashMap<u32, (SfClass, u64)>,
     /// Closed SF segments per class: (count, cycles).
     sf: HashMap<SfClass, (u64, u64)>,
+    /// Open component span per component index: (class, entry cycle).
+    open_components: HashMap<u32, (ComponentClass, u64)>,
+    /// Closed component spans per class: (count, cycles).
+    components: HashMap<ComponentClass, (u64, u64)>,
     /// Open serve-layer job span per worker slot: entry timestamp.
     open_jobs: HashMap<u32, u64>,
     /// Closed serve-layer job spans: count and total duration. Job span
@@ -100,6 +104,16 @@ impl Aggregator {
             if let Some(&(count, cycles)) = state.sf.get(&class) {
                 rows.push(SpanRow {
                     kind: class.name().to_owned(),
+                    count,
+                    total_cycles: cycles,
+                    self_cycles: cycles,
+                });
+            }
+        }
+        for class in ComponentClass::ALL {
+            if let Some(&(count, cycles)) = state.components.get(&class) {
+                rows.push(SpanRow {
+                    kind: format!("component:{}", class.name()),
                     count,
                     total_cycles: cycles,
                     self_cycles: cycles,
@@ -227,6 +241,11 @@ impl Observer for Aggregator {
                 };
                 self.counters.add(counter, 1);
             }
+            ObsEvent::ComponentTick { irqs, .. } => {
+                self.counters.add(Counter::EngineComponentTicks, 1);
+                self.counters
+                    .add(Counter::EngineComponentIrqs, u64::from(irqs));
+            }
             ObsEvent::RetryScheduled { backoff_ms, .. } => {
                 self.counters.add(Counter::ServeRetryAttempts, 1);
                 self.counters.add(Counter::ServeRetryBackoffMs, backoff_ms);
@@ -243,6 +262,10 @@ impl Observer for Aggregator {
             (Some(slot), SpanKind::Job) => {
                 let mut s = self.spans.lock().expect("span state poisoned");
                 s.open_jobs.insert(slot, at);
+            }
+            (Some(idx), SpanKind::Component(class)) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                s.open_components.insert(idx, (class, at));
             }
             _ => {}
         }
@@ -263,6 +286,14 @@ impl Observer for Aggregator {
                 if let Some(start) = s.open_jobs.remove(&slot) {
                     s.job_count += 1;
                     s.job_total += at.saturating_sub(start);
+                }
+            }
+            (Some(idx), SpanKind::Component(_)) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                if let Some((class, start)) = s.open_components.remove(&idx) {
+                    let entry = s.components.entry(class).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += at.saturating_sub(start);
                 }
             }
             _ => {}

@@ -110,6 +110,10 @@ pub enum Counter {
     ServeChaosTruncatedResponses,
     /// Injected dropped connections (chaos).
     ServeChaosDroppedConns,
+    /// Self-driven device-component ticks processed by the engine.
+    EngineComponentTicks,
+    /// Interrupts raised by device components.
+    EngineComponentIrqs,
 }
 
 impl Counter {
@@ -117,7 +121,7 @@ impl Counter {
     pub const COUNT: usize = Counter::ALL.len();
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 48] = [
+    pub const ALL: [Counter; 50] = [
         Counter::Dispatches,
         Counter::Preemptions,
         Counter::Blocks,
@@ -166,6 +170,8 @@ impl Counter {
         Counter::ServeChaosDelayedResponses,
         Counter::ServeChaosTruncatedResponses,
         Counter::ServeChaosDroppedConns,
+        Counter::EngineComponentTicks,
+        Counter::EngineComponentIrqs,
     ];
 
     /// Stable snake_case name used in summary tables and CI diffs.
@@ -219,6 +225,8 @@ impl Counter {
             Counter::ServeChaosDelayedResponses => "serve_chaos_delayed_responses",
             Counter::ServeChaosTruncatedResponses => "serve_chaos_truncated_responses",
             Counter::ServeChaosDroppedConns => "serve_chaos_dropped_conns",
+            Counter::EngineComponentTicks => "engine_component_ticks",
+            Counter::EngineComponentIrqs => "engine_component_irqs",
         }
     }
 }

@@ -147,6 +147,48 @@ impl ChaosKind {
     }
 }
 
+/// Coarse classification of an engine component, mirroring the kernel
+/// crate's `Component` implementations without depending on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentClass {
+    /// A per-core execution machine.
+    CoreMachine,
+    /// The periodic timer-tick source.
+    TimerSource,
+    /// The spontaneous external-IRQ source.
+    IrqSource,
+    /// The TAlloc epoch boundary source.
+    EpochSource,
+    /// The device-completion bank (blocked-SF wakeups).
+    DeviceBank,
+    /// A DMA/NIC-style device model injecting interrupt traffic.
+    DmaDevice,
+}
+
+impl ComponentClass {
+    /// All component classes, in a stable order.
+    pub const ALL: [ComponentClass; 6] = [
+        ComponentClass::CoreMachine,
+        ComponentClass::TimerSource,
+        ComponentClass::IrqSource,
+        ComponentClass::EpochSource,
+        ComponentClass::DeviceBank,
+        ComponentClass::DmaDevice,
+    ];
+
+    /// Stable snake_case name used in JSONL output and summary tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentClass::CoreMachine => "core_machine",
+            ComponentClass::TimerSource => "timer_source",
+            ComponentClass::IrqSource => "irq_source",
+            ComponentClass::EpochSource => "epoch_source",
+            ComponentClass::DeviceBank => "device_bank",
+            ComponentClass::DmaDevice => "dma_device",
+        }
+    }
+}
+
 /// Span kinds forming the run → epoch → SuperFunction hierarchy.
 ///
 /// Run and epoch spans are derived by sinks from [`ObsEvent::RunStart`],
@@ -168,6 +210,9 @@ pub enum SpanKind {
     /// response. Timestamps are microseconds since server start (the serve
     /// layer has no cycle clock).
     Job,
+    /// One self-driven action of an engine component (currently device
+    /// model ticks; core quanta are far too hot to span individually).
+    Component(ComponentClass),
 }
 
 /// One structured observability event.
@@ -415,6 +460,18 @@ pub enum ObsEvent {
         /// What kind of chaos was injected.
         kind: ChaosKind,
     },
+    /// An engine component took one self-driven action (currently
+    /// emitted by device models when they raise interrupt traffic).
+    ComponentTick {
+        /// Global cycle timestamp.
+        at: u64,
+        /// Component index within the engine's component set.
+        component: u32,
+        /// Coarse class of the component.
+        class: ComponentClass,
+        /// Interrupts raised by this tick.
+        irqs: u32,
+    },
     /// A retrying client scheduled a back-off before its next attempt
     /// (emitted by client-side harnesses such as `repro chaos`).
     RetryScheduled {
@@ -461,6 +518,7 @@ impl ObsEvent {
             ObsEvent::DiskWriteFailed { .. } => "disk_write_failed",
             ObsEvent::DiskRecovered { .. } => "disk_recovered",
             ObsEvent::ChaosInjected { .. } => "chaos",
+            ObsEvent::ComponentTick { .. } => "component_tick",
             ObsEvent::RetryScheduled { .. } => "retry_scheduled",
         }
     }
@@ -496,6 +554,7 @@ impl ObsEvent {
             | ObsEvent::DiskWriteFailed { at, .. }
             | ObsEvent::DiskRecovered { at, .. }
             | ObsEvent::ChaosInjected { at, .. }
+            | ObsEvent::ComponentTick { at, .. }
             | ObsEvent::RetryScheduled { at, .. } => at,
         }
     }

@@ -140,6 +140,19 @@ pub fn event_to_json(ev: &ObsEvent, label: Option<&str>) -> String {
         ObsEvent::ChaosInjected { kind, .. } => {
             line.push_str(&format!(",\"kind\":\"{}\"", kind.name()));
         }
+        ObsEvent::ComponentTick {
+            component,
+            class,
+            irqs,
+            ..
+        } => {
+            line.push_str(&format!(
+                ",\"component\":{},\"class\":\"{}\",\"irqs\":{}",
+                component,
+                class.name(),
+                irqs
+            ));
+        }
         ObsEvent::RetryScheduled {
             key,
             attempt,
