@@ -7,9 +7,10 @@
 //!                    [--faults SPEC] [--sanitize] [--force-fail TECH:BENCH[:N]]
 //!                    [--driving MODE] [--device KIND[:PERIOD]]
 //!                    [--obs FILE] [--profile] [--keep-going]
-//! repro serve  [schedtaskd options...]
-//! repro submit [--connect ADDR | --unix PATH] [client options...]
-//! repro chaos  [--chaos SPEC] [--jobs N] [--cache-dir DIR] [--keep-dir]
+//! repro serve   [schedtaskd options...]
+//! repro submit  --addr ENDPOINT [client options...]
+//! repro loadgen [--addr ENDPOINT | --spawn N] [load options...]
+//! repro chaos   [--chaos SPEC] [--jobs N] [--cache-dir DIR] [--keep-dir]
 //!
 //! experiments:
 //!   fig4        Figure 4 instruction breakups + Section 4.4 epoch similarity
@@ -35,17 +36,23 @@
 //!
 //! * `repro serve` launches the `schedtaskd` job server (built from
 //!   `crates/serve`) by exec'ing the sibling binary; all arguments are
-//!   forwarded (`--listen`, `--unix`, `--queue-capacity`, `--batch-max`,
-//!   `--workers`, `--profile`).
+//!   forwarded (`--addr`, `--router`, `--worker`, `--queue-capacity`,
+//!   `--batch-max`, `--workers`, `--profile`).
 //! * `repro submit` is the line client: it submits one run request per
-//!   `technique × workload` pair over TCP (`--connect HOST:PORT`) or a
-//!   Unix socket (`--unix PATH`) and prints each response. `--ping`
+//!   `technique × workload` pair to `--addr ENDPOINT`
+//!   (`tcp://HOST:PORT` or `unix:///PATH`; `--connect`/`--unix` remain
+//!   as deprecated aliases) and prints each response. `--ping`
 //!   waits for server readiness; `--expect-cached` exits non-zero if
 //!   any successful response was not served from the result cache;
 //!   `--stats` prints the server's counters; `--shutdown` asks the
 //!   server to drain and exit; `--retries N` retries each submission
 //!   with deadline/backoff discipline; `--out FILE` records the result
 //!   payload bytes for later byte-identity comparison.
+//! * `repro loadgen` is the fleet load harness: it drives a mixed
+//!   hit/miss/duplicate stream of submissions at configurable
+//!   concurrency against `--addr`, or self-spawns a router plus
+//!   `--spawn N` workers, and reports p50/p99/p999 latency,
+//!   shed/retry rates, and per-tier cache-hit counts.
 //! * `repro chaos` is the crash-recovery harness: it boots `schedtaskd`
 //!   with a persistent cache and a deterministic chaos plan, drives a
 //!   retrying client through it, SIGKILLs the daemon mid-flight,
@@ -104,7 +111,7 @@
 use schedtask::StealPolicy;
 use schedtask_experiments::runner::{parse_device_spec, parse_driving_spec, run_sweep_observed};
 use schedtask_experiments::serve_api::{
-    submit_with_retry, ClientTimeouts, Endpoint, RetryPolicy, RunRequest, ServeClient,
+    submit_with_retry, ClientTimeouts, Endpoint, JobSpec, RetryPolicy, ServeClient,
 };
 use schedtask_experiments::{
     ablations, appendix, fig04_breakup, fig09_stealing, fig11_heatmap, overheads, table4_workload,
@@ -525,6 +532,7 @@ fn main() {
         Some("serve") => run_serve(raw.split_off(1)),
         Some("submit") => run_submit(raw.split_off(1)),
         Some("chaos") => run_chaos(raw.split_off(1)),
+        Some("loadgen") => schedtask_experiments::loadgen::run_loadgen(raw.split_off(1)),
         _ => {}
     }
     let opts = parse_args();
@@ -774,7 +782,8 @@ fn print_chaos_help() {
     println!(
         "repro chaos — crash-recovery harness for schedtaskd\n\n\
          usage: repro chaos [--chaos SPEC] [--jobs N] [--seed S]\n\
-                [--cache-dir DIR] [--keep-dir] [--retries N]\n\n\
+                [--addr tcp://HOST:PORT] [--cache-dir DIR] [--keep-dir]\n\
+                [--retries N]\n\n\
          Boots schedtaskd with a persistent cache (--cache-dir) and a\n\
          deterministic chaos plan, submits N distinct jobs through a\n\
          retrying client, SIGKILLs the daemon mid-flight, restarts it\n\
@@ -783,6 +792,8 @@ fn print_chaos_help() {
            2. every result is byte-identical to its pre-crash bytes,\n\
            3. recovery replayed records and served disk-tier hits.\n\n\
            --chaos SPEC    chaos plan (default light@7); none disables\n\
+           --addr ENDPOINT daemon listen endpoint (tcp:// only;\n\
+                           default tcp://127.0.0.1:0)\n\
            --jobs N        distinct jobs to submit (default 6)\n\
            --seed S        base engine seed for the jobs (default 1)\n\
            --cache-dir DIR persistent cache dir (default: fresh tmp dir)\n\
@@ -795,12 +806,13 @@ fn print_chaos_help() {
 /// the child, the bound address, and the recovery line it printed.
 fn spawn_chaos_daemon(
     daemon: &std::path::Path,
+    listen: &str,
     cache_dir: &std::path::Path,
     chaos: &str,
 ) -> (std::process::Child, String, String) {
     let mut cmd = std::process::Command::new(daemon);
-    cmd.arg("--listen")
-        .arg("127.0.0.1:0")
+    cmd.arg("--addr")
+        .arg(format!("tcp://{listen}"))
         .arg("--cache-dir")
         .arg(cache_dir)
         .arg("--drain-deadline-ms")
@@ -851,6 +863,7 @@ fn run_chaos(args: Vec<String>) -> ! {
     let mut cache_dir: Option<String> = None;
     let mut keep_dir = false;
     let mut retries: u32 = 10;
+    let mut listen = "127.0.0.1:0".to_owned();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> String {
@@ -859,6 +872,15 @@ fn run_chaos(args: Vec<String>) -> ! {
         };
         match a.as_str() {
             "--chaos" => chaos = value("--chaos"),
+            "--addr" => {
+                // The harness restarts the daemon and must re-dial it,
+                // so only TCP endpoints make sense here.
+                match value("--addr").parse::<Endpoint>() {
+                    Ok(Endpoint::Tcp(addr)) => listen = addr,
+                    Ok(_) => die("chaos --addr must be a tcp:// endpoint"),
+                    Err(e) => die(&format!("bad --addr: {e}")),
+                }
+            }
             "--jobs" => {
                 jobs = value("--jobs")
                     .parse()
@@ -910,17 +932,17 @@ fn run_chaos(args: Vec<String>) -> ! {
         ..RetryPolicy::default()
     };
     let request_line = |i: u32| -> String {
-        let mut req = RunRequest::new(format!("chaos-{i}"), "Find");
-        req.cores = Some(2);
-        req.max_instructions = Some(60_000);
-        req.warmup_instructions = Some(20_000);
-        req.seed = Some(seed + i as u64);
-        req.to_json_line()
+        let mut spec = JobSpec::new(Technique::SchedTask, BenchmarkKind::Find);
+        spec.params.cores = 2;
+        spec.params.max_instructions = 60_000;
+        spec.params.warmup_instructions = 20_000;
+        spec.params.seed = seed + u64::from(i);
+        spec.to_request_line(Some(&format!("chaos-{i}")), false)
     };
 
     // Phase 1: fresh daemon, chaos plan armed, submit every job.
     println!("[chaos] phase 1: boot daemon (chaos={chaos}) and submit {jobs} jobs");
-    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &dir, &chaos);
+    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &listen, &dir, &chaos);
     println!("[chaos] daemon on {addr}; {recovery}");
     let endpoint = Endpoint::Tcp(addr);
     let mut before: Vec<String> = Vec::new();
@@ -964,7 +986,7 @@ fn run_chaos(args: Vec<String>) -> ! {
 
     // Phase 2: restart on the same cache dir; resubmit everything.
     println!("[chaos] phase 2: restart daemon on the same cache dir and resubmit");
-    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &dir, &chaos);
+    let (mut child, addr, recovery) = spawn_chaos_daemon(&daemon, &listen, &dir, &chaos);
     println!("[chaos] daemon on {addr}; {recovery}");
     let endpoint = Endpoint::Tcp(addr);
     let mut cached_hits = 0u32;
@@ -1023,26 +1045,19 @@ fn run_chaos(args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
-#[cfg(unix)]
-fn connect_unix_client(path: &str) -> std::io::Result<ServeClient> {
-    ServeClient::connect_unix(path)
-}
-
-#[cfg(not(unix))]
-fn connect_unix_client(_path: &str) -> std::io::Result<ServeClient> {
-    die("--unix is not supported on this platform");
-}
-
 fn print_submit_help() {
     println!(
         "repro submit — submit simulation jobs to a running schedtaskd\n\n\
-         usage: repro submit (--connect HOST:PORT | --unix PATH)\n\
+         usage: repro submit --addr ENDPOINT\n\
                 [--workload LIST] [--technique LIST] [--steal NAME]\n\
                 [--scale F] [--standard] [--cores N] [--max-instructions N]\n\
                 [--warmup N] [--seed S] [--faults SPEC] [--sanitize]\n\
                 [--driving MODE] [--device KIND[:PERIOD]]\n\
                 [--ping] [--stats] [--shutdown] [--expect-cached]\n\
                 [--wait-ms N]\n\n\
+         ENDPOINT is tcp://HOST:PORT, unix:///PATH, or bare HOST:PORT.\n\
+         --connect HOST:PORT and --unix PATH remain as deprecated\n\
+         aliases for one release.\n\n\
          One run request is sent per technique x workload pair (comma\n\
          lists). Requests default to quick-size parameters; --standard\n\
          submits full-size runs.\n\n\
@@ -1062,8 +1077,7 @@ fn print_submit_help() {
 fn run_submit(args: Vec<String>) -> ! {
     use schedtask_experiments::serve_api::Json;
 
-    let mut connect: Option<String> = None;
-    let mut unix_path: Option<String> = None;
+    let mut addr: Option<Endpoint> = None;
     let mut workloads = vec!["Find".to_owned()];
     let mut techniques = vec!["SchedTask".to_owned()];
     let mut steal: Option<String> = None;
@@ -1092,8 +1106,23 @@ fn run_submit(args: Vec<String>) -> ! {
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
         match a.as_str() {
-            "--connect" => connect = Some(value("--connect")),
-            "--unix" => unix_path = Some(value("--unix")),
+            "--addr" => {
+                addr = Some(
+                    value("--addr")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("bad --addr: {e}"))),
+                )
+            }
+            // Deprecated aliases, kept for one release.
+            "--connect" => addr = Some(Endpoint::Tcp(value("--connect"))),
+            "--unix" => {
+                #[cfg(unix)]
+                {
+                    addr = Some(Endpoint::Unix(value("--unix")));
+                }
+                #[cfg(not(unix))]
+                die("--unix is not supported on this platform");
+            }
             "--workload" => workloads = value("--workload").split(',').map(str::to_owned).collect(),
             "--technique" => {
                 techniques = value("--technique").split(',').map(str::to_owned).collect()
@@ -1161,20 +1190,14 @@ fn run_submit(args: Vec<String>) -> ! {
             other => die(&format!("submit: unknown argument {other:?} (try --help)")),
         }
     }
-    if connect.is_none() && unix_path.is_none() {
-        die("submit needs --connect HOST:PORT or --unix PATH");
-    }
+    let endpoint = addr.unwrap_or_else(|| die("submit needs --addr ENDPOINT"));
+    let timeouts = ClientTimeouts::default();
 
     // Connect with retry so a freshly-spawned server has time to bind;
     // --ping makes this the whole job (a readiness probe).
     let deadline = Instant::now() + std::time::Duration::from_millis(wait_ms);
     let mut client = loop {
-        let attempt = match (&connect, &unix_path) {
-            (Some(addr), _) => ServeClient::connect_tcp(addr),
-            (None, Some(path)) => connect_unix_client(path),
-            (None, None) => unreachable!("checked above"),
-        };
-        match attempt {
+        match ServeClient::dial(&endpoint, &timeouts) {
             Ok(mut c) => match c.ping() {
                 Ok(true) => break c,
                 _ if Instant::now() < deadline => {}
@@ -1193,13 +1216,6 @@ fn run_submit(args: Vec<String>) -> ! {
         std::process::exit(0);
     }
 
-    let endpoint = match (&connect, &unix_path) {
-        (Some(addr), _) => Some(Endpoint::Tcp(addr.clone())),
-        #[cfg(unix)]
-        (None, Some(path)) => Some(Endpoint::Unix(path.clone())),
-        _ => None,
-    };
-    let timeouts = ClientTimeouts::default();
     let policy = RetryPolicy {
         max_attempts: retries.max(1),
         ..RetryPolicy::default()
@@ -1213,27 +1229,55 @@ fn run_submit(args: Vec<String>) -> ! {
     let mut uncached_ok = false;
     for tech in &techniques {
         for wl in &workloads {
-            let mut req = RunRequest::new(format!("{tech}/{wl}"), wl.clone());
-            req.technique = tech.clone();
-            req.steal = steal.clone();
-            if let Some(s) = scale {
-                req.scale = s;
+            let technique =
+                Technique::parse(tech).unwrap_or_else(|| die(&format!("unknown technique {tech}")));
+            let benchmark = BenchmarkKind::all()
+                .into_iter()
+                .find(|b| format!("{b:?}").eq_ignore_ascii_case(wl))
+                .unwrap_or_else(|| die(&format!("unknown workload {wl}")));
+            let mut spec = JobSpec::new(technique, benchmark);
+            if let Some(name) = &steal {
+                spec.steal = Some(
+                    StealPolicy::parse(name).unwrap_or_else(|e| die(&format!("bad --steal: {e}"))),
+                );
             }
-            req.quick = quick;
-            req.cores = cores;
-            req.max_instructions = max_instructions;
-            req.warmup_instructions = warmup_instructions;
-            req.seed = seed;
-            req.faults = faults.clone();
-            req.sanitize = sanitize;
-            req.driving = driving.clone();
-            req.devices = devices.clone();
-            let line = req.to_json_line();
+            if let Some(s) = scale {
+                spec.scale = s;
+            }
+            if !quick {
+                spec.params = ExpParams::standard();
+            }
+            if let Some(n) = cores {
+                spec.params.cores = n;
+            }
+            if let Some(n) = max_instructions {
+                spec.params.max_instructions = n;
+            }
+            if let Some(n) = warmup_instructions {
+                spec.params.warmup_instructions = n;
+            }
+            if let Some(s) = seed {
+                spec.params.seed = s;
+            }
+            if let Some(fspec) = &faults {
+                spec.params.faults = Some(
+                    FaultPlan::parse(fspec, spec.params.seed)
+                        .unwrap_or_else(|e| die(&format!("bad --faults: {e}"))),
+                );
+            }
+            spec.params.sanitize = sanitize;
+            if let Some(mode) = &driving {
+                spec.params.driving = parse_driving_spec(mode)
+                    .unwrap_or_else(|e| die(&format!("bad --driving: {e}")));
+            }
+            for dev in &devices {
+                spec.params.devices.push(
+                    parse_device_spec(dev).unwrap_or_else(|e| die(&format!("bad --device: {e}"))),
+                );
+            }
+            let line = spec.to_request_line(Some(&format!("{tech}/{wl}")), false);
             let response = if retries > 0 {
-                let endpoint = endpoint.as_ref().unwrap_or_else(|| {
-                    die("--retries needs --connect or --unix");
-                });
-                match submit_with_retry(endpoint, &timeouts, &policy, &line, None) {
+                match submit_with_retry(&endpoint, &timeouts, &policy, &line, None) {
                     Ok(outcome) => {
                         if outcome.attempts > 1 {
                             println!(
@@ -1312,13 +1356,13 @@ fn run_submit(args: Vec<String>) -> ! {
     }
     if want_stats {
         let response = client
-            .request_line("{\"op\":\"stats\"}")
+            .request_line("{\"v\":1,\"op\":\"stats\"}")
             .unwrap_or_else(|e| die(&format!("stats request failed: {e}")));
         println!("[submit] stats: {response}");
     }
     if want_shutdown {
         let response = client
-            .request_line("{\"op\":\"shutdown\"}")
+            .request_line("{\"v\":1,\"op\":\"shutdown\"}")
             .unwrap_or_else(|e| die(&format!("shutdown request failed: {e}")));
         println!("[submit] shutdown: {response}");
     }

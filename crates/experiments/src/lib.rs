@@ -35,6 +35,7 @@ pub mod comparison;
 pub mod fig04_breakup;
 pub mod fig09_stealing;
 pub mod fig11_heatmap;
+pub mod loadgen;
 pub mod overheads;
 pub mod perf;
 pub mod runner;
@@ -48,5 +49,5 @@ pub use runner::{
     CellObs, CellOutcome, ExpParams, ExperimentError, FailAfterScheduler, FailureCause, RunBuilder,
     SweepReport, Technique,
 };
-pub use serve_api::{JobSpec, Request, RequestOp, RunRequest, ServeClient};
+pub use serve_api::{Endpoint, JobSpec, Request, RequestOp, Response, ServeClient};
 pub use table::Table;

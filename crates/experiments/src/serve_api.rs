@@ -3,18 +3,26 @@
 //! request parsing, and a small line-oriented client used by
 //! `repro submit`, the CI smoke job, and the serve-crate tests.
 //!
-//! One request or response is one JSON object per line. Requests name a
-//! benchmark, a technique, and parameter overrides; responses carry the
-//! canonical [`SimStats`] JSON produced by
-//! `SimStats::to_canonical_json`, so a cache hit is byte-identical to
-//! the fresh run that populated it.
+//! One request or response is one JSON object per line, carrying a
+//! `"v"` protocol-version field. Requests name a benchmark, a
+//! technique, and parameter overrides; responses carry the canonical
+//! [`SimStats`] JSON produced by `SimStats::to_canonical_json`, so a
+//! cache hit is byte-identical to the fresh run that populated it.
+//!
+//! [`JobSpec`] is the single source of truth for job identity: the
+//! canonical text the cache key hashes, the wire encoding
+//! ([`JobSpec::to_request_line`]), and the parse
+//! ([`parse_request`]) all derive from it, so the cache key and the
+//! wire format cannot drift apart.
 //!
 //! [`SimStats`]: schedtask_kernel::SimStats
 
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 use schedtask::StealPolicy;
@@ -23,6 +31,13 @@ use schedtask_obs::{ObsEvent, Observer};
 use schedtask_workload::BenchmarkKind;
 
 use crate::runner::{parse_device_spec, parse_driving_spec, ExpParams, Technique};
+
+/// The wire protocol version this build speaks. Every request and
+/// response carries it as `"v"`; a request naming any other version is
+/// answered with a structured `unsupported_version` error rather than a
+/// parse failure, and the router refuses to join workers whose `ping`
+/// reports a different version.
+pub const PROTOCOL_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------------------
 // Canonical job identity.
@@ -45,6 +60,19 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// A spec for `benchmark` under `technique` with every other knob
+    /// at its wire default: scale 2.0, no steal override, quick
+    /// parameters.
+    pub fn new(technique: Technique, benchmark: BenchmarkKind) -> JobSpec {
+        JobSpec {
+            technique,
+            benchmark,
+            scale: 2.0,
+            steal: None,
+            params: ExpParams::quick(),
+        }
+    }
+
     /// The canonical text the cache key is derived from. Every field
     /// that influences the simulation output appears here — technique,
     /// benchmark, scale (exact bits), steal override, and the full
@@ -71,6 +99,119 @@ impl JobSpec {
     pub fn cache_key_hex(&self) -> String {
         format!("{:016x}", self.cache_key())
     }
+
+    /// Renders the single-line JSON run request for this spec, the
+    /// exact inverse of [`parse_request`]: parsing the returned line
+    /// yields a spec with an identical [`JobSpec::canonical_text`]
+    /// (and therefore an identical cache key).
+    ///
+    /// Wire specs always use the Table 2 machine template (both
+    /// [`ExpParams::quick`] and [`ExpParams::standard`] do), so the
+    /// encoding is `quick:true` plus explicit overrides for every
+    /// numeric knob — which base the spec was built from is
+    /// irrelevant once the resolved values ride the wire.
+    pub fn to_request_line(&self, id: Option<&str>, want_obs: bool) -> String {
+        let mut line = format!("{{\"v\":{PROTOCOL_VERSION}");
+        if let Some(id) = id {
+            line.push_str(&format!(",\"id\":\"{}\"", escape_json(id)));
+        }
+        line.push_str(&format!(
+            ",\"op\":\"run\",\"workload\":\"{}\",\"technique\":\"{}\"",
+            escape_json(self.benchmark.name()),
+            escape_json(self.technique.name())
+        ));
+        if let Some(steal) = self.steal {
+            // The Debug name is one of the spellings StealPolicy::parse
+            // accepts, so the override round-trips.
+            line.push_str(&format!(",\"steal\":\"{steal:?}\""));
+        }
+        // {:?} prints the shortest digit string that reparses to the
+        // same f64 bits; scale is validated finite and positive, so it
+        // is always a legal JSON number.
+        line.push_str(&format!(",\"scale\":{:?}", self.scale));
+        line.push_str(&format!(
+            ",\"quick\":true,\"cores\":{},\"max_instructions\":{},\
+             \"warmup_instructions\":{},\"epoch_cycles\":{},\"seed\":{}",
+            self.params.cores,
+            self.params.max_instructions,
+            self.params.warmup_instructions,
+            self.params.epoch_cycles,
+            self.params.seed
+        ));
+        if let Some(plan) = &self.params.faults {
+            line.push_str(&format!(
+                ",\"faults\":\"{}\"",
+                escape_json(&render_fault_spec(plan))
+            ));
+        }
+        if self.params.sanitize {
+            line.push_str(",\"sanitize\":true");
+        }
+        line.push_str(&format!(
+            ",\"driving\":\"{}\"",
+            escape_json(&render_driving_spec(&self.params.driving))
+        ));
+        if !self.params.devices.is_empty() {
+            let specs: Vec<String> = self
+                .params
+                .devices
+                .iter()
+                .map(|d| format!("\"{}\"", escape_json(&render_device_spec(d))))
+                .collect();
+            line.push_str(&format!(",\"devices\":[{}]", specs.join(",")));
+        }
+        if want_obs {
+            line.push_str(",\"obs\":true");
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Renders a fault plan as the explicit `key=value` spec
+/// [`FaultPlan::parse`] reads back field-for-field: every rate and
+/// budget is spelled out (floats via `{:?}`, the shortest round-trip
+/// form), including the seed, so the default-seed argument at the
+/// parsing side never matters.
+fn render_fault_spec(plan: &FaultPlan) -> String {
+    format!(
+        "seed={},heatmap_bitflip_rate={:?},drop_irq_rate={:?},irq_retry_cycles={},\
+         spurious_irq_rate={:?},delay_completion_rate={:?},delay_completion_instructions={},\
+         stall_core_rate={:?},stall_cycles={}",
+        plan.seed,
+        plan.heatmap_bitflip_rate,
+        plan.drop_irq_rate,
+        plan.irq_retry_cycles,
+        plan.spurious_irq_rate,
+        plan.delay_completion_rate,
+        plan.delay_completion_instructions,
+        plan.stall_core_rate,
+        plan.stall_cycles
+    )
+}
+
+/// Renders a driving mode as the spec string `parse_driving_spec`
+/// reads back.
+fn render_driving_spec(mode: &schedtask_kernel::DrivingMode) -> String {
+    match mode {
+        schedtask_kernel::DrivingMode::DiscreteEvent => "de".to_owned(),
+        schedtask_kernel::DrivingMode::CycleBox {
+            window_cycles,
+            shards,
+        } => format!("cyclebox:{window_cycles}:{shards}"),
+    }
+}
+
+/// Renders a device model as the `KIND:PERIOD` spec
+/// `parse_device_spec` reads back.
+fn render_device_spec(device: &schedtask_kernel::DeviceModelConfig) -> String {
+    use schedtask_workload::DeviceKind;
+    let kind = match device.kind {
+        DeviceKind::Disk => "disk",
+        DeviceKind::Network => "network",
+        DeviceKind::Timer => "timer",
+    };
+    format!("{kind}:{}", device.period_cycles)
 }
 
 /// FNV-1a 64-bit hash. In-process cache keys only — never persisted, so
@@ -357,17 +498,76 @@ pub struct Request {
     pub op: RequestOp,
 }
 
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The request named a protocol version this build does not speak.
+    /// Answered with a structured `unsupported_version` error so the
+    /// client can tell a version skew from a malformed request.
+    UnsupportedVersion(u64),
+    /// Malformed JSON, unknown fields, or invalid field values.
+    Bad(String),
+}
+
+impl RequestError {
+    /// The machine-readable error code for the response, when this
+    /// error class has one.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            RequestError::UnsupportedVersion(_) => Some("unsupported_version"),
+            RequestError::Bad(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported protocol version {v} (this server speaks v{PROTOCOL_VERSION})"
+            ),
+            RequestError::Bad(msg) => f.write_str(msg),
+        }
+    }
+}
+
 /// Parses one request line into a [`Request`].
 ///
 /// Unknown fields are rejected (they would otherwise be silently
-/// excluded from the cache key, poisoning it).
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let json = Json::parse(line)?;
-    let obj = match &json {
+/// excluded from the cache key, poisoning it). The version gate runs
+/// first: a request naming a different `"v"` gets
+/// [`RequestError::UnsupportedVersion`] before any field validation,
+/// since a future protocol may legitimately carry fields this parser
+/// has never heard of.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let json = Json::parse(line).map_err(RequestError::Bad)?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err(RequestError::Bad(
+            "request must be a JSON object".to_owned(),
+        ));
+    }
+    match json.get("v") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let version = v
+                .as_u64()
+                .ok_or_else(|| RequestError::Bad("v must be a non-negative integer".to_owned()))?;
+            if version != u64::from(PROTOCOL_VERSION) {
+                return Err(RequestError::UnsupportedVersion(version));
+            }
+        }
+    }
+    parse_request_fields(&json).map_err(RequestError::Bad)
+}
+
+fn parse_request_fields(json: &Json) -> Result<Request, String> {
+    let obj = match json {
         Json::Obj(fields) => fields,
         _ => return Err("request must be a JSON object".to_owned()),
     };
     const KNOWN: &[&str] = &[
+        "v",
         "id",
         "op",
         "workload",
@@ -548,120 +748,233 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
-/// Builder for the JSON line a client submits; mirrors
-/// [`parse_request`]'s field vocabulary so requests round-trip.
-#[derive(Debug, Clone)]
-pub struct RunRequest {
-    /// Client-chosen id echoed back by the server.
-    pub id: String,
-    /// Benchmark name (e.g. `"Find"`).
-    pub workload: String,
-    /// Technique name (e.g. `"SchedTask"`).
-    pub technique: String,
-    /// Optional steal-policy name.
-    pub steal: Option<String>,
-    /// Workload scale factor.
-    pub scale: f64,
-    /// Base parameters: `true` → [`ExpParams::quick`], else
-    /// [`ExpParams::standard`].
-    pub quick: bool,
-    /// Core-count override.
-    pub cores: Option<usize>,
-    /// Post-warm-up instruction budget override.
-    pub max_instructions: Option<u64>,
-    /// Warm-up instruction budget override.
-    pub warmup_instructions: Option<u64>,
-    /// Epoch-length override.
-    pub epoch_cycles: Option<u64>,
-    /// Seed override.
-    pub seed: Option<u64>,
-    /// Fault-plan spec string (e.g. `"light@7"`).
-    pub faults: Option<String>,
-    /// Run the engine sanitizer.
-    pub sanitize: bool,
-    /// Driving-mode spec string (e.g. `"cyclebox:20000:4"`).
-    pub driving: Option<String>,
-    /// Device specs (e.g. `"network:25000"`), attach order preserved.
-    pub devices: Vec<String>,
-    /// Ask for the JSONL event stream in the response.
-    pub want_obs: bool,
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// One response line, typed. [`Response::render`] and
+/// [`Response::parse`] are exact inverses for every variant, so the
+/// router can decode a worker's answer, cache its payload bytes, and
+/// re-wrap it in a fresh envelope without touching the result text.
+///
+/// Stats responses are deliberately not modelled here: they are a
+/// human/reporting surface whose counter set grows every release, not
+/// a stable machine contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed run: cache metadata plus the canonical result
+    /// payload.
+    Ok {
+        /// Echoed client id.
+        id: Option<String>,
+        /// Served from a cache tier (memory or disk).
+        cached: bool,
+        /// Coalesced onto an identical in-flight execution.
+        coalesced: bool,
+        /// The job's cache key, fixed-width hex.
+        key: String,
+        /// Queue depth observed at admission.
+        queue_depth: u64,
+        /// Server-side latency for this request, microseconds.
+        latency_us: u64,
+        /// Raw canonical `SimStats` JSON, embedded verbatim — these
+        /// bytes are the byte-identity contract across cache tiers.
+        result: String,
+        /// Newline-separated JSONL event stream, when requested.
+        jsonl: Option<String>,
+    },
+    /// Backpressure shed with an honest retry hint.
+    Rejected {
+        /// Echoed client id.
+        id: Option<String>,
+        /// Queue depth that triggered the shed.
+        queue_depth: u64,
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A failed request.
+    Error {
+        /// Echoed client id.
+        id: Option<String>,
+        /// Machine-readable error class (e.g. `unsupported_version`),
+        /// when the failure has one.
+        code: Option<String>,
+        /// Human-readable message.
+        error: String,
+    },
+    /// Liveness probe answer; `proto` is the server's
+    /// [`PROTOCOL_VERSION`], which the router checks before joining a
+    /// worker to the fleet.
+    Pong {
+        /// Echoed client id.
+        id: Option<String>,
+        /// The server's protocol version.
+        proto: u32,
+    },
+    /// Acknowledgement that the server is draining and exiting.
+    ShuttingDown {
+        /// Echoed client id.
+        id: Option<String>,
+    },
 }
 
-impl RunRequest {
-    /// A run request for `workload` with every knob at its default.
-    pub fn new(id: impl Into<String>, workload: impl Into<String>) -> Self {
-        RunRequest {
-            id: id.into(),
-            workload: workload.into(),
-            technique: "SchedTask".to_owned(),
-            steal: None,
-            scale: 2.0,
-            quick: true,
-            cores: None,
-            max_instructions: None,
-            warmup_instructions: None,
-            epoch_cycles: None,
-            seed: None,
-            faults: None,
-            sanitize: false,
-            driving: None,
-            devices: Vec::new(),
-            want_obs: false,
+fn id_prefix(id: &Option<String>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\",", escape_json(id)),
+        None => String::new(),
+    }
+}
+
+impl Response {
+    /// Renders the single-line JSON response. Field order is fixed
+    /// (`v`, `id`, `status`, then variant fields, `result` second to
+    /// last and `jsonl` last) so clients may extract the raw result
+    /// payload textually.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok {
+                id,
+                cached,
+                coalesced,
+                key,
+                queue_depth,
+                latency_us,
+                result,
+                jsonl,
+            } => {
+                let mut line = format!(
+                    "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"ok\",\"cached\":{cached},\
+                     \"coalesced\":{coalesced},\"key\":\"{}\",\"queue_depth\":{queue_depth},\
+                     \"latency_us\":{latency_us},\"result\":{result}",
+                    id_prefix(id),
+                    escape_json(key)
+                );
+                if let Some(jsonl) = jsonl {
+                    line.push_str(&format!(",\"jsonl\":\"{}\"", escape_json(jsonl)));
+                }
+                line.push('}');
+                line
+            }
+            Response::Rejected {
+                id,
+                queue_depth,
+                retry_after_ms,
+            } => format!(
+                "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"rejected\",\
+                 \"queue_depth\":{queue_depth},\"retry_after_ms\":{retry_after_ms}}}",
+                id_prefix(id)
+            ),
+            Response::Error { id, code, error } => {
+                let code = match code {
+                    Some(code) => format!("\"code\":\"{}\",", escape_json(code)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"error\",{code}\"error\":\"{}\"}}",
+                    id_prefix(id),
+                    escape_json(error)
+                )
+            }
+            Response::Pong { id, proto } => format!(
+                "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"ok\",\"pong\":true,\"proto\":{proto}}}",
+                id_prefix(id)
+            ),
+            Response::ShuttingDown { id } => format!(
+                "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"ok\",\"shutting_down\":true}}",
+                id_prefix(id)
+            ),
         }
     }
 
-    /// Renders the single-line JSON request.
-    pub fn to_json_line(&self) -> String {
-        let mut line = format!(
-            "{{\"id\":\"{}\",\"op\":\"run\",\"workload\":\"{}\",\"technique\":\"{}\"",
-            escape_json(&self.id),
-            escape_json(&self.workload),
-            escape_json(&self.technique)
-        );
-        if let Some(steal) = &self.steal {
-            line.push_str(&format!(",\"steal\":\"{}\"", escape_json(steal)));
+    /// Parses a response line rendered by [`Response::render`]. The
+    /// `result` payload is recovered textually (between the
+    /// `"result":` marker and the `jsonl` field or closing brace) so
+    /// its bytes survive untouched; every other field goes through the
+    /// JSON parser.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let json = Json::parse(line)?;
+        let version = json
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or("response carries no protocol version")?;
+        if version != u64::from(PROTOCOL_VERSION) {
+            return Err(format!("unsupported response protocol version {version}"));
         }
-        line.push_str(&format!(
-            ",\"scale\":{},\"quick\":{}",
-            self.scale, self.quick
-        ));
-        if let Some(v) = self.cores {
-            line.push_str(&format!(",\"cores\":{v}"));
+        let id = match json.get("id") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("response id must be a string")?.to_owned()),
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing {name:?}"))
+        };
+        match json.get("status").and_then(Json::as_str) {
+            Some("ok") if json.get("pong").is_some() => Ok(Response::Pong {
+                id,
+                proto: u64_field("proto")? as u32,
+            }),
+            Some("ok") if json.get("shutting_down").is_some() => Ok(Response::ShuttingDown { id }),
+            Some("ok") if json.get("result").is_some() => {
+                const MARKER: &str = "\"result\":";
+                // Everything before the result payload is either fixed
+                // vocabulary or escaped string content (whose quotes
+                // are backslashed), so the first unescaped marker is
+                // the field itself.
+                let start = line
+                    .find(MARKER)
+                    .ok_or("result field not found in response text")?
+                    + MARKER.len();
+                let jsonl = match json.get("jsonl") {
+                    None => None,
+                    Some(v) => Some(v.as_str().ok_or("jsonl must be a string")?.to_owned()),
+                };
+                let end = match jsonl {
+                    Some(_) => line[start..]
+                        .find(",\"jsonl\":")
+                        .map(|off| start + off)
+                        .ok_or("jsonl field not found in response text")?,
+                    None => line.len() - 1,
+                };
+                Ok(Response::Ok {
+                    id,
+                    cached: json
+                        .get("cached")
+                        .and_then(Json::as_bool)
+                        .ok_or("response missing \"cached\"")?,
+                    coalesced: json
+                        .get("coalesced")
+                        .and_then(Json::as_bool)
+                        .ok_or("response missing \"coalesced\"")?,
+                    key: json
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or("response missing \"key\"")?
+                        .to_owned(),
+                    queue_depth: u64_field("queue_depth")?,
+                    latency_us: u64_field("latency_us")?,
+                    result: line[start..end].to_owned(),
+                    jsonl,
+                })
+            }
+            Some("ok") => {
+                Err("unrecognized ok-response shape (stats responses are not typed)".to_owned())
+            }
+            Some("rejected") => Ok(Response::Rejected {
+                id,
+                queue_depth: u64_field("queue_depth")?,
+                retry_after_ms: u64_field("retry_after_ms")?,
+            }),
+            Some("error") => Ok(Response::Error {
+                id,
+                code: json.get("code").and_then(Json::as_str).map(str::to_owned),
+                error: json
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("error response missing \"error\"")?
+                    .to_owned(),
+            }),
+            other => Err(format!("unrecognized response status {other:?}")),
         }
-        if let Some(v) = self.max_instructions {
-            line.push_str(&format!(",\"max_instructions\":{v}"));
-        }
-        if let Some(v) = self.warmup_instructions {
-            line.push_str(&format!(",\"warmup_instructions\":{v}"));
-        }
-        if let Some(v) = self.epoch_cycles {
-            line.push_str(&format!(",\"epoch_cycles\":{v}"));
-        }
-        if let Some(v) = self.seed {
-            line.push_str(&format!(",\"seed\":{v}"));
-        }
-        if let Some(spec) = &self.faults {
-            line.push_str(&format!(",\"faults\":\"{}\"", escape_json(spec)));
-        }
-        if self.sanitize {
-            line.push_str(",\"sanitize\":true");
-        }
-        if let Some(spec) = &self.driving {
-            line.push_str(&format!(",\"driving\":\"{}\"", escape_json(spec)));
-        }
-        if !self.devices.is_empty() {
-            let specs: Vec<String> = self
-                .devices
-                .iter()
-                .map(|d| format!("\"{}\"", escape_json(d)))
-                .collect();
-            line.push_str(&format!(",\"devices\":[{}]", specs.join(",")));
-        }
-        if self.want_obs {
-            line.push_str(",\"obs\":true");
-        }
-        line.push('}');
-        line
     }
 }
 
@@ -677,6 +990,57 @@ pub enum Endpoint {
     /// Unix domain socket path.
     #[cfg(unix)]
     Unix(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix://{path}"),
+        }
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = String;
+
+    /// The one endpoint grammar every `--addr` flag speaks:
+    /// `tcp://host:port`, `unix:///path/to.sock`, or a bare
+    /// `host:port` (treated as TCP for compatibility with the old
+    /// `--listen`/`--connect` flags).
+    fn from_str(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.rsplit_once(':').is_none_or(|(host, port)| {
+                host.is_empty() || port.is_empty() || port.parse::<u16>().is_err()
+            }) {
+                return Err(format!("bad tcp endpoint {s:?}: want tcp://host:port"));
+            }
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
+        if let Some(path) = s.strip_prefix("unix://") {
+            if path.is_empty() {
+                return Err(format!("bad unix endpoint {s:?}: want unix:///path"));
+            }
+            #[cfg(unix)]
+            return Ok(Endpoint::Unix(path.to_owned()));
+            #[cfg(not(unix))]
+            return Err(format!(
+                "unix endpoint {s:?} is unsupported on this platform"
+            ));
+        }
+        if s.contains("://") {
+            return Err(format!(
+                "unknown endpoint scheme in {s:?} (want tcp://host:port or unix:///path)"
+            ));
+        }
+        if s.contains(':') && !s.is_empty() {
+            return Ok(Endpoint::Tcp(s.to_owned()));
+        }
+        Err(format!(
+            "bad endpoint {s:?} (want tcp://host:port, unix:///path, or host:port)"
+        ))
+    }
 }
 
 /// Socket deadlines for the client. A field of `0` disables that
@@ -719,6 +1083,7 @@ impl ServeClient {
     /// Connects over TCP (`host:port`) with no socket deadlines.
     pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
         Ok(ServeClient {
             reader: BufReader::new(Box::new(reader)),
@@ -753,6 +1118,7 @@ impl ServeClient {
                     }
                     None => TcpStream::connect(addr)?,
                 };
+                stream.set_nodelay(true)?;
                 stream.set_read_timeout(ms(timeouts.read_ms))?;
                 stream.set_write_timeout(ms(timeouts.write_ms))?;
                 let reader = stream.try_clone()?;
@@ -777,8 +1143,13 @@ impl ServeClient {
 
     /// Sends one request line and reads one response line.
     pub fn request_line(&mut self, line: &str) -> io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request: splitting the newline into its own
+        // small write would let Nagle hold it back for the peer's
+        // delayed ACK — a ~40 ms stall per round-trip.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()?;
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
@@ -796,10 +1167,24 @@ impl ServeClient {
 
     /// Sends a ping and checks for an ok response.
     pub fn ping(&mut self) -> io::Result<bool> {
-        let response = self.request_line("{\"op\":\"ping\"}")?;
+        Ok(self.ping_proto()?.is_some())
+    }
+
+    /// Sends a ping; on an ok answer returns the protocol version the
+    /// server reports. `None` means the server answered but not with
+    /// an ok status. This is the router's join-time version check.
+    pub fn ping_proto(&mut self) -> io::Result<Option<u32>> {
+        let response =
+            self.request_line(&format!("{{\"v\":{PROTOCOL_VERSION},\"op\":\"ping\"}}"))?;
         let json =
             Json::parse(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(json.get("status").and_then(Json::as_str) == Some("ok"))
+        if json.get("status").and_then(Json::as_str) != Some("ok") {
+            return Ok(None);
+        }
+        // Pre-versioning servers pinged ok without a proto field;
+        // report them as protocol 0 so the caller can refuse them.
+        let proto = json.get("proto").and_then(Json::as_u64).unwrap_or(0);
+        Ok(Some(proto as u32))
     }
 }
 
@@ -873,10 +1258,19 @@ pub struct RetryOutcome {
 /// Whether a `status:"error"` message is worth retrying: execution
 /// hiccups (panicked workers, timeouts, a daemon mid-restart) are;
 /// request parse and validation errors are permanent.
-fn error_is_transient(message: &str) -> bool {
-    ["panicked", "timed out", "shutting down", "queue closed"]
-        .iter()
-        .any(|marker| message.contains(marker))
+pub fn error_is_transient(message: &str) -> bool {
+    // "unreachable" covers the router's all-workers-down error: a
+    // worker restarting behind the router comes back within a backoff
+    // or two, so the idempotent resubmission is worth it.
+    [
+        "panicked",
+        "timed out",
+        "shutting down",
+        "queue closed",
+        "unreachable",
+    ]
+    .iter()
+    .any(|marker| message.contains(marker))
 }
 
 /// Submits one request line with reconnect, deadline, and backoff
@@ -1035,44 +1429,151 @@ mod tests {
     }
 
     #[test]
-    fn run_request_round_trips_through_parse_request() {
-        let mut req = RunRequest::new("job-1", "Find");
-        req.technique = "Baseline".to_owned();
-        req.scale = 1.5;
-        req.cores = Some(4);
-        req.max_instructions = Some(200_000);
-        req.warmup_instructions = Some(50_000);
-        req.seed = Some(42);
-        req.faults = Some("light@7".to_owned());
-        req.sanitize = true;
-        req.driving = Some("cyclebox:20000:4".to_owned());
-        req.devices = vec!["network:25000".to_owned(), "disk".to_owned()];
-        req.want_obs = true;
-        let parsed = parse_request(&req.to_json_line()).expect("parses");
+    fn job_spec_round_trips_through_parse_request() {
+        let mut spec = JobSpec::new(Technique::Linux, BenchmarkKind::Find);
+        spec.scale = 1.5;
+        spec.params.cores = 4;
+        spec.params.max_instructions = 200_000;
+        spec.params.warmup_instructions = 50_000;
+        spec.params.seed = 42;
+        spec.params.faults = Some(FaultPlan::light(7));
+        spec.params.sanitize = true;
+        spec.params.driving = schedtask_kernel::DrivingMode::CycleBox {
+            window_cycles: 20_000,
+            shards: 4,
+        };
+        spec.params.devices = vec![
+            parse_device_spec("network:25000").expect("device"),
+            parse_device_spec("disk").expect("device"),
+        ];
+        let line = spec.to_request_line(Some("job-1"), true);
+        let parsed = parse_request(&line).expect("parses");
         assert_eq!(parsed.id.as_deref(), Some("job-1"));
-        let (spec, want_obs) = match parsed.op {
-            RequestOp::Run(spec, want_obs) => (*spec, want_obs),
+        let (round, want_obs) = match parsed.op {
+            RequestOp::Run(round, want_obs) => (*round, want_obs),
             other => panic!("expected run, got {other:?}"),
         };
         assert!(want_obs);
-        assert_eq!(spec.technique, Technique::Linux);
-        assert_eq!(spec.benchmark, BenchmarkKind::Find);
-        assert_eq!(spec.scale, 1.5);
-        assert_eq!(spec.params.cores, 4);
-        assert_eq!(spec.params.max_instructions, 200_000);
-        assert_eq!(spec.params.seed, 42);
-        assert_eq!(spec.params.faults, Some(FaultPlan::light(7)));
-        assert!(spec.params.sanitize);
-        assert_eq!(
-            spec.params.driving,
-            schedtask_kernel::DrivingMode::CycleBox {
-                window_cycles: 20_000,
-                shards: 4
-            }
-        );
-        assert_eq!(spec.params.devices.len(), 2);
-        assert_eq!(spec.params.devices[0].period_cycles, 25_000);
-        assert_eq!(spec.params.devices[1].period_cycles, 25_000);
+        // canonical_text covers every field, including the machine
+        // template inside ExpParams; identical text means an identical
+        // cache key, which is the whole contract.
+        assert_eq!(round.canonical_text(), spec.canonical_text());
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn steal_override_round_trips_on_the_wire() {
+        for policy in StealPolicy::all() {
+            let mut spec = JobSpec::new(Technique::SchedTask, BenchmarkKind::Iscp);
+            spec.steal = Some(policy);
+            let parsed = run_spec(&spec.to_request_line(None, false));
+            assert_eq!(parsed.steal, Some(policy));
+            assert_eq!(parsed.canonical_text(), spec.canonical_text());
+        }
+    }
+
+    #[test]
+    fn version_field_is_gated_structurally() {
+        // v:1 and a missing v both parse.
+        assert!(parse_request("{\"v\":1,\"op\":\"ping\"}").is_ok());
+        assert!(parse_request("{\"op\":\"ping\"}").is_ok());
+        // A different version is a structured error with a code, even
+        // when the request carries fields this parser has never seen.
+        let err = parse_request("{\"v\":2,\"op\":\"ping\",\"hologram\":true}")
+            .expect_err("must refuse v2");
+        assert_eq!(err, RequestError::UnsupportedVersion(2));
+        assert_eq!(err.code(), Some("unsupported_version"));
+        assert!(err.to_string().contains("v1"), "{err}");
+        // A malformed version is a plain bad request.
+        let err = parse_request("{\"v\":\"one\",\"op\":\"ping\"}").expect_err("must reject");
+        assert!(matches!(err, RequestError::Bad(_)), "{err:?}");
+    }
+
+    #[test]
+    fn responses_render_and_parse_as_inverses() {
+        let responses = [
+            Response::Ok {
+                id: Some("job-1".to_owned()),
+                cached: true,
+                coalesced: false,
+                key: "00deadbeef00cafe".to_owned(),
+                queue_depth: 3,
+                latency_us: 1250,
+                result: "{\"cycles\":12,\"nested\":{\"a\":[1,2]}}".to_owned(),
+                jsonl: Some("{\"ev\":\"x\"}\n{\"ev\":\"y\"}\n".to_owned()),
+            },
+            Response::Ok {
+                id: None,
+                cached: false,
+                coalesced: true,
+                key: "0000000000000001".to_owned(),
+                queue_depth: 0,
+                latency_us: 7,
+                result: "{\"cycles\":99}".to_owned(),
+                jsonl: None,
+            },
+            Response::Rejected {
+                id: Some("j".to_owned()),
+                queue_depth: 64,
+                retry_after_ms: 800,
+            },
+            Response::Error {
+                id: None,
+                code: Some("unsupported_version".to_owned()),
+                error: "unsupported protocol version 9".to_owned(),
+            },
+            Response::Error {
+                id: Some("x".to_owned()),
+                code: None,
+                error: "unknown workload \"Fnid\"".to_owned(),
+            },
+            Response::Pong {
+                id: Some("p".to_owned()),
+                proto: PROTOCOL_VERSION,
+            },
+            Response::ShuttingDown { id: None },
+        ];
+        for response in responses {
+            let line = response.render();
+            assert!(
+                line.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},")),
+                "{line}"
+            );
+            let parsed = Response::parse(&line).expect("parses");
+            assert_eq!(parsed, response, "{line}");
+        }
+    }
+
+    #[test]
+    fn endpoint_grammar_round_trips() {
+        for (text, want) in [
+            (
+                "tcp://127.0.0.1:7077",
+                Endpoint::Tcp("127.0.0.1:7077".to_owned()),
+            ),
+            ("localhost:80", Endpoint::Tcp("localhost:80".to_owned())),
+            #[cfg(unix)]
+            (
+                "unix:///tmp/s.sock",
+                Endpoint::Unix("/tmp/s.sock".to_owned()),
+            ),
+        ] {
+            let parsed: Endpoint = text.parse().expect(text);
+            assert_eq!(parsed, want, "{text}");
+            // Display output re-parses to the same endpoint.
+            assert_eq!(parsed.to_string().parse::<Endpoint>(), Ok(parsed));
+        }
+        for bad in [
+            "",
+            "justahost",
+            "tcp://",
+            "tcp://nohost",
+            "tcp://host:notaport",
+            "unix://",
+            "ftp://x:1",
+        ] {
+            assert!(bad.parse::<Endpoint>().is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]
@@ -1083,14 +1584,14 @@ mod tests {
         let err =
             parse_request("{\"workload\":\"Find\",\"technique\":\"FlexSC\",\"steal\":\"same\"}")
                 .expect_err("must reject");
-        assert!(err.contains("SchedTask"), "{err}");
+        assert!(err.to_string().contains("SchedTask"), "{err}");
     }
 
     #[test]
     fn unknown_fields_are_rejected() {
         let err =
             parse_request("{\"workload\":\"Find\",\"sede\":7}").expect_err("must reject typos");
-        assert!(err.contains("sede"), "{err}");
+        assert!(err.to_string().contains("sede"), "{err}");
     }
 
     #[test]

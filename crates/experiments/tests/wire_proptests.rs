@@ -1,0 +1,211 @@
+//! Property tests for the versioned wire protocol.
+//!
+//! Three properties from the PR contract:
+//!
+//! 1. For an arbitrary [`JobSpec`] (any technique × benchmark, steal
+//!    overrides, fault plans, driving modes, device models, ids, the
+//!    obs flag), `parse_request(spec.to_request_line(..))` recovers an
+//!    identical spec — same cache key, same id, same obs flag — and
+//!    re-encoding the parsed spec reproduces the original line byte for
+//!    byte.
+//! 2. Every [`Response`] variant round-trips through render/parse,
+//!    including error responses with machine-readable codes and ok
+//!    responses carrying raw result payloads and JSONL streams.
+//! 3. Any request naming a protocol version other than
+//!    [`PROTOCOL_VERSION`] is refused with a structured
+//!    `unsupported_version` error, and that error response itself
+//!    round-trips.
+
+use proptest::prelude::*;
+use schedtask::StealPolicy;
+use schedtask_experiments::runner::{parse_device_spec, parse_driving_spec};
+use schedtask_experiments::serve_api::{
+    parse_request, JobSpec, RequestError, RequestOp, Response, PROTOCOL_VERSION,
+};
+use schedtask_experiments::Technique;
+use schedtask_kernel::FaultPlan;
+use schedtask_workload::BenchmarkKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn run_requests_round_trip(
+        technique in prop::sample::select(vec![
+            Technique::Linux,
+            Technique::SelectiveOffload,
+            Technique::FlexSc,
+            Technique::DisAggregateOs,
+            Technique::Slicc,
+            Technique::SchedTask,
+        ]),
+        benchmark in prop::sample::select(BenchmarkKind::all().to_vec()),
+        scale in 0.25f64..8.0,
+        steal in prop::sample::select(vec![
+            None,
+            Some(StealPolicy::Nothing),
+            Some(StealPolicy::SameWorkOnly),
+            Some(StealPolicy::SimilarWorkAlso),
+            Some(StealPolicy::MaxWaitingTime),
+        ]),
+        cores in 1usize..5,
+        budget in 1u64..10, // x 10_000 instructions
+        seed in 0u64..1_000_000,
+        faults in prop::sample::select(vec!["", "none", "light", "light@3"]),
+        sanitize in prop::bool::ANY,
+        driving in prop::sample::select(vec!["de", "cyclebox:5000:2", "cyclebox:10000:1"]),
+        devices in prop::sample::select(vec![
+            vec![],
+            vec!["disk:700"],
+            vec!["network:900", "timer:450"],
+        ]),
+        id in prop::sample::select(vec![None, Some("job-1"), Some("weird \"id\"\twith\nescapes")]),
+        want_obs in prop::bool::ANY,
+    ) {
+        let mut spec = JobSpec::new(technique, benchmark);
+        spec.scale = scale;
+        // A steal-policy override is only legal for SchedTask — the
+        // parser enforces it, so the generator respects it.
+        spec.steal = match technique {
+            Technique::SchedTask => steal,
+            _ => None,
+        };
+        spec.params.cores = cores;
+        spec.params.max_instructions = budget * 10_000;
+        spec.params.warmup_instructions = 10_000;
+        spec.params.seed = seed;
+        if !faults.is_empty() {
+            spec.params.faults =
+                Some(FaultPlan::parse(faults, seed).expect("fault preset parses"));
+        }
+        spec.params.sanitize = sanitize;
+        spec.params.driving = parse_driving_spec(driving).expect("driving spec parses");
+        spec.params.devices = devices
+            .iter()
+            .map(|d| parse_device_spec(d).expect("device spec parses"))
+            .collect();
+
+        let line = spec.to_request_line(id, want_obs);
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::Fail(
+                format!("canonical line must parse, got {e}: {line}"),
+            )),
+        };
+        prop_assert_eq!(&request.id, &id.map(str::to_owned));
+        let (parsed, parsed_obs) = match request.op {
+            RequestOp::Run(parsed, parsed_obs) => (*parsed, parsed_obs),
+            other => {
+                return Err(proptest::test_runner::TestCaseError::Fail(
+                    format!("expected a run op, got {other:?}"),
+                ))
+            }
+        };
+        prop_assert_eq!(parsed_obs, want_obs);
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.cache_key(), spec.cache_key());
+        // Encoding is canonical: re-rendering the parsed spec must
+        // reproduce the original wire bytes exactly.
+        prop_assert_eq!(parsed.to_request_line(id, want_obs), line);
+    }
+
+    #[test]
+    fn ok_responses_round_trip(
+        id in prop::sample::select(vec![None, Some("r-7"), Some("id \"quoted\"\n")]),
+        cached in prop::bool::ANY,
+        coalesced in prop::bool::ANY,
+        key in 0u64..u64::MAX,
+        queue_depth in 0u64..100,
+        latency_us in 0u64..1_000_000,
+        result in prop::sample::select(vec![
+            "{\"instructions\":123,\"nested\":{\"a\":[1,2,3]}}",
+            "{\"x\":0.5,\"label\":\"find\"}",
+            "{}",
+        ]),
+        jsonl in prop::sample::select(vec![
+            None,
+            Some("{\"ev\":\"dispatched\"}\n{\"ev\":\"completed\"}\n"),
+            Some("stream with \"quotes\", back\\slashes, and\ttabs\n"),
+        ]),
+    ) {
+        let response = Response::Ok {
+            id: id.map(str::to_owned),
+            cached,
+            coalesced,
+            key: format!("{key:016x}"),
+            queue_depth,
+            latency_us,
+            result: result.to_owned(),
+            jsonl: jsonl.map(str::to_owned),
+        };
+        let line = response.render();
+        prop_assert_eq!(Response::parse(&line), Ok(response.clone()), "{}", line);
+    }
+
+    #[test]
+    fn control_responses_round_trip(
+        id in prop::sample::select(vec![None, Some("c-1"), Some("tab\tid")]),
+        queue_depth in 0u64..100,
+        retry_after_ms in 0u64..10_000,
+        code in prop::sample::select(vec![None, Some("unsupported_version")]),
+        error in prop::sample::select(vec![
+            "plain failure",
+            "message with \"quotes\" and \\ backslashes",
+            "multi\nline",
+        ]),
+        proto in 1u32..9,
+    ) {
+        let id = id.map(str::to_owned);
+        let variants = vec![
+            Response::Rejected {
+                id: id.clone(),
+                queue_depth,
+                retry_after_ms,
+            },
+            Response::Error {
+                id: id.clone(),
+                code: code.map(str::to_owned),
+                error: error.to_owned(),
+            },
+            Response::Pong {
+                id: id.clone(),
+                proto,
+            },
+            Response::ShuttingDown { id },
+        ];
+        for response in variants {
+            let line = response.render();
+            prop_assert_eq!(Response::parse(&line), Ok(response.clone()), "{}", line);
+        }
+    }
+
+    #[test]
+    fn unknown_versions_get_structured_refusals(
+        version in prop::sample::select(vec![0u64, 2, 3, 17, 9_999]),
+        op in prop::sample::select(vec!["ping", "stats", "shutdown"]),
+    ) {
+        let line = format!("{{\"v\":{version},\"op\":\"{op}\"}}");
+        let err = match parse_request(&line) {
+            Err(err) => err,
+            Ok(req) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(
+                    format!("version {version} must be refused, parsed {req:?}"),
+                ))
+            }
+        };
+        prop_assert_eq!(&err, &RequestError::UnsupportedVersion(version));
+        prop_assert_eq!(err.code(), Some("unsupported_version"));
+
+        // The refusal the daemon sends for this error is itself a
+        // well-formed v1 response that round-trips.
+        let refusal = Response::Error {
+            id: None,
+            code: err.code().map(str::to_owned),
+            error: err.to_string(),
+        };
+        let rendered = refusal.render();
+        prop_assert!(rendered.contains("\"code\":\"unsupported_version\""));
+        prop_assert!(rendered.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},")));
+        prop_assert_eq!(Response::parse(&rendered), Ok(refusal.clone()));
+    }
+}

@@ -45,6 +45,12 @@ struct SpanState {
     /// timestamps are microseconds, not cycles (see [`SpanKind::Job`]).
     job_count: u64,
     job_total: u64,
+    /// Open router-hop span per connection slot: entry timestamp.
+    open_hops: HashMap<u32, u64>,
+    /// Closed router-hop spans: count and total duration in
+    /// microseconds (see [`SpanKind::RouterHop`]).
+    hop_count: u64,
+    hop_total: u64,
 }
 
 impl SpanState {
@@ -126,6 +132,14 @@ impl Aggregator {
                 count: state.job_count,
                 total_cycles: state.job_total,
                 self_cycles: state.job_total,
+            });
+        }
+        if state.hop_count > 0 {
+            rows.push(SpanRow {
+                kind: "router_hop".to_owned(),
+                count: state.hop_count,
+                total_cycles: state.hop_total,
+                self_cycles: state.hop_total,
             });
         }
         rows
@@ -250,6 +264,16 @@ impl Observer for Aggregator {
                 self.counters.add(Counter::ServeRetryAttempts, 1);
                 self.counters.add(Counter::ServeRetryBackoffMs, backoff_ms);
             }
+            ObsEvent::RouterForwarded { .. } => self.counters.add(Counter::ServeRouterForwarded, 1),
+            ObsEvent::RouterHotCacheHit { .. } => {
+                self.counters.add(Counter::ServeRouterHotHits, 1);
+            }
+            ObsEvent::RouterCoalesced { .. } => self.counters.add(Counter::ServeRouterCoalesced, 1),
+            ObsEvent::RouterShed { .. } => self.counters.add(Counter::ServeRouterShed, 1),
+            ObsEvent::RouterFailover { .. } => {
+                self.counters.add(Counter::ServeRouterFailovers, 1);
+                self.counters.add(Counter::ServeRouterWorkerErrors, 1);
+            }
         }
     }
 
@@ -262,6 +286,10 @@ impl Observer for Aggregator {
             (Some(slot), SpanKind::Job) => {
                 let mut s = self.spans.lock().expect("span state poisoned");
                 s.open_jobs.insert(slot, at);
+            }
+            (Some(slot), SpanKind::RouterHop) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                s.open_hops.insert(slot, at);
             }
             (Some(idx), SpanKind::Component(class)) => {
                 let mut s = self.spans.lock().expect("span state poisoned");
@@ -286,6 +314,13 @@ impl Observer for Aggregator {
                 if let Some(start) = s.open_jobs.remove(&slot) {
                     s.job_count += 1;
                     s.job_total += at.saturating_sub(start);
+                }
+            }
+            (Some(slot), SpanKind::RouterHop) => {
+                let mut s = self.spans.lock().expect("span state poisoned");
+                if let Some(start) = s.open_hops.remove(&slot) {
+                    s.hop_count += 1;
+                    s.hop_total += at.saturating_sub(start);
                 }
             }
             (Some(idx), SpanKind::Component(_)) => {

@@ -114,6 +114,20 @@ pub enum Counter {
     EngineComponentTicks,
     /// Interrupts raised by device components.
     EngineComponentIrqs,
+    /// Run requests the router forwarded to a downstream worker.
+    ServeRouterForwarded,
+    /// Run requests answered from the router's hot-key cache tier.
+    ServeRouterHotHits,
+    /// Run requests coalesced onto a router-level in-flight forward.
+    ServeRouterCoalesced,
+    /// Run requests shed by the router with a backpressure hint
+    /// (worker queue full, propagated upstream).
+    ServeRouterShed,
+    /// Forwards rerouted to the next ring worker after a transport
+    /// failure on the hashed owner.
+    ServeRouterFailovers,
+    /// Worker-side transport/protocol errors observed by the router.
+    ServeRouterWorkerErrors,
 }
 
 impl Counter {
@@ -121,7 +135,7 @@ impl Counter {
     pub const COUNT: usize = Counter::ALL.len();
 
     /// All counters, in index order.
-    pub const ALL: [Counter; 50] = [
+    pub const ALL: [Counter; 56] = [
         Counter::Dispatches,
         Counter::Preemptions,
         Counter::Blocks,
@@ -172,6 +186,12 @@ impl Counter {
         Counter::ServeChaosDroppedConns,
         Counter::EngineComponentTicks,
         Counter::EngineComponentIrqs,
+        Counter::ServeRouterForwarded,
+        Counter::ServeRouterHotHits,
+        Counter::ServeRouterCoalesced,
+        Counter::ServeRouterShed,
+        Counter::ServeRouterFailovers,
+        Counter::ServeRouterWorkerErrors,
     ];
 
     /// Stable snake_case name used in summary tables and CI diffs.
@@ -227,6 +247,12 @@ impl Counter {
             Counter::ServeChaosDroppedConns => "serve_chaos_dropped_conns",
             Counter::EngineComponentTicks => "engine_component_ticks",
             Counter::EngineComponentIrqs => "engine_component_irqs",
+            Counter::ServeRouterForwarded => "serve_router_forwarded",
+            Counter::ServeRouterHotHits => "serve_router_hot_hits",
+            Counter::ServeRouterCoalesced => "serve_router_coalesced",
+            Counter::ServeRouterShed => "serve_router_shed",
+            Counter::ServeRouterFailovers => "serve_router_failovers",
+            Counter::ServeRouterWorkerErrors => "serve_router_worker_errors",
         }
     }
 }

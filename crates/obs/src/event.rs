@@ -213,6 +213,10 @@ pub enum SpanKind {
     /// One self-driven action of an engine component (currently device
     /// model ticks; core quanta are far too hot to span individually).
     Component(ComponentClass),
+    /// One request forwarded by the fleet router to a downstream
+    /// worker, from forward to response. Timestamps are microseconds
+    /// since router start.
+    RouterHop,
 }
 
 /// One structured observability event.
@@ -484,6 +488,56 @@ pub enum ObsEvent {
         /// Chosen back-off before the next attempt, in milliseconds.
         backoff_ms: u64,
     },
+    /// The fleet router forwarded a run request to its hashed worker.
+    ///
+    /// Router events are stamped with milliseconds since router start,
+    /// like the serve-layer events.
+    RouterForwarded {
+        /// Milliseconds since router start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+        /// Ring index of the worker the request was forwarded to.
+        worker: u32,
+    },
+    /// A run request was answered from the router's hot-key cache
+    /// without touching any worker.
+    RouterHotCacheHit {
+        /// Milliseconds since router start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// A run request arrived while an identical key was already being
+    /// forwarded; the caller was coalesced onto the pending hop.
+    RouterCoalesced {
+        /// Milliseconds since router start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+    },
+    /// The router shed a request, propagating a worker's backpressure
+    /// hint upstream.
+    RouterShed {
+        /// Milliseconds since router start.
+        at: u64,
+        /// Ring index of the worker that rejected the request.
+        worker: u32,
+        /// Backpressure hint propagated to the client, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A forward failed on the hashed owner and was rerouted to the
+    /// next distinct worker on the ring.
+    RouterFailover {
+        /// Milliseconds since router start.
+        at: u64,
+        /// Truncated canonical cache key of the job.
+        key: u64,
+        /// Ring index of the worker that failed.
+        from: u32,
+        /// Ring index of the worker tried next.
+        to: u32,
+    },
 }
 
 impl ObsEvent {
@@ -520,6 +574,11 @@ impl ObsEvent {
             ObsEvent::ChaosInjected { .. } => "chaos",
             ObsEvent::ComponentTick { .. } => "component_tick",
             ObsEvent::RetryScheduled { .. } => "retry_scheduled",
+            ObsEvent::RouterForwarded { .. } => "router_forwarded",
+            ObsEvent::RouterHotCacheHit { .. } => "router_hot_cache_hit",
+            ObsEvent::RouterCoalesced { .. } => "router_coalesced",
+            ObsEvent::RouterShed { .. } => "router_shed",
+            ObsEvent::RouterFailover { .. } => "router_failover",
         }
     }
 
@@ -555,7 +614,12 @@ impl ObsEvent {
             | ObsEvent::DiskRecovered { at, .. }
             | ObsEvent::ChaosInjected { at, .. }
             | ObsEvent::ComponentTick { at, .. }
-            | ObsEvent::RetryScheduled { at, .. } => at,
+            | ObsEvent::RetryScheduled { at, .. }
+            | ObsEvent::RouterForwarded { at, .. }
+            | ObsEvent::RouterHotCacheHit { at, .. }
+            | ObsEvent::RouterCoalesced { at, .. }
+            | ObsEvent::RouterShed { at, .. }
+            | ObsEvent::RouterFailover { at, .. } => at,
         }
     }
 }

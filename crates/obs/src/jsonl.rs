@@ -163,6 +163,26 @@ pub fn event_to_json(ev: &ObsEvent, label: Option<&str>) -> String {
                 ",\"key\":\"{key:016x}\",\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"
             ));
         }
+        ObsEvent::RouterForwarded { key, worker, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\",\"worker\":{worker}"));
+        }
+        ObsEvent::RouterHotCacheHit { key, .. } | ObsEvent::RouterCoalesced { key, .. } => {
+            line.push_str(&format!(",\"key\":\"{key:016x}\""));
+        }
+        ObsEvent::RouterShed {
+            worker,
+            retry_after_ms,
+            ..
+        } => {
+            line.push_str(&format!(
+                ",\"worker\":{worker},\"retry_after_ms\":{retry_after_ms}"
+            ));
+        }
+        ObsEvent::RouterFailover { key, from, to, .. } => {
+            line.push_str(&format!(
+                ",\"key\":\"{key:016x}\",\"from\":{from},\"to\":{to}"
+            ));
+        }
     }
     line.push('}');
     line

@@ -1,20 +1,31 @@
 //! `schedtaskd` — the simulation-job server daemon.
 //!
 //! ```text
-//! schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N]
+//! schedtaskd [--addr ENDPOINT] [--queue-capacity N]
 //!            [--batch-max N] [--workers N] [--cache-dir DIR]
 //!            [--chaos SPEC] [--read-timeout-ms N]
 //!            [--drain-deadline-ms N] [--profile]
+//! schedtaskd --router [--addr ENDPOINT] --worker ENDPOINT [--worker ...]
+//!            [--read-timeout-ms N] [--profile]
 //! ```
 //!
 //! Listens for JSON-line requests (see
-//! `schedtask_experiments::serve_api`) on a TCP address (default
-//! `127.0.0.1:0`; the bound address is printed on stdout) or a Unix
-//! socket. One thread per connection; a shared dispatcher executes
-//! admitted jobs in batches. Exits cleanly — queue closed, backlog
-//! drained (bounded by `--drain-deadline-ms`), responses flushed — on
-//! SIGTERM, SIGINT, or a `shutdown` request. With `--profile`, the
-//! serve counter and span tables are printed on exit.
+//! `schedtask_experiments::serve_api`) on `--addr tcp://HOST:PORT`
+//! (default `tcp://127.0.0.1:0`; the bound address is printed on
+//! stdout) or `--addr unix:///PATH`. The old `--listen ADDR` and
+//! `--unix PATH` flags remain as deprecated aliases for one release.
+//! One thread per connection; a shared dispatcher executes admitted
+//! jobs in batches. Exits cleanly — queue closed, backlog drained
+//! (bounded by `--drain-deadline-ms`), responses flushed — on SIGTERM,
+//! SIGINT, or a `shutdown` request. With `--profile`, the serve counter
+//! and span tables are printed on exit.
+//!
+//! With `--router`, the daemon is a fleet router instead of a worker:
+//! it consistent-hashes each job's cache key across the `--worker`
+//! endpoints, forwards over the same wire protocol, and layers a
+//! single-flight hot-key cache above the workers' own cache tiers. The
+//! router refuses to start unless every worker speaks its protocol
+//! version.
 //!
 //! Reliability knobs:
 //!
@@ -37,7 +48,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use schedtask_serve::{ChaosPlan, ResponseAction, ServeConfig, Server};
+use schedtask_experiments::serve_api::Endpoint;
+use schedtask_serve::{ChaosPlan, ResponseAction, Router, RouterConfig, ServeConfig, Server};
 
 /// Set by the signal handler and the `shutdown` request; the accept
 /// loop polls it.
@@ -76,6 +88,8 @@ fn install_signal_handlers() {}
 struct Opts {
     listen: String,
     unix_path: Option<String>,
+    router: bool,
+    worker_endpoints: Vec<Endpoint>,
     cfg: ServeConfig,
     read_timeout_ms: u64,
     drain_deadline_ms: u64,
@@ -91,6 +105,8 @@ fn parse_args() -> Opts {
     let mut opts = Opts {
         listen: "127.0.0.1:0".to_owned(),
         unix_path: None,
+        router: false,
+        worker_endpoints: Vec::new(),
         cfg: ServeConfig::default(),
         read_timeout_ms: 30_000,
         drain_deadline_ms: 5_000,
@@ -103,6 +119,27 @@ fn parse_args() -> Opts {
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
         match arg.as_str() {
+            "--addr" => {
+                let spec = value("--addr");
+                match spec.parse::<Endpoint>() {
+                    Ok(Endpoint::Tcp(addr)) => {
+                        opts.listen = addr;
+                        opts.unix_path = None;
+                    }
+                    #[cfg(unix)]
+                    Ok(Endpoint::Unix(path)) => opts.unix_path = Some(path),
+                    Err(e) => die(&format!("bad --addr: {e}")),
+                }
+            }
+            "--router" => opts.router = true,
+            "--worker" => {
+                let spec = value("--worker");
+                let endpoint = spec
+                    .parse::<Endpoint>()
+                    .unwrap_or_else(|e| die(&format!("bad --worker: {e}")));
+                opts.worker_endpoints.push(endpoint);
+            }
+            // Deprecated aliases, kept for one release.
             "--listen" => opts.listen = value("--listen"),
             "--unix" => opts.unix_path = Some(value("--unix")),
             "--queue-capacity" => {
@@ -142,9 +179,13 @@ fn parse_args() -> Opts {
             "--profile" => opts.profile = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: schedtaskd [--listen ADDR] [--unix PATH] [--queue-capacity N] \
+                    "usage: schedtaskd [--addr ENDPOINT] [--queue-capacity N] \
                      [--batch-max N] [--workers N] [--cache-dir DIR] [--chaos SPEC] \
-                     [--read-timeout-ms N] [--drain-deadline-ms N] [--profile]"
+                     [--read-timeout-ms N] [--drain-deadline-ms N] [--profile]\n\
+                     \x20      schedtaskd --router [--addr ENDPOINT] --worker ENDPOINT \
+                     [--worker ENDPOINT ...] [--read-timeout-ms N] [--profile]\n\
+                     ENDPOINT is tcp://HOST:PORT or unix:///PATH; \
+                     --listen/--unix remain as deprecated aliases."
                 );
                 exit(0);
             }
@@ -156,6 +197,12 @@ fn parse_args() -> Opts {
     }
     if opts.drain_deadline_ms == 0 {
         die("--drain-deadline-ms must be positive");
+    }
+    if opts.router && opts.worker_endpoints.is_empty() {
+        die("--router needs at least one --worker ENDPOINT");
+    }
+    if !opts.router && !opts.worker_endpoints.is_empty() {
+        die("--worker only makes sense with --router");
     }
     opts
 }
@@ -174,6 +221,7 @@ impl Listener {
             Listener::Tcp(l) => match l.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
                     Ok(Some(Box::new(stream)))
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
@@ -285,13 +333,46 @@ impl LineReader {
     }
 }
 
+/// What this process is: a worker executing jobs locally, or a router
+/// fanning them out across a fleet. Both speak the same wire protocol,
+/// so the connection plumbing below is shared.
+enum Daemon {
+    Worker(Box<Server>),
+    Router(Box<Router>),
+}
+
+impl Daemon {
+    fn handle_request_line(&self, line: &str) -> (String, bool) {
+        match self {
+            Daemon::Worker(s) => s.handle_request_line(line),
+            Daemon::Router(r) => r.handle_request_line(line),
+        }
+    }
+
+    /// Chaos applies to worker responses only; the router always
+    /// answers faithfully (inject chaos at the workers instead).
+    fn response_action(&self, response_len: usize) -> ResponseAction {
+        match self {
+            Daemon::Worker(s) => s.chaos_response_action(response_len),
+            Daemon::Router(_) => ResponseAction::Normal,
+        }
+    }
+
+    fn profile_text(&self) -> String {
+        match self {
+            Daemon::Worker(s) => s.profile_text(),
+            Daemon::Router(r) => r.profile_text(),
+        }
+    }
+}
+
 /// Writes one response line, letting the chaos plan delay, truncate,
 /// or drop it. Returns `false` when the connection must close.
-fn write_response(reader: &mut LineReader, server: &Server, response: &str) -> bool {
+fn write_response(reader: &mut LineReader, daemon: &Daemon, response: &str) -> bool {
     let mut line = String::with_capacity(response.len() + 1);
     line.push_str(response);
     line.push('\n');
-    match server.chaos_response_action(line.len()) {
+    match daemon.response_action(line.len()) {
         ResponseAction::Normal => {}
         ResponseAction::Delay(ms) => thread::sleep(Duration::from_millis(ms)),
         ResponseAction::Truncate(n) => {
@@ -314,7 +395,7 @@ fn write_response(reader: &mut LineReader, server: &Server, response: &str) -> b
 /// Serves one connection: one request line in, one response line out,
 /// until the peer hangs up, stalls past the read deadline, or asks for
 /// shutdown.
-fn serve_connection(server: &Server, stream: Box<dyn Conn>, read_timeout_ms: u64) {
+fn serve_connection(daemon: &Daemon, stream: Box<dyn Conn>, read_timeout_ms: u64) {
     if read_timeout_ms > 0
         && stream
             .set_read_timeout(Some(Duration::from_millis(read_timeout_ms)))
@@ -332,20 +413,20 @@ fn serve_connection(server: &Server, stream: Box<dyn Conn>, read_timeout_ms: u64
                 let resp = format!(
                     "{{\"status\":\"error\",\"error\":\"request line exceeds {MAX_LINE_BYTES} bytes\"}}"
                 );
-                if !write_response(&mut reader, server, &resp) {
+                if !write_response(&mut reader, daemon, &resp) {
                     return;
                 }
                 continue;
             }
             LineEvent::Closed | LineEvent::TimedOut => return,
         };
-        let (response, shutdown) = server.handle_request_line(&line);
+        let (response, shutdown) = daemon.handle_request_line(&line);
         if shutdown {
             // Set the flag before attempting the write: a chaos-dropped
             // response must not lose the shutdown request.
             SHUTDOWN.store(true, Ordering::SeqCst);
         }
-        if !write_response(&mut reader, server, &response) || shutdown {
+        if !write_response(&mut reader, daemon, &response) || shutdown {
             return;
         }
     }
@@ -402,25 +483,46 @@ fn main() {
     let _ = std::io::stdout().flush();
 
     let read_timeout_ms = opts.read_timeout_ms;
-    let server = Arc::new(
-        Server::try_new(opts.cfg).unwrap_or_else(|e| die(&format!("cannot open cache dir: {e}"))),
-    );
-    if let Some(report) = server.recovery() {
+    let daemon = if opts.router {
+        let router = Router::new(RouterConfig::new(opts.worker_endpoints.clone()))
+            .unwrap_or_else(|e| die(&e));
         println!(
-            "schedtaskd: recovered {} cache records ({} corrupt quarantined, {} torn tails truncated)",
-            report.records, report.corrupt, report.truncated_tails
+            "schedtaskd: routing across {} worker(s)",
+            router.worker_count()
         );
         let _ = std::io::stdout().flush();
-    }
-    let dispatcher = server.spawn_dispatcher();
+        Arc::new(Daemon::Router(Box::new(router)))
+    } else {
+        let server = Server::try_new(opts.cfg)
+            .unwrap_or_else(|e| die(&format!("cannot open cache dir: {e}")));
+        if let Some(report) = server.recovery() {
+            println!(
+                "schedtaskd: recovered {} cache records ({} corrupt quarantined, {} torn tails truncated)",
+                report.records, report.corrupt, report.truncated_tails
+            );
+            let _ = std::io::stdout().flush();
+        }
+        Arc::new(Daemon::Worker(Box::new(server)))
+    };
+    let dispatcher = match daemon.as_ref() {
+        Daemon::Worker(_) => {
+            let daemon = Arc::clone(&daemon);
+            Some(thread::spawn(move || {
+                if let Daemon::Worker(server) = daemon.as_ref() {
+                    server.run_dispatcher();
+                }
+            }))
+        }
+        Daemon::Router(_) => None,
+    };
 
     let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
     while !SHUTDOWN.load(Ordering::SeqCst) {
         match listener.try_accept() {
             Ok(Some(stream)) => {
-                let server = Arc::clone(&server);
+                let daemon = Arc::clone(&daemon);
                 connections.push(thread::spawn(move || {
-                    serve_connection(&server, stream, read_timeout_ms)
+                    serve_connection(&daemon, stream, read_timeout_ms)
                 }));
             }
             Ok(None) => thread::sleep(Duration::from_millis(25)),
@@ -434,29 +536,38 @@ fn main() {
 
     // Clean shutdown: stop admitting, drain the backlog and in-flight
     // responses — but never for longer than the drain deadline, so a
-    // SIGTERM cannot hang on a wedged batch or a stalled peer.
-    server.close();
+    // SIGTERM cannot hang on a wedged batch or a stalled peer. The
+    // router has no local backlog; it only waits out its connections.
+    if let Daemon::Worker(server) = daemon.as_ref() {
+        server.close();
+    }
     let drain_start = Instant::now();
     let deadline = Duration::from_millis(opts.drain_deadline_ms);
-    while (!dispatcher.is_finished() || connections.iter().any(|h| !h.is_finished()))
+    let dispatcher_done =
+        |d: &Option<thread::JoinHandle<()>>| d.as_ref().is_none_or(|h| h.is_finished());
+    while (!dispatcher_done(&dispatcher) || connections.iter().any(|h| !h.is_finished()))
         && drain_start.elapsed() < deadline
     {
         thread::sleep(Duration::from_millis(10));
     }
-    if dispatcher.is_finished() {
-        let _ = dispatcher.join();
-    } else {
-        eprintln!(
-            "schedtaskd: drain deadline ({} ms) exceeded; abandoning backlog",
-            opts.drain_deadline_ms
-        );
+    match dispatcher {
+        Some(handle) if handle.is_finished() => {
+            let _ = handle.join();
+        }
+        Some(_) => {
+            eprintln!(
+                "schedtaskd: drain deadline ({} ms) exceeded; abandoning backlog",
+                opts.drain_deadline_ms
+            );
+        }
+        None => {}
     }
     #[cfg(unix)]
     if let Some(path) = &opts.unix_path {
         let _ = std::fs::remove_file(path);
     }
     if opts.profile {
-        let text = server.profile_text();
+        let text = daemon.profile_text();
         if text.is_empty() {
             println!("schedtaskd: no activity recorded");
         } else {

@@ -27,6 +27,10 @@
 //! - **Chaos** — a seed-driven [`chaos::ChaosPlan`] can tear disk
 //!   writes, panic workers, and mangle responses deterministically, so
 //!   tests assert recovery invariants instead of getting lucky.
+//! - **Fleet** — `schedtaskd --router` consistent-hashes job keys
+//!   across downstream workers via [`router::Router`], layering a
+//!   router-side single-flight hot-key cache above each worker's
+//!   memory/disk tiers and propagating honest backpressure upstream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,10 +40,12 @@ pub mod cache;
 pub mod chaos;
 pub mod disk;
 pub mod queue;
+pub mod router;
 pub mod server;
 
 pub use cache::{JobOutput, Lookup, ResultCache};
 pub use chaos::{ChaosInjector, ChaosPlan, ResponseAction};
 pub use disk::{crc32, DiskCache, DiskRecord, RecoveryReport};
 pub use queue::{Backpressure, JobQueue, QueuedJob, SubmitError};
+pub use router::{Router, RouterConfig};
 pub use server::{ServeConfig, Server};

@@ -12,7 +12,9 @@ use std::time::Instant;
 
 use schedtask::{SchedTaskConfig, SchedTaskScheduler};
 use schedtask_experiments::runner::{panic_message, RunBuilder};
-use schedtask_experiments::serve_api::{escape_json, parse_request, JobSpec, RequestOp};
+use schedtask_experiments::serve_api::{
+    parse_request, JobSpec, RequestOp, Response, PROTOCOL_VERSION,
+};
 use schedtask_kernel::SimStats;
 use schedtask_obs::{
     render_counter_table, render_span_table, Aggregator, ChaosKind, CounterSnapshot, JsonlSink,
@@ -355,21 +357,30 @@ impl Server {
         }
         let req = match parse_request(line) {
             Ok(req) => req,
-            Err(err) => return (error_response(&None, &err), false),
+            Err(err) => {
+                // Version skew is a structured error (code
+                // "unsupported_version"), not a parse failure: the
+                // client can tell "upgrade me" apart from "fix your
+                // request".
+                let resp = Response::Error {
+                    id: None,
+                    code: err.code().map(str::to_owned),
+                    error: err.to_string(),
+                };
+                return (resp.render(), false);
+            }
         };
         match req.op {
             RequestOp::Ping => (
-                format!("{{{}\"status\":\"ok\",\"pong\":true}}", id_field(&req.id)),
+                Response::Pong {
+                    id: req.id,
+                    proto: PROTOCOL_VERSION,
+                }
+                .render(),
                 false,
             ),
             RequestOp::Stats => (self.stats_response(&req.id), false),
-            RequestOp::Shutdown => (
-                format!(
-                    "{{{}\"status\":\"ok\",\"shutting_down\":true}}",
-                    id_field(&req.id)
-                ),
-                true,
-            ),
+            RequestOp::Shutdown => (Response::ShuttingDown { id: req.id }.render(), true),
             RequestOp::Run(spec, want_obs) => (self.handle_run(&req.id, *spec, want_obs), false),
         }
     }
@@ -441,12 +452,12 @@ impl Server {
                             // forever.
                             self.cache
                                 .fail(key, &slot, "rejected: queue full".to_owned());
-                            return format!(
-                                "{{{}\"status\":\"rejected\",\"queue_depth\":{},\"retry_after_ms\":{}}}",
-                                id_field(id),
-                                bp.depth,
-                                bp.retry_after_ms
-                            );
+                            return Response::Rejected {
+                                id: id.clone(),
+                                queue_depth: bp.depth as u64,
+                                retry_after_ms: bp.retry_after_ms,
+                            }
+                            .render();
                         }
                         Err(SubmitError::Closed) => {
                             // Terminal: the daemon is shutting down. No
@@ -462,21 +473,17 @@ impl Server {
         };
         let latency_us = submitted.elapsed().as_micros() as u64;
         match output {
-            Ok(out) => {
-                let mut resp = format!(
-                    "{{{}\"status\":\"ok\",\"cached\":{cached},\"coalesced\":{coalesced},\
-                     \"key\":\"{}\",\"queue_depth\":{},\"latency_us\":{latency_us},\"result\":{}",
-                    id_field(id),
-                    out.key,
-                    self.queue.depth(),
-                    out.stats_json
-                );
-                if want_obs {
-                    resp.push_str(&format!(",\"jsonl\":\"{}\"", escape_json(&out.jsonl)));
-                }
-                resp.push('}');
-                resp
+            Ok(out) => Response::Ok {
+                id: id.clone(),
+                cached,
+                coalesced,
+                key: out.key.clone(),
+                queue_depth: self.queue.depth() as u64,
+                latency_us,
+                result: out.stats_json.clone(),
+                jsonl: want_obs.then(|| out.jsonl.clone()),
             }
+            .render(),
             Err(err) => error_response(id, &err),
         }
     }
@@ -494,8 +501,9 @@ impl Server {
         }
         counters.push('}');
         format!(
-            "{{{}\"status\":\"ok\",\"queue_depth\":{},\"queue_capacity\":{},\
-             \"cache_entries\":{},\"disk_entries\":{},\"counters\":{counters}}}",
+            "{{\"v\":{PROTOCOL_VERSION},{}\"status\":\"ok\",\"queue_depth\":{},\
+             \"queue_capacity\":{},\"cache_entries\":{},\"disk_entries\":{},\
+             \"counters\":{counters}}}",
             id_field(id),
             self.queue.depth(),
             self.queue.capacity(),
@@ -505,21 +513,26 @@ impl Server {
     }
 }
 
-/// Renders the optional leading `"id":"...",` response field.
+/// Renders the optional leading `"id":"...",` response field (stats
+/// responses only; typed responses render through [`Response`]).
 fn id_field(id: &Option<String>) -> String {
     match id {
-        Some(id) => format!("\"id\":\"{}\",", escape_json(id)),
+        Some(id) => format!(
+            "\"id\":\"{}\",",
+            schedtask_experiments::serve_api::escape_json(id)
+        ),
         None => String::new(),
     }
 }
 
-/// Renders an error response line.
+/// Renders an error response line with no machine-readable code.
 fn error_response(id: &Option<String>, err: &str) -> String {
-    format!(
-        "{{{}\"status\":\"error\",\"error\":\"{}\"}}",
-        id_field(id),
-        escape_json(err)
-    )
+    Response::Error {
+        id: id.clone(),
+        code: None,
+        error: err.to_owned(),
+    }
+    .render()
 }
 
 /// Simulates one job and packages the cacheable output. The JSONL
@@ -680,13 +693,40 @@ mod tests {
         let server = Server::new(ServeConfig::default());
         let (pong, shutdown) = server.handle_request_line("{\"op\":\"ping\",\"id\":\"p\"}");
         assert!(!shutdown);
-        assert_eq!(pong, "{\"id\":\"p\",\"status\":\"ok\",\"pong\":true}");
+        assert_eq!(
+            pong,
+            "{\"v\":1,\"id\":\"p\",\"status\":\"ok\",\"pong\":true,\"proto\":1}"
+        );
         let (stats, _) = server.handle_request_line("{\"op\":\"stats\"}");
         let json = Json::parse(&stats).expect("stats is JSON");
+        assert_eq!(json.get("v").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(0));
         assert_eq!(json.get("queue_capacity").and_then(Json::as_u64), Some(64));
         let (_, shutdown) = server.handle_request_line("{\"op\":\"shutdown\"}");
         assert!(shutdown);
+    }
+
+    #[test]
+    fn unsupported_version_is_a_structured_error() {
+        let server = Server::new(ServeConfig::default());
+        let (resp, shutdown) = server.handle_request_line("{\"v\":2,\"op\":\"ping\"}");
+        assert!(!shutdown);
+        let json = Json::parse(&resp).expect("error response is JSON");
+        assert_eq!(
+            json.get("status").and_then(Json::as_str),
+            Some("error"),
+            "{resp}"
+        );
+        assert_eq!(
+            json.get("code").and_then(Json::as_str),
+            Some("unsupported_version"),
+            "{resp}"
+        );
+        // The current version passes the same gate.
+        let (resp, _) = server.handle_request_line("{\"v\":1,\"op\":\"ping\"}");
+        let json = Json::parse(&resp).expect("pong is JSON");
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(json.get("proto").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -8,8 +8,10 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::thread;
 
-use schedtask_experiments::serve_api::{Json, RunRequest, ServeClient};
+use schedtask_experiments::serve_api::{JobSpec, Json, ServeClient};
+use schedtask_experiments::Technique;
 use schedtask_serve::{ServeConfig, Server};
+use schedtask_workload::BenchmarkKind;
 
 /// Binds an ephemeral TCP port and serves connections (one thread each)
 /// against a fresh `Server`. Returns the address, the server handle,
@@ -62,11 +64,12 @@ fn tcp_round_trip_caches_and_acknowledges_shutdown() {
     let mut client = ServeClient::connect_tcp(&addr).expect("connect");
     assert!(client.ping().expect("ping"), "server answers ping");
 
-    let mut req = RunRequest::new("e2e", "Find");
-    req.cores = Some(2);
-    req.max_instructions = Some(50_000);
-    req.warmup_instructions = Some(10_000);
-    let first = client.request_line(&req.to_json_line()).expect("first run");
+    let mut spec = JobSpec::new(Technique::SchedTask, BenchmarkKind::Find);
+    spec.params.cores = 2;
+    spec.params.max_instructions = 50_000;
+    spec.params.warmup_instructions = 10_000;
+    let line = spec.to_request_line(Some("e2e"), false);
+    let first = client.request_line(&line).expect("first run");
     let fj = Json::parse(&first).expect("first response parses");
     assert_eq!(
         fj.get("status").and_then(Json::as_str),
@@ -78,9 +81,7 @@ fn tcp_round_trip_caches_and_acknowledges_shutdown() {
 
     // A second connection sees a cache hit with identical result bytes.
     let mut client2 = ServeClient::connect_tcp(&addr).expect("connect again");
-    let second = client2
-        .request_line(&req.to_json_line())
-        .expect("second run");
+    let second = client2.request_line(&line).expect("second run");
     let sj = Json::parse(&second).expect("second response parses");
     assert_eq!(
         sj.get("cached").and_then(Json::as_bool),
